@@ -1,0 +1,472 @@
+// Package followscent's top-level benchmarks regenerate each table and
+// figure of the paper (see DESIGN.md's experiment index). They run at
+// reduced scale so `go test -bench .` finishes in minutes on one core;
+// cmd/figures produces the full-scale artifacts.
+//
+// Shared fixtures (a small-world study and a default-world mini
+// campaign) are built once and reused across benchmarks.
+package followscent_test
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"followscent/internal/core"
+	"followscent/internal/experiments"
+	"followscent/internal/ip6"
+	"followscent/internal/oui"
+	"followscent/internal/simnet"
+	"followscent/internal/yarrp"
+	"followscent/internal/zmap"
+)
+
+var (
+	smallOnce  sync.Once
+	smallStudy *experiments.Study
+
+	miniOnce  sync.Once
+	miniStudy *experiments.Study
+)
+
+// small returns a completed study over the compact test world.
+func small(b *testing.B) *experiments.Study {
+	b.Helper()
+	smallOnce.Do(func() {
+		s := &experiments.Study{
+			Env: experiments.NewSmallEnv(101),
+			Cfg: experiments.StudyConfig{CampaignDays: 5, ProbesPer48: 16, Salt: 3},
+		}
+		s.SeedEUI48s = []ip6.Prefix{
+			ip6.MustParsePrefix("2001:db8:10::/48"),
+			ip6.MustParsePrefix("2001:db9:30::/48"),
+			ip6.MustParsePrefix("2001:dba:40::/48"),
+		}
+		ctx := context.Background()
+		if err := s.RunDiscovery(ctx); err != nil {
+			panic(err)
+		}
+		if err := s.RunCampaign(ctx); err != nil {
+			panic(err)
+		}
+		smallStudy = s
+	})
+	return smallStudy
+}
+
+// mini returns a short default-world campaign over the Wersatel Figure 9
+// pool only (the pieces Figures 9-12 need), not the whole rotating set.
+func mini(b *testing.B) *experiments.Study {
+	b.Helper()
+	miniOnce.Do(func() {
+		s := &experiments.Study{
+			Env: experiments.NewEnv(42),
+			Cfg: experiments.StudyConfig{CampaignDays: 6, Salt: 3},
+		}
+		pool := experiments.Fig9Pool
+		var prefixes []ip6.Prefix
+		for i := uint64(0); i < pool.NumSubprefixes(48); i++ {
+			prefixes = append(prefixes, pool.Subprefix(i, 48))
+		}
+		// Also cover the provider-switch destinations so Figure 12 has
+		// both sides of each move.
+		dt, _ := s.Env.World.ProviderByASN(simnet.ASDTRes)
+		dtPool := dt.Pools[0].Prefix
+		for i := uint64(0); i < dtPool.NumSubprefixes(48); i++ {
+			prefixes = append(prefixes, dtPool.Subprefix(i, 48))
+		}
+		s.Discovery = &core.DiscoveryResult{Rotating48s: prefixes}
+		if err := s.RunCampaign(context.Background()); err != nil {
+			panic(err)
+		}
+		miniStudy = s
+	})
+	return miniStudy
+}
+
+// --- Table 1 & pipeline stage counts (§4) ---
+
+func BenchmarkTable1_RotatingPrefixDiscovery(b *testing.B) {
+	env := experiments.NewSmallEnv(103)
+	seeds := []ip6.Prefix{
+		ip6.MustParsePrefix("2001:db8:10::/48"),
+		ip6.MustParsePrefix("2001:db9:30::/48"),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := &experiments.Study{Env: env, Cfg: experiments.StudyConfig{ProbesPer48: 16, Salt: uint64(i) + 1}}
+		s.SeedEUI48s = seeds
+		if err := s.RunDiscovery(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := s.Table1Render(5, &buf); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(s.Discovery.Rotating48s)), "rotating48s")
+	}
+}
+
+func BenchmarkPipeline_StageCounts(b *testing.B) {
+	s := small(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.PipelineRender(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 2 & Figure 13 (§6) ---
+
+func BenchmarkTable2_TrackingCaseStudy(b *testing.B) {
+	s := small(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		states, err := s.SelectCohort(3, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cohort, err := s.TrackCohort(context.Background(), states, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Table2Render(cohort, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13_TrackingOutcomes(b *testing.B) {
+	s := small(b)
+	states, err := s.SelectCohort(3, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cohort, err := s.TrackCohort(context.Background(), states, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig13Render(cohort, "Figure 13", io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 2: search-space reduction ---
+
+func BenchmarkFig2_SearchSpaceReduction(b *testing.B) {
+	s := small(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Fig2Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figures 3 & 6: allocation grids ---
+
+func BenchmarkFig3_AllocationGrids(b *testing.B) {
+	env := experiments.NewEnv(42)
+	s := &experiments.Study{Env: env, Cfg: experiments.StudyConfig{Salt: 5}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		grids, err := s.Grids(context.Background(), experiments.Fig3Prefixes[:1])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(grids[0].ResponseCount()), "responders")
+	}
+}
+
+func BenchmarkFig6_MultiAllocationProvider(b *testing.B) {
+	env := experiments.NewEnv(42)
+	s := &experiments.Study{Env: env, Cfg: experiments.StudyConfig{Salt: 6}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		grids, err := s.Grids(context.Background(), experiments.Fig6Prefixes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The same provider must show two different allocation sizes.
+		a, c := grids[0].InferAllocBits(), grids[1].InferAllocBits()
+		if a == c {
+			b.Fatalf("both /48s inferred /%d", a)
+		}
+	}
+}
+
+// --- Figures 4, 5, 7, 8: campaign distributions ---
+
+func BenchmarkFig4_Homogeneity(b *testing.B) {
+	s := small(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		entries := core.Homogeneity(s.Corpus, oui.Builtin(), 10)
+		if len(entries) == 0 {
+			b.Fatal("no homogeneity entries")
+		}
+	}
+}
+
+func BenchmarkFig5_AllocationSizeCDF(b *testing.B) {
+	s := small(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		samples := s.Corpus.AllocationSamples(0)
+		byAS := core.AllocationSizeByAS(samples)
+		if len(byAS) == 0 {
+			b.Fatal("no allocation inferences")
+		}
+	}
+}
+
+func BenchmarkFig7_RotationPoolVsBGP(b *testing.B) {
+	s := small(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		samples := s.Corpus.PoolSamples()
+		byAS := core.PoolSizeByAS(samples)
+		if len(byAS) == 0 {
+			b.Fatal("no pool inferences")
+		}
+	}
+}
+
+func BenchmarkFig8_PrefixesPerIID(b *testing.B) {
+	s := small(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counts := s.Corpus.PrefixesPerIID()
+		if len(counts) == 0 {
+			b.Fatal("empty distribution")
+		}
+	}
+}
+
+// --- Figures 9-12: default-world dynamics ---
+
+func BenchmarkFig9_RotationTimeSeries(b *testing.B) {
+	s := mini(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series := s.Fig9(simnet.ASWersatel, experiments.Fig9Pool, 3)
+		if len(series) == 0 {
+			b.Fatal("no rotation series")
+		}
+	}
+}
+
+func BenchmarkFig10_PoolDensity(b *testing.B) {
+	s := mini(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snaps, err := s.Fig10(context.Background(), 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(snaps) != 2 {
+			b.Fatal("missing snapshots")
+		}
+	}
+}
+
+func BenchmarkFig11_MACReuse(b *testing.B) {
+	s := mini(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		multi := s.Corpus.MultiASIIDs()
+		_ = multi
+	}
+}
+
+func BenchmarkFig12_ProviderSwitch(b *testing.B) {
+	s := mini(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		switches := s.Corpus.ProviderSwitches()
+		_ = switches
+	}
+}
+
+// --- Ablations (DESIGN.md §4) ---
+
+// BenchmarkAblation_ZmapVsYarrp quantifies §3.1's probing-cost claim:
+// last-hop discovery via zmap-style single probes versus yarrp-style
+// TTL sweeps over the same /48.
+func BenchmarkAblation_ZmapVsYarrp(b *testing.B) {
+	w := simnet.TestWorld(104)
+	p, _ := w.ProviderByASN(65001)
+	ts, _ := zmap.NewSubnetTargets([]ip6.Prefix{p.Pools[0].Prefix}, 56, 1)
+	src := ip6.MustParseAddr("2620:11f:7000::53")
+
+	b.Run("zmap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st, err := zmap.Scan(context.Background(), zmap.NewLoopback(w, 0), ts,
+				zmap.Config{Source: src, Seed: uint64(i)}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(st.Sent), "probes")
+		}
+	})
+	b.Run("yarrp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st, err := yarrp.Trace(context.Background(), zmap.NewLoopback(w, 0), ts,
+				yarrp.Config{Source: src, MaxTTL: 16, Seed: uint64(i)}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(st.Sent), "probes")
+		}
+	})
+}
+
+// BenchmarkAblation_SearchSpaceKnowledge measures tracking cost with and
+// without the Algorithm 1/2 inferences (the Figure 2 rows, live).
+func BenchmarkAblation_SearchSpaceKnowledge(b *testing.B) {
+	run := func(b *testing.B, alloc, pool map[uint32]int) {
+		w := simnet.TestWorld(105)
+		scanner := &zmap.Scanner{
+			NewTransport: func() (zmap.Transport, error) { return zmap.NewLoopback(w, 0), nil },
+			Config:       zmap.Config{Source: ip6.MustParseAddr("2620:11f:7000::53")},
+		}
+		pv, _ := w.ProviderByASN(65001)
+		var target ip6.Addr
+		for i := range pv.Pools[0].CPEs() {
+			c := &pv.Pools[0].CPEs()[i]
+			if c.Mode == simnet.ModeEUI64 && !c.Silent {
+				target = pv.Pools[0].WANAddrNow(c)
+				break
+			}
+		}
+		tracker := &core.Tracker{Scanner: scanner, RIB: w.RIB(), AllocBits: alloc, PoolBits: pool}
+		b.ResetTimer()
+		var probes uint64
+		for i := 0; i < b.N; i++ {
+			st, err := core.NewTrackState(target)
+			if err != nil {
+				b.Fatal(err)
+			}
+			td, err := tracker.Step(context.Background(), st, 0, uint64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !td.Found {
+				b.Fatal("device not found")
+			}
+			probes += td.ProbesSent
+		}
+		b.ReportMetric(float64(probes)/float64(b.N), "probes/day")
+	}
+	b.Run("with-inferences", func(b *testing.B) {
+		run(b, map[uint32]int{65001: 56}, map[uint32]int{65001: 48})
+	})
+	b.Run("alloc-only", func(b *testing.B) {
+		run(b, map[uint32]int{65001: 56}, nil) // pool falls back to the /32
+	})
+}
+
+// BenchmarkAblation_DensityThreshold sweeps §4.2's low/high cut.
+func BenchmarkAblation_DensityThreshold(b *testing.B) {
+	env := experiments.NewSmallEnv(106)
+	seeds := []ip6.Prefix{
+		ip6.MustParsePrefix("2001:db8:10::/48"),
+		ip6.MustParsePrefix("2001:db9:30::/48"),
+	}
+	for _, thr := range []float64{0.005, 0.01, 0.05, 0.2} {
+		name := "thr"
+		switch thr {
+		case 0.005:
+			name = "0.005"
+		case 0.01:
+			name = "0.01(paper)"
+		case 0.05:
+			name = "0.05"
+		case 0.2:
+			name = "0.20"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := &core.Pipeline{
+					Scanner:          env.Scanner,
+					RIB:              env.World.RIB(),
+					Wait:             env.Wait,
+					Salt:             uint64(i) + 7,
+					ProbesPer48:      16,
+					DensityThreshold: thr,
+				}
+				res, err := p.Run(context.Background(), seeds)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(len(res.HighDensity)), "high-density")
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_PoolWidening measures the §6 "motivated adversary"
+// extension: recovering a device whose rotation pool was under-estimated
+// by widening the search after misses (core.Tracker.WidenBits).
+func BenchmarkAblation_PoolWidening(b *testing.B) {
+	w := simnet.MustBuild(simnet.WorldSpec{
+		Seed: 17,
+		Providers: []simnet.ProviderSpec{{
+			ASN: 65401, Name: "WidePool", Country: "DE",
+			Allocations: []string{"2001:de0::/32"},
+			Pools: []simnet.PoolSpec{{
+				Prefix: "2001:de0:10::/44", AllocBits: 56,
+				Rotation:  simnet.Every(24 * time.Hour),
+				Occupancy: 0.3, EUIFrac: 1,
+			}},
+		}},
+	})
+	scanner := &zmap.Scanner{
+		NewTransport: func() (zmap.Transport, error) { return zmap.NewLoopback(w, 0), nil },
+		Config:       zmap.Config{Source: ip6.MustParseAddr("2620:11f:7000::53")},
+	}
+	pool := w.Providers()[0].Pools[0]
+	start := pool.WANAddrNow(&pool.CPEs()[0])
+
+	for _, widen := range []int{0, 2} {
+		name := "no-widening"
+		if widen > 0 {
+			name = "widen-2-bits"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w.Clock().Set(simnet.Epoch)
+				tracker := &core.Tracker{
+					Scanner:   scanner,
+					RIB:       w.RIB(),
+					AllocBits: map[uint32]int{65401: 56},
+					PoolBits:  map[uint32]int{65401: 48},
+					WidenBits: widen,
+				}
+				st, err := core.NewTrackState(start)
+				if err != nil {
+					b.Fatal(err)
+				}
+				found := 0
+				for d := 0; d < 8; d++ {
+					td, err := tracker.Step(context.Background(), st, d, uint64(i)<<8|uint64(d))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if td.Found {
+						found++
+					}
+					w.Clock().Advance(24 * time.Hour)
+				}
+				b.ReportMetric(float64(found), "days-found/8")
+			}
+		})
+	}
+}

@@ -1,0 +1,311 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation against the simulated Internet, writing text renderings,
+// CSVs and PPM images under an output directory. EXPERIMENTS.md is the
+// narrative companion: it records, for each artifact, the paper's
+// numbers next to a run of this binary.
+//
+// Usage:
+//
+//	figures [-out out] [-seed 42] [-days 44] [-hours 168] [-track-days 7] [-only id[,id...]] [-v]
+//
+// The full run (44 campaign days) takes a few minutes single-core; use
+// -days 6 -hours 36 for a quick pass. -only restricts regeneration, e.g.
+// -only table1,fig9.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"followscent/internal/analysis"
+	"followscent/internal/core"
+	"followscent/internal/experiments"
+	"followscent/internal/oui"
+	"followscent/internal/plot"
+	"followscent/internal/seed"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+
+	outDir := flag.String("out", "out", "output directory")
+	seedVal := flag.Uint64("seed", 42, "world seed")
+	days := flag.Int("days", 44, "campaign days (paper: 44)")
+	hours := flag.Int("hours", 168, "Figure 10 hourly scans (paper: one week)")
+	trackDays := flag.Int("track-days", 7, "Table 2 / Figure 13 tracking days")
+	only := flag.String("only", "", "comma-separated artifact ids (default: all)")
+	verbose := flag.Bool("v", false, "progress logging")
+	flag.Parse()
+
+	if err := run(*outDir, *seedVal, *days, *hours, *trackDays, *only, *verbose); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(outDir string, seedVal uint64, days, hours, trackDays int, only string, verbose bool) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[id] = true
+		}
+	}
+	enabled := func(id string) bool { return len(want) == 0 || want[id] }
+
+	logf := func(string, ...any) {}
+	if verbose {
+		logf = log.Printf
+	}
+	s := &experiments.Study{
+		Env: experiments.NewEnv(seedVal),
+		Cfg: experiments.StudyConfig{CampaignDays: days, Logf: logf},
+	}
+	ctx := context.Background()
+	start := time.Now()
+
+	log.Printf("running study: seed campaign, discovery, %d-day campaign...", days)
+	if err := s.RunAll(ctx); err != nil {
+		return err
+	}
+	log.Printf("study complete in %s: %d rotating /48s, %d IIDs",
+		time.Since(start).Round(time.Second), len(s.Discovery.Rotating48s), s.Corpus.NumIIDs())
+
+	write := func(name string, fn func(io.Writer) error) error {
+		path := filepath.Join(outDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		log.Printf("wrote %s", path)
+		return nil
+	}
+
+	if enabled("seed") {
+		if err := write("seed_records.txt", func(w io.Writer) error {
+			return seed.Write(w, s.SeedRecords)
+		}); err != nil {
+			return err
+		}
+	}
+	if enabled("pipeline") {
+		if err := write("pipeline.txt", s.PipelineRender); err != nil {
+			return err
+		}
+	}
+	if enabled("table1") {
+		if err := write("table1.txt", func(w io.Writer) error {
+			return s.Table1Render(5, w)
+		}); err != nil {
+			return err
+		}
+	}
+	if enabled("campaign") {
+		if err := write("campaign.txt", s.CampaignRender); err != nil {
+			return err
+		}
+	}
+	if enabled("fig2") {
+		if err := write("fig2_searchspace.txt", s.Fig2Render); err != nil {
+			return err
+		}
+	}
+	if enabled("fig3") || enabled("fig6") {
+		grids := map[string][]string{}
+		if enabled("fig3") {
+			grids["fig3"] = []string{"a", "b", "c"}
+		}
+		if enabled("fig6") {
+			grids["fig6"] = []string{"a", "b"}
+		}
+		for fig, parts := range grids {
+			prefixes := experiments.Fig3Prefixes
+			if fig == "fig6" {
+				prefixes = experiments.Fig6Prefixes
+			}
+			gs, err := s.Grids(ctx, prefixes)
+			if err != nil {
+				return err
+			}
+			for i, g := range gs {
+				if i >= len(parts) {
+					break
+				}
+				name := fmt.Sprintf("%s%s_grid", fig, parts[i])
+				if err := write(name+".txt", func(w io.Writer) error {
+					return experiments.RenderGrid(g, w)
+				}); err != nil {
+					return err
+				}
+				g := g
+				if err := write(name+".ppm", func(w io.Writer) error {
+					return plot.GridPPM(g, w)
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if enabled("fig4") {
+		if err := write("fig4_homogeneity.txt", func(w io.Writer) error {
+			return s.Fig4Render(100, w)
+		}); err != nil {
+			return err
+		}
+		if err := write("fig4_homogeneity.csv", func(w io.Writer) error {
+			_, cdf := s.Fig4(100)
+			return plot.CDFCSV(cdf.Points(), w)
+		}); err != nil {
+			return err
+		}
+	}
+	if enabled("fig5") {
+		if err := write("fig5_allocation.txt", s.Fig5Render); err != nil {
+			return err
+		}
+		if err := write("fig5a_alloc_per_iid.csv", func(w io.Writer) error {
+			perIID, _ := s.Fig5()
+			return plot.CDFCSV(perIID.Points(), w)
+		}); err != nil {
+			return err
+		}
+		if err := write("fig5b_alloc_per_as.csv", func(w io.Writer) error {
+			_, perAS := s.Fig5()
+			return plot.CDFCSV(perAS.Points(), w)
+		}); err != nil {
+			return err
+		}
+	}
+	if enabled("fig7") {
+		if err := write("fig7_pool_vs_bgp.txt", s.Fig7Render); err != nil {
+			return err
+		}
+	}
+	if enabled("fig8") {
+		if err := write("fig8_prefixes_per_iid.txt", s.Fig8Render); err != nil {
+			return err
+		}
+		if err := write("fig8_prefixes_per_iid.csv", func(w io.Writer) error {
+			return plot.CDFCSV(s.Fig8().Points(), w)
+		}); err != nil {
+			return err
+		}
+	}
+	if enabled("fig9") {
+		if err := write("fig9_rotation_series.txt", s.Fig9Render); err != nil {
+			return err
+		}
+	}
+	if enabled("fig10") {
+		if err := write("fig10_pool_density.txt", func(w io.Writer) error {
+			return s.Fig10Render(ctx, hours, w)
+		}); err != nil {
+			return err
+		}
+	}
+	if enabled("fig11") {
+		if err := write("fig11_mac_reuse.txt", s.Fig11Render); err != nil {
+			return err
+		}
+	}
+	if enabled("fig12") {
+		if err := write("fig12_provider_switch.txt", s.Fig12Render); err != nil {
+			return err
+		}
+	}
+	if enabled("table2") || enabled("fig13") {
+		// Cohort A: random eligible devices. Cohort B: known rotators.
+		for _, cohortSpec := range []struct {
+			id      string
+			rotOnly bool
+		}{{"a", false}, {"b", true}} {
+			states, err := s.SelectCohort(10, cohortSpec.rotOnly)
+			if err != nil {
+				return err
+			}
+			cohort, err := s.TrackCohort(ctx, states, trackDays)
+			if err != nil {
+				return err
+			}
+			if enabled("fig13") {
+				name := fmt.Sprintf("fig13%s_tracking.txt", cohortSpec.id)
+				title := "Figure 13a: random cohort"
+				if cohortSpec.rotOnly {
+					title = "Figure 13b: rotating cohort"
+				}
+				if err := write(name, func(w io.Writer) error {
+					return experiments.Fig13Render(cohort, title, w)
+				}); err != nil {
+					return err
+				}
+			}
+			if enabled("table2") && cohortSpec.rotOnly {
+				if err := write("table2.txt", func(w io.Writer) error {
+					return s.Table2Render(cohort, w)
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if enabled("intervals") {
+		if err := write("rotation_intervals.txt", s.IntervalRender); err != nil {
+			return err
+		}
+	}
+	if enabled("pathologies") {
+		if err := write("pathologies.txt", func(w io.Writer) error {
+			multi := s.Corpus.MultiASIIDs()
+			switches := s.Corpus.ProviderSwitches()
+			fmt.Fprintf(w, "multi-AS IIDs: %d (paper: 10k of 9M)\n", len(multi))
+			overl := 0
+			for _, m := range multi {
+				if m.Overlapping {
+					overl++
+				}
+			}
+			fmt.Fprintf(w, "  with same-day multi-AS presence (MAC reuse): %d\n", overl)
+			fmt.Fprintf(w, "provider switches: %d\n", len(switches))
+			for _, sw := range switches {
+				fmt.Fprintf(w, "  IID %016x: AS%d (last day %d) -> AS%d (first day %d)\n",
+					uint64(sw.IID), sw.FromASN, sw.LastFrom, sw.ToASN, sw.FirstTo)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if enabled("vendors") {
+		if err := write("vendor_totals.txt", func(w io.Writer) error {
+			totals := core.VendorTotals(s.Corpus, oui.Builtin())
+			c := analysis.Counter{}
+			for v, n := range totals {
+				c.Add(v, n)
+			}
+			top, other := c.Top(10)
+			rows := [][]string{}
+			for _, e := range top {
+				rows = append(rows, []string{e.Key, fmt.Sprintf("%d", e.Count)})
+			}
+			rows = append(rows, []string{other.Key, fmt.Sprintf("%d", other.Count)})
+			return plot.Table([]string{"Vendor", "unique IIDs"}, rows, w)
+		}); err != nil {
+			return err
+		}
+	}
+	log.Printf("all artifacts regenerated in %s", time.Since(start).Round(time.Second))
+	return nil
+}

@@ -1,0 +1,257 @@
+// Command scent is the operator CLI for the prefix-rotation measurement
+// toolkit: seed generation, rotating-prefix discovery, allocation grids,
+// longitudinal campaigns and targeted device tracking — the paper's §3-§6
+// as subcommands.
+//
+// By default every subcommand runs against an in-process simulated
+// Internet (deterministic under -seed). With -server host:port it speaks
+// ICMPv6-in-UDP to a simnetd instead, exercising the full wire path.
+//
+// Usage:
+//
+//	scent [global flags] <command> [command flags]
+//
+// Commands:
+//
+//	seed      run the traceroute seed campaign and print its records
+//	discover  run the §4 pipeline and print Table 1
+//	grid      scan one /48's allocation grid (Figure 3)
+//	campaign  run the §5 daily campaign and print the headline analyses
+//	track     track one EUI-64 address for a week (§6)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"followscent/internal/core"
+	"followscent/internal/experiments"
+	"followscent/internal/ip6"
+	"followscent/internal/seed"
+	"followscent/internal/zmap"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: scent [-seed N] [-world default|test] [-server host:port] <command> [args]
+
+commands:
+  seed                      run the stale traceroute seed campaign
+  discover                  run the discovery pipeline, print Table 1
+  grid -prefix P            allocation grid of a /48 (ASCII)
+  campaign [-days N]        run the daily campaign, print analyses
+  track -addr A [-days N]   track an EUI-64 address across rotations
+`)
+	os.Exit(2)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("scent: ")
+
+	worldSeed := flag.Uint64("seed", 42, "simulated world seed")
+	worldKind := flag.String("world", "default", "in-process world: default or test")
+	server := flag.String("server", "", "probe a simnetd at host:port instead of in-process")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+
+	env, err := buildEnv(*worldSeed, *worldKind, *server)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	var cmdErr error
+	switch cmd := flag.Arg(0); cmd {
+	case "seed":
+		cmdErr = runSeed(ctx, env)
+	case "discover":
+		cmdErr = runDiscover(ctx, env, flag.Args()[1:])
+	case "grid":
+		cmdErr = runGrid(ctx, env, flag.Args()[1:])
+	case "campaign":
+		cmdErr = runCampaign(ctx, env, flag.Args()[1:])
+	case "track":
+		cmdErr = runTrack(ctx, env, flag.Args()[1:])
+	default:
+		log.Printf("unknown command %q", cmd)
+		usage()
+	}
+	if cmdErr != nil {
+		log.Fatal(cmdErr)
+	}
+}
+
+// buildEnv assembles the probing environment. Remote probing still
+// builds a local world for the BGP table and clock control; the remote
+// simnetd must be started with the same -seed and -world for the
+// attribution to line up (printed as a reminder).
+func buildEnv(seedVal uint64, kind, server string) (*experiments.Env, error) {
+	var env *experiments.Env
+	switch kind {
+	case "default":
+		env = experiments.NewEnv(seedVal)
+	case "test":
+		env = experiments.NewSmallEnv(seedVal)
+	default:
+		return nil, fmt.Errorf("unknown world %q", kind)
+	}
+	if server != "" {
+		fmt.Printf("probing %s over UDP (run simnetd with -seed %d -world %s)\n", server, seedVal, kind)
+		env.Scanner.NewTransport = func() (zmap.Transport, error) {
+			return zmap.DialUDP(server)
+		}
+		env.Scanner.Config.Rate = 50000
+		env.Scanner.Config.Cooldown = 500 * time.Millisecond
+	}
+	return env, nil
+}
+
+func runSeed(ctx context.Context, env *experiments.Env) error {
+	s := &experiments.Study{Env: env, Cfg: experiments.StudyConfig{Logf: log.Printf}}
+	if err := s.RunSeed(ctx); err != nil {
+		return err
+	}
+	return seed.Write(os.Stdout, s.SeedRecords)
+}
+
+func runDiscover(ctx context.Context, env *experiments.Env, args []string) error {
+	fs := flag.NewFlagSet("discover", flag.ExitOnError)
+	seedFile := fs.String("seeds", "", "seed records file (default: generate)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s := &experiments.Study{Env: env, Cfg: experiments.StudyConfig{Logf: log.Printf}}
+	if *seedFile != "" {
+		f, err := os.Open(*seedFile)
+		if err != nil {
+			return err
+		}
+		records, err := seed.Read(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		s.SeedRecords = records
+		s.SeedEUI48s = seed.EUIPrefixes(records)
+	} else if err := s.RunSeed(ctx); err != nil {
+		return err
+	}
+	if err := s.RunDiscovery(ctx); err != nil {
+		return err
+	}
+	if err := s.PipelineRender(os.Stdout); err != nil {
+		return err
+	}
+	return s.Table1Render(5, os.Stdout)
+}
+
+func runGrid(ctx context.Context, env *experiments.Env, args []string) error {
+	fs := flag.NewFlagSet("grid", flag.ExitOnError)
+	prefix := fs.String("prefix", "", "the /48 to scan (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *prefix == "" {
+		return fmt.Errorf("grid: -prefix is required")
+	}
+	p48, err := ip6.ParsePrefix(*prefix)
+	if err != nil {
+		return err
+	}
+	g, err := core.ScanGrid(ctx, env.Scanner, p48, 1)
+	if err != nil {
+		return err
+	}
+	return experiments.RenderGrid(g, os.Stdout)
+}
+
+func runCampaign(ctx context.Context, env *experiments.Env, args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	days := fs.Int("days", 7, "campaign length in days")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s := &experiments.Study{Env: env, Cfg: experiments.StudyConfig{
+		CampaignDays: *days,
+		Logf:         log.Printf,
+	}}
+	if err := s.RunAll(ctx); err != nil {
+		return err
+	}
+	if err := s.CampaignRender(os.Stdout); err != nil {
+		return err
+	}
+	if err := s.Fig5Render(os.Stdout); err != nil {
+		return err
+	}
+	if err := s.Fig7Render(os.Stdout); err != nil {
+		return err
+	}
+	if err := s.IntervalRender(os.Stdout); err != nil {
+		return err
+	}
+	return s.Fig4Render(100, os.Stdout)
+}
+
+func runTrack(ctx context.Context, env *experiments.Env, args []string) error {
+	fs := flag.NewFlagSet("track", flag.ExitOnError)
+	addr := fs.String("addr", "", "current EUI-64 address of the device (required)")
+	days := fs.Int("days", 7, "tracking days")
+	allocBits := fs.Int("alloc", 0, "known allocation size (0 = assume /64)")
+	poolBits := fs.Int("pool", 0, "known rotation pool size (0 = whole advertisement)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("track: -addr is required")
+	}
+	a, err := ip6.ParseAddr(*addr)
+	if err != nil {
+		return err
+	}
+	st, err := core.NewTrackState(a)
+	if err != nil {
+		return err
+	}
+	route, ok := env.World.RIB().Lookup(a)
+	if !ok {
+		return fmt.Errorf("track: %s is not in the BGP table", a)
+	}
+	tracker := &core.Tracker{
+		Scanner:   env.Scanner,
+		RIB:       env.World.RIB(),
+		AllocBits: map[uint32]int{},
+		PoolBits:  map[uint32]int{},
+	}
+	if *allocBits != 0 {
+		tracker.AllocBits[route.ASN] = *allocBits
+	}
+	if *poolBits != 0 {
+		tracker.PoolBits[route.ASN] = *poolBits
+	}
+	fmt.Printf("tracking IID %016x in AS%d (%s), %d days\n", uint64(st.IID), route.ASN, route.Country, *days)
+	if err := tracker.Track(ctx, st, *days, 0x7ac4, env.Wait); err != nil {
+		return err
+	}
+	for _, d := range st.History {
+		status := "not found"
+		if d.Found {
+			status = d.Addr.String()
+			if d.Moved {
+				status += "  (moved)"
+			}
+		}
+		fmt.Printf("  day %d: %6d probes  %s\n", d.Day, d.ProbesSent, status)
+	}
+	sum := core.Summarize(st)
+	fmt.Printf("found %d/%d days, %d distinct /64s, mean probes %.1f (sd %.1f)\n",
+		sum.DaysFound, sum.DaysTotal, sum.Slash64s, sum.MeanProbes, sum.StdProbes)
+	return nil
+}

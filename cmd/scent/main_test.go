@@ -1,0 +1,76 @@
+package main
+
+import (
+	"context"
+	"testing"
+
+	"followscent/internal/simnet"
+)
+
+// The CLI's command funcs run against the in-process test world; output
+// goes to stdout, which `go test` swallows unless -v. These are smoke
+// tests for the wiring, not the measurement logic (tested in internal/).
+
+func TestBuildEnv(t *testing.T) {
+	env, err := buildEnv(7, "test", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.World == nil || env.Scanner == nil {
+		t.Fatal("incomplete env")
+	}
+	if _, err := buildEnv(7, "bogus", ""); err == nil {
+		t.Fatal("bogus world accepted")
+	}
+	// Remote mode swaps the transport factory and paces the scan.
+	envR, err := buildEnv(7, "test", "127.0.0.1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if envR.Scanner.Config.Rate == 0 {
+		t.Fatal("remote env not paced")
+	}
+}
+
+func TestRunGrid(t *testing.T) {
+	env, _ := buildEnv(7, "test", "")
+	if err := runGrid(context.Background(), env, []string{"-prefix", "2001:db8:10::/48"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runGrid(context.Background(), env, nil); err == nil {
+		t.Fatal("missing -prefix accepted")
+	}
+	if err := runGrid(context.Background(), env, []string{"-prefix", "bogus"}); err == nil {
+		t.Fatal("bad prefix accepted")
+	}
+}
+
+func TestRunTrack(t *testing.T) {
+	env, _ := buildEnv(7, "test", "")
+	// Ground truth: a live EUI device in the daily /56 pool.
+	p, _ := env.World.ProviderByASN(65001)
+	pool := p.Pools[0]
+	var addr string
+	for i := range pool.CPEs() {
+		c := &pool.CPEs()[i]
+		if c.Mode == simnet.ModeEUI64 && !c.Silent {
+			addr = pool.WANAddrNow(c).String()
+			break
+		}
+	}
+	err := runTrack(context.Background(), env, []string{
+		"-addr", addr, "-days", "2", "-alloc", "56", "-pool", "48",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runTrack(context.Background(), env, nil); err == nil {
+		t.Fatal("missing -addr accepted")
+	}
+	if err := runTrack(context.Background(), env, []string{"-addr", "2001:db8::1"}); err == nil {
+		t.Fatal("non-EUI addr accepted")
+	}
+	if err := runTrack(context.Background(), env, []string{"-addr", "2a00:dead::3a10:d5ff:fe00:1"}); err == nil {
+		t.Fatal("unrouted addr accepted")
+	}
+}

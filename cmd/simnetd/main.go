@@ -1,0 +1,75 @@
+// Command simnetd serves a simulated IPv6 Internet over UDP: each
+// datagram is one raw IPv6+ICMPv6 probe packet, answered byte-exactly as
+// the simulated network would. It is the wire-level counterpart to the
+// in-process transport — point the scent CLI (or any prober built on
+// internal/zmap's UDP transport) at it.
+//
+// Usage:
+//
+//	simnetd [-listen 127.0.0.1:4791] [-seed 42] [-world default|test] [-timescale 0]
+//
+// timescale advances the simulated clock by that many virtual seconds
+// per real second (0 freezes time; 86400 makes a real second a virtual
+// day, letting a client watch prefix rotation live).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+
+	"followscent/internal/simnet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simnetd: ")
+
+	listen := flag.String("listen", "127.0.0.1:4791", "UDP listen address")
+	seed := flag.Uint64("seed", 42, "world seed")
+	world := flag.String("world", "default", "world to serve: default or test")
+	timescale := flag.Float64("timescale", 0, "virtual seconds per real second (0 = frozen)")
+	flag.Parse()
+
+	var w *simnet.World
+	switch *world {
+	case "default":
+		w = simnet.DefaultWorld(*seed)
+	case "test":
+		w = simnet.TestWorld(*seed)
+	default:
+		log.Fatalf("unknown world %q (want default or test)", *world)
+	}
+
+	addr, err := net.ResolveUDPAddr("udp", *listen)
+	if err != nil {
+		log.Fatalf("resolving %q: %v", *listen, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		log.Fatalf("listening: %v", err)
+	}
+	defer conn.Close()
+
+	providers := len(w.Providers())
+	cpes := 0
+	for _, p := range w.Providers() {
+		for _, pool := range p.Pools {
+			cpes += len(pool.CPEs())
+		}
+	}
+	fmt.Printf("simnetd: serving %s world (seed %d): %d ASes, %d CPE on %s (timescale %gx)\n",
+		*world, *seed, providers, cpes, conn.LocalAddr(), *timescale)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := w.ServeUDP(ctx, conn, *timescale); err != nil {
+		log.Fatalf("serving: %v", err)
+	}
+	probes, resps := w.Stats()
+	fmt.Printf("simnetd: handled %d probes, %d responses\n", probes, resps)
+}

@@ -1,0 +1,87 @@
+// Evaluate abuse blocking against a prefix-rotating attacker — the
+// paper's closing observation (§9): "The IPv4 paradigm of denying or
+// rate-limiting a single address or range of addresses is ineffective
+// when client prefixes may rotate daily."
+//
+// One customer behind a daily-rotating ISP abuses a content provider
+// every day for a month. The provider blocks at different granularities
+// and with different entry lifetimes. We measure what actually stops
+// the abuse — and how many innocent neighbours get blocked alongside,
+// since rotation recycles yesterday's "bad" prefix to somebody else.
+//
+// Run with:
+//
+//	go run ./examples/abuse_blocking
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"followscent/internal/blocking"
+	"followscent/internal/ip6"
+	"followscent/internal/simnet"
+)
+
+// population adapts a simulated rotation pool to blocking.Population.
+type population struct {
+	world    *simnet.World
+	pool     *simnet.Pool
+	attacker int
+}
+
+func (p *population) addrOf(i, d int) ip6.Addr {
+	p.world.Clock().Set(simnet.Epoch.Add(time.Duration(d)*24*time.Hour + 12*time.Hour))
+	return p.pool.WANAddrNow(&p.pool.CPEs()[i])
+}
+
+func (p *population) AttackerAddr(d int) ip6.Addr { return p.addrOf(p.attacker, d) }
+
+func (p *population) InnocentAddrs(d int, fn func(ip6.Addr) bool) {
+	for i := range p.pool.CPEs() {
+		if i != p.attacker && !fn(p.addrOf(i, d)) {
+			return
+		}
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+
+	world := simnet.TestWorld(5)
+	provider, _ := world.ProviderByASN(65001)
+	pop := &population{world: world, pool: provider.Pools[0], attacker: 7}
+	const days = 30
+
+	fmt.Printf("one abusive customer behind a daily-rotating ISP, %d days\n", days)
+	fmt.Printf("pool: %s (/%d delegations, %d customers)\n\n",
+		pop.pool.Prefix, pop.pool.AllocBits, len(pop.pool.CPEs()))
+	fmt.Printf("%-28s %12s %12s %12s %8s\n",
+		"blocking policy", "stopped", "landed", "collateral", "entries")
+
+	policies := []struct {
+		name   string
+		policy blocking.Policy
+	}{
+		{"exact address (IPv4 habit)", blocking.Policy{Granularity: blocking.ByAddress}},
+		{"observed /64", blocking.Policy{Granularity: blocking.BySlash64}},
+		{"customer /56 delegation", blocking.Policy{Granularity: blocking.ByAllocation, AllocBits: 56}},
+		{"/56 with 7-day TTL", blocking.Policy{Granularity: blocking.ByAllocation, AllocBits: 56, TTLDays: 7}},
+		{"whole /48 rotation pool", blocking.Policy{Granularity: blocking.ByPool, PoolBits: 48}},
+	}
+	for _, pc := range policies {
+		out, err := blocking.Evaluate(pop, pc.policy, days)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %8d/%2d %12d %12d %8d\n",
+			pc.name, out.AttacksBlocked, days, out.AttacksLanded, out.CollateralDays, out.Entries)
+	}
+
+	fmt.Println()
+	fmt.Println("fine-grained entries never catch the rotating attacker and keep")
+	fmt.Println("punishing whoever inherits the prefix; only blocking the whole")
+	fmt.Println("rotation pool works, at the price of blocking every customer in it.")
+	fmt.Println("(the paper: providers must rethink address-based defenses for IPv6)")
+}

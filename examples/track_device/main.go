@@ -1,0 +1,97 @@
+// Track a residential device through a week of daily prefix rotation —
+// the paper's §6 case study against the flagship rotating ISP.
+//
+// The adversary model: you saw one IPv6 address of interest once (say in
+// a server log). Its lower 64 bits embed the home router's MAC. Even
+// though the ISP re-delegates the customer's whole prefix every night,
+// one probe per candidate delegation inside the rotation pool re-finds
+// the router every day.
+//
+// Run with:
+//
+//	go run ./examples/track_device
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"followscent/internal/core"
+	"followscent/internal/ip6"
+	"followscent/internal/simnet"
+	"followscent/internal/zmap"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	world := simnet.DefaultWorld(42)
+	scanner := &zmap.Scanner{
+		NewTransport: func() (zmap.Transport, error) { return zmap.NewLoopback(world, 0), nil },
+		Config:       zmap.Config{Source: ip6.MustParseAddr("2620:11f:7000::53")},
+	}
+	ctx := context.Background()
+
+	// The "leaked" address: one EUI-64 CPE in Wersatel's /56 rotation
+	// pool, as ground truth from the simulator. A real adversary would
+	// have it from a log line or flow record.
+	provider, _ := world.ProviderByASN(simnet.ASWersatel)
+	var pool *simnet.Pool
+	for _, p := range provider.Pools {
+		if p.AllocBits == 56 {
+			pool = p
+			break // the first /56 pool (a /46 of daily-rotating delegations)
+		}
+	}
+	var leaked ip6.Addr
+	for i := range pool.CPEs() {
+		c := &pool.CPEs()[i]
+		if c.Mode == simnet.ModeEUI64 && !c.Silent {
+			leaked = pool.WANAddrNow(c)
+			break
+		}
+	}
+	mac, _ := ip6.MACFromAddr(leaked)
+	fmt.Printf("target: %s\n  (AS%d %s, embedded MAC %s)\n\n", leaked, provider.ASN, provider.Name, mac)
+
+	// The adversary's knowledge: per-AS inferences from §3.2. Here we use
+	// the pool's true parameters; run `scent campaign` to see the same
+	// values come out of Algorithms 1 and 2.
+	tracker := &core.Tracker{
+		Scanner:   scanner,
+		RIB:       world.RIB(),
+		AllocBits: map[uint32]int{simnet.ASWersatel: pool.AllocBits},
+		PoolBits:  map[uint32]int{simnet.ASWersatel: pool.Prefix.Bits()},
+	}
+	st, err := core.NewTrackState(leaked)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	naive := core.SearchSpace{BGPBits: 32, PoolBits: pool.Prefix.Bits(), AllocBits: pool.AllocBits}
+	fmt.Printf("search space: naive %.0f probes/day; bounded %.0f probes/day (%.0fx reduction)\n\n",
+		naive.Naive(), naive.FullyBounded(), naive.Reduction())
+
+	for day := 0; day < 7; day++ {
+		td, err := tracker.Step(ctx, st, day, 0x5ca1e+uint64(day))
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "LOST"
+		if td.Found {
+			status = td.Addr.String()
+			if td.Moved {
+				status += "  (rotated)"
+			}
+		}
+		fmt.Printf("day %d: %5d probes -> %s\n", day, td.ProbesSent, status)
+		world.Clock().Advance(24 * time.Hour)
+	}
+	sum := core.Summarize(st)
+	fmt.Printf("\nfound %d/%d days across %d distinct /64s; mean %.0f probes/day (%.1f seconds at 10kpps)\n",
+		sum.DaysFound, sum.DaysTotal, sum.Slash64s, sum.MeanProbes,
+		core.SecondsAt(sum.MeanProbes, 10000))
+	fmt.Println("the RFC 4941 + prefix-rotation privacy stack is fully bypassed by one legacy router")
+}

@@ -1,0 +1,178 @@
+// Package analysis provides the small statistical toolkit the paper's
+// evaluation uses: medians (Algorithms 1 and 2 both reduce per-device
+// inferences to a per-AS median), empirical CDFs (Figures 4, 5, 7, 8),
+// and mean/standard-deviation summaries (Table 2).
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Median returns the median of xs (the mean of the two central elements
+// for even lengths). It returns 0 for empty input; callers that must
+// distinguish emptiness should check first.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	m := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[m]
+	}
+	return (s[m-1] + s[m]) / 2
+}
+
+// MedianInt returns the lower median of integer observations — the
+// paper's algorithms return a prefix length, which must stay integral.
+func MedianInt(xs []int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]int(nil), xs...)
+	sort.Ints(s)
+	return s[(len(s)-1)/2]
+}
+
+// MeanStd returns the mean and (population) standard deviation.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	xs []float64 // sorted observations
+}
+
+// NewCDF builds a CDF from observations (copied and sorted).
+func NewCDF(xs []float64) CDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return CDF{xs: s}
+}
+
+// Len returns the number of observations.
+func (c CDF) Len() int { return len(c.xs) }
+
+// At returns P(X <= x).
+func (c CDF) At(x float64) float64 {
+	if len(c.xs) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.xs, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.xs))
+}
+
+// Quantile returns the smallest observation x with P(X <= x) >= q.
+func (c CDF) Quantile(q float64) float64 {
+	if len(c.xs) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return c.xs[0]
+	}
+	if q >= 1 {
+		return c.xs[len(c.xs)-1]
+	}
+	i := int(math.Ceil(q*float64(len(c.xs)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return c.xs[i]
+}
+
+// Min returns the smallest observation.
+func (c CDF) Min() float64 {
+	if len(c.xs) == 0 {
+		return math.NaN()
+	}
+	return c.xs[0]
+}
+
+// Max returns the largest observation.
+func (c CDF) Max() float64 {
+	if len(c.xs) == 0 {
+		return math.NaN()
+	}
+	return c.xs[len(c.xs)-1]
+}
+
+// Points returns (x, P(X<=x)) pairs at each distinct observation, for
+// plotting step CDFs.
+func (c CDF) Points() []Point {
+	var out []Point
+	n := float64(len(c.xs))
+	for i := 0; i < len(c.xs); {
+		j := i
+		for j < len(c.xs) && c.xs[j] == c.xs[i] {
+			j++
+		}
+		out = append(out, Point{X: c.xs[i], Y: float64(j) / n})
+		i = j
+	}
+	return out
+}
+
+// Point is a plottable (x, y) pair.
+type Point struct{ X, Y float64 }
+
+// Counter counts occurrences of string keys and reports top-k summaries
+// (Table 1's "top ASNs / countries" aggregation).
+type Counter map[string]int
+
+// Add increments the count for key by n.
+func (c Counter) Add(key string, n int) { c[key] += n }
+
+// Total sums all counts.
+func (c Counter) Total() int {
+	t := 0
+	for _, n := range c {
+		t += n
+	}
+	return t
+}
+
+// Entry is a counted key.
+type Entry struct {
+	Key   string
+	Count int
+}
+
+// Top returns the k largest entries (ties broken by key for stability)
+// plus an aggregate "Other" entry when more keys exist.
+func (c Counter) Top(k int) (top []Entry, other Entry) {
+	all := make([]Entry, 0, len(c))
+	for key, n := range c {
+		all = append(all, Entry{key, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Key < all[j].Key
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	top = all[:k]
+	rest := all[k:]
+	other = Entry{Key: fmt.Sprintf("%d Other", len(rest))}
+	for _, e := range rest {
+		other.Count += e.Count
+	}
+	return top, other
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{-1, -5, 3}, -1},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestMedianInt(t *testing.T) {
+	cases := []struct {
+		in   []int
+		want int
+	}{
+		{nil, 0},
+		{[]int{56}, 56},
+		{[]int{64, 56, 60}, 60},
+		{[]int{64, 56, 60, 56}, 56}, // lower median
+	}
+	for _, c := range cases {
+		if got := MedianInt(c.in); got != c.want {
+			t.Errorf("MedianInt(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 || std != 2 {
+		t.Fatalf("MeanStd = %v, %v, want 5, 2", mean, std)
+	}
+	mean, std = MeanStd(nil)
+	if mean != 0 || std != 0 {
+		t.Fatal("MeanStd(nil) != 0,0")
+	}
+	mean, std = MeanStd([]float64{4238})
+	if mean != 4238 || std != 0 {
+		t.Fatalf("single obs: %v/%v", mean, std)
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	if c.Len() != 4 {
+		t.Fatal("Len")
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {99, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); got != tc.want {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if c.Min() != 1 || c.Max() != 3 {
+		t.Error("Min/Max")
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40})
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {0.25, 10}, {0.26, 20}, {0.5, 20}, {0.75, 30}, {1, 40},
+	}
+	for _, tc := range cases {
+		if got := c.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if !math.IsNaN(NewCDF(nil).Quantile(0.5)) {
+		t.Error("empty CDF quantile not NaN")
+	}
+}
+
+func TestCDFQuantileAtInverse(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		c := NewCDF(raw)
+		for _, q := range []float64{0.1, 0.5, 0.9} {
+			x := c.Quantile(q)
+			if c.At(x) < q {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 1, 2, 3, 3, 3})
+	pts := c.Points()
+	want := []Point{{1, 2.0 / 6}, {2, 3.0 / 6}, {3, 1}}
+	if len(pts) != len(want) {
+		t.Fatalf("Points = %v", pts)
+	}
+	for i := range pts {
+		if pts[i] != want[i] {
+			t.Fatalf("Points[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+	// Monotone non-decreasing in both coordinates.
+	if !sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].X < pts[j].X }) {
+		t.Error("points not sorted")
+	}
+}
+
+func TestCounterTop(t *testing.T) {
+	c := Counter{}
+	c.Add("8881", 5149)
+	c.Add("6799", 3386)
+	c.Add("1241", 635)
+	c.Add("9808", 608)
+	c.Add("3320", 530)
+	for i := 0; i < 96; i++ {
+		c.Add(string(rune('a'+i%26))+string(rune('0'+i/26)), 10)
+	}
+	top, other := c.Top(5)
+	if len(top) != 5 || top[0].Key != "8881" || top[0].Count != 5149 {
+		t.Fatalf("top = %v", top)
+	}
+	if other.Count != 960 {
+		t.Fatalf("other = %+v", other)
+	}
+	if c.Total() != 5149+3386+635+608+530+960 {
+		t.Fatalf("total = %d", c.Total())
+	}
+}
+
+func TestCounterTopFewerThanK(t *testing.T) {
+	c := Counter{"x": 1}
+	top, other := c.Top(5)
+	if len(top) != 1 || other.Count != 0 {
+		t.Fatalf("top=%v other=%v", top, other)
+	}
+}

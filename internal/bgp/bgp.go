@@ -1,0 +1,181 @@
+// Package bgp provides a longest-prefix-match routing information base.
+//
+// The paper (§5.3) maps every response address to its covering
+// BGP-advertised prefix and origin AS using Routeviews data, then compares
+// the advertised prefix size against the inferred rotation pool size — the
+// gap (≈/16) is the attacker's search-space saving. This package is the
+// offline stand-in: a binary trie keyed on address bits with a
+// Routeviews-style text loader. The simulator registers its advertisements
+// here so analyses and the simulator agree on origin attribution.
+package bgp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"followscent/internal/ip6"
+)
+
+// Route is what a BGP advertisement tells us about a prefix.
+type Route struct {
+	Prefix  ip6.Prefix
+	ASN     uint32
+	Country string // ISO 3166-1 alpha-2 of the origin AS's registration
+}
+
+// Table is a longest-prefix-match table over IPv6 prefixes.
+// It is safe for concurrent lookups interleaved with inserts.
+type Table struct {
+	mu   sync.RWMutex
+	root *node
+	n    int
+}
+
+type node struct {
+	child [2]*node
+	route *Route // set if a prefix terminates here
+}
+
+// New returns an empty table.
+func New() *Table { return &Table{root: &node{}} }
+
+// Len returns the number of advertised prefixes.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.n
+}
+
+func bit(a ip6.Addr, i int) int {
+	u := a.Uint128()
+	if i < 64 {
+		return int(u.Hi >> (63 - uint(i)) & 1)
+	}
+	return int(u.Lo >> (127 - uint(i)) & 1)
+}
+
+// Insert advertises a route. Re-advertising the same prefix replaces the
+// previous route.
+func (t *Table) Insert(r Route) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.root
+	addr := r.Prefix.Addr()
+	for i := 0; i < r.Prefix.Bits(); i++ {
+		b := bit(addr, i)
+		if n.child[b] == nil {
+			n.child[b] = &node{}
+		}
+		n = n.child[b]
+	}
+	if n.route == nil {
+		t.n++
+	}
+	rc := r
+	n.route = &rc
+}
+
+// Lookup returns the most-specific route covering a.
+func (t *Table) Lookup(a ip6.Addr) (Route, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.root
+	var best *Route
+	for i := 0; ; i++ {
+		if n.route != nil {
+			best = n.route
+		}
+		if i == 128 {
+			break
+		}
+		n = n.child[bit(a, i)]
+		if n == nil {
+			break
+		}
+	}
+	if best == nil {
+		return Route{}, false
+	}
+	return *best, true
+}
+
+// Routes returns all advertised routes sorted by prefix address then
+// length. Intended for report generation, not hot paths.
+func (t *Table) Routes() []Route {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []Route
+	var walk func(*node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.route != nil {
+			out = append(out, *n.route)
+		}
+		walk(n.child[0])
+		walk(n.child[1])
+	}
+	walk(t.root)
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].Prefix.Addr().Cmp(out[j].Prefix.Addr()); c != 0 {
+			return c < 0
+		}
+		return out[i].Prefix.Bits() < out[j].Prefix.Bits()
+	})
+	return out
+}
+
+// Load reads a Routeviews-style dump: one route per line,
+//
+//	<prefix> <origin-asn> [country]
+//
+// Blank lines and lines starting with '#' are skipped.
+func (t *Table) Load(src io.Reader) (added int, err error) {
+	sc := bufio.NewScanner(src)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return added, fmt.Errorf("bgp: line %d: want '<prefix> <asn> [cc]', got %q", lineNo, line)
+		}
+		p, err := ip6.ParsePrefix(fields[0])
+		if err != nil {
+			return added, fmt.Errorf("bgp: line %d: %w", lineNo, err)
+		}
+		asn, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return added, fmt.Errorf("bgp: line %d: bad ASN %q", lineNo, fields[1])
+		}
+		r := Route{Prefix: p, ASN: uint32(asn)}
+		if len(fields) >= 3 {
+			r.Country = fields[2]
+		}
+		t.Insert(r)
+		added++
+	}
+	if err := sc.Err(); err != nil {
+		return added, fmt.Errorf("bgp: reading dump: %w", err)
+	}
+	return added, nil
+}
+
+// Dump writes the table in the format Load reads.
+func (t *Table) Dump(w io.Writer) error {
+	for _, r := range t.Routes() {
+		if _, err := fmt.Fprintf(w, "%s %d %s\n", r.Prefix, r.ASN, r.Country); err != nil {
+			return fmt.Errorf("bgp: writing dump: %w", err)
+		}
+	}
+	return nil
+}

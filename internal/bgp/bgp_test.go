@@ -1,0 +1,199 @@
+package bgp
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"followscent/internal/ip6"
+	"followscent/internal/uint128"
+)
+
+func route(p string, asn uint32, cc string) Route {
+	return Route{Prefix: ip6.MustParsePrefix(p), ASN: asn, Country: cc}
+}
+
+func TestLookupBasic(t *testing.T) {
+	tbl := New()
+	tbl.Insert(route("2001:16b8::/32", 8881, "DE"))
+	tbl.Insert(route("2003:e2::/32", 3320, "DE"))
+
+	r, ok := tbl.Lookup(ip6.MustParseAddr("2001:16b8:501::1"))
+	if !ok || r.ASN != 8881 {
+		t.Fatalf("lookup = %+v, %v", r, ok)
+	}
+	if _, ok := tbl.Lookup(ip6.MustParseAddr("2a00::1")); ok {
+		t.Fatal("lookup of unadvertised space succeeded")
+	}
+}
+
+func TestLongestPrefixWins(t *testing.T) {
+	tbl := New()
+	tbl.Insert(route("2001::/16", 1, "XX"))
+	tbl.Insert(route("2001:16b8::/32", 8881, "DE"))
+	tbl.Insert(route("2001:16b8:100::/40", 64500, "DE"))
+
+	cases := []struct {
+		addr string
+		asn  uint32
+	}{
+		{"2001:ffff::1", 1},
+		{"2001:16b8:ff00::1", 8881},
+		{"2001:16b8:100::1", 64500},
+		{"2001:16b8:1ff::1", 64500},
+	}
+	for _, c := range cases {
+		r, ok := tbl.Lookup(ip6.MustParseAddr(c.addr))
+		if !ok || r.ASN != c.asn {
+			t.Errorf("Lookup(%s) = AS%d (%v), want AS%d", c.addr, r.ASN, ok, c.asn)
+		}
+	}
+}
+
+func TestReplaceRoute(t *testing.T) {
+	tbl := New()
+	tbl.Insert(route("2001:db8::/32", 100, "AA"))
+	tbl.Insert(route("2001:db8::/32", 200, "BB"))
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	r, _ := tbl.Lookup(ip6.MustParseAddr("2001:db8::1"))
+	if r.ASN != 200 || r.Country != "BB" {
+		t.Fatalf("route = %+v", r)
+	}
+}
+
+func TestHostRoute(t *testing.T) {
+	tbl := New()
+	tbl.Insert(route("2001:db8::42/128", 7, "ZZ"))
+	if _, ok := tbl.Lookup(ip6.MustParseAddr("2001:db8::41")); ok {
+		t.Error("neighbour matched a /128")
+	}
+	if r, ok := tbl.Lookup(ip6.MustParseAddr("2001:db8::42")); !ok || r.ASN != 7 {
+		t.Error("exact /128 did not match")
+	}
+}
+
+func TestDefaultRoute(t *testing.T) {
+	tbl := New()
+	tbl.Insert(route("::/0", 65535, "WW"))
+	r, ok := tbl.Lookup(ip6.MustParseAddr("fe80::1"))
+	if !ok || r.ASN != 65535 {
+		t.Fatal("default route not matched")
+	}
+}
+
+func TestRoutesSorted(t *testing.T) {
+	tbl := New()
+	tbl.Insert(route("2003:e2::/32", 3320, "DE"))
+	tbl.Insert(route("2001:16b8::/32", 8881, "DE"))
+	tbl.Insert(route("2001:16b8::/40", 8881, "DE"))
+	rs := tbl.Routes()
+	if len(rs) != 3 {
+		t.Fatalf("Routes len = %d", len(rs))
+	}
+	if rs[0].Prefix.String() != "2001:16b8::/32" || rs[1].Prefix.Bits() != 40 {
+		t.Fatalf("order: %v %v %v", rs[0].Prefix, rs[1].Prefix, rs[2].Prefix)
+	}
+}
+
+func TestLoadDumpRoundTrip(t *testing.T) {
+	const dump = `# synthetic RIB
+2001:16b8::/32 8881 DE
+2a02:908::/32 6830 GR
+
+2003:e2::/32 3320 DE
+`
+	tbl := New()
+	n, err := tbl.Load(strings.NewReader(dump))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("loaded %d", n)
+	}
+	var buf bytes.Buffer
+	if err := tbl.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tbl2 := New()
+	if _, err := tbl2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(tbl2.Routes()), 3; got != want {
+		t.Fatalf("round trip lost routes: %d", got)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	for _, bad := range []string{
+		"2001:db8::/32",          // missing ASN
+		"not-a-prefix 8881 DE",   // bad prefix
+		"2001:db8::/32 horse DE", // bad ASN
+	} {
+		tbl := New()
+		if _, err := tbl.Load(strings.NewReader(bad)); err == nil {
+			t.Errorf("Load(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestRandomizedAgainstLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tbl := New()
+	var routes []Route
+	for i := 0; i < 200; i++ {
+		bits := 16 + rng.Intn(49) // /16../64
+		a := ip6.AddrFrom128(randU128(rng)).TruncateTo(bits)
+		r := Route{Prefix: a, ASN: uint32(i + 1)}
+		tbl.Insert(r)
+		routes = append(routes, r)
+	}
+	// Deduplicate by prefix keeping the last (Insert replaces).
+	byPrefix := map[string]Route{}
+	for _, r := range routes {
+		byPrefix[r.Prefix.String()] = r
+	}
+
+	for i := 0; i < 2000; i++ {
+		addr := ip6.AddrFrom128(randU128(rng))
+		var want *Route
+		for _, r := range byPrefix {
+			if r.Prefix.Contains(addr) && (want == nil || r.Prefix.Bits() > want.Prefix.Bits()) {
+				rc := r
+				want = &rc
+			}
+		}
+		got, ok := tbl.Lookup(addr)
+		switch {
+		case want == nil && ok:
+			t.Fatalf("addr %s: trie found %+v, linear scan found nothing", addr, got)
+		case want != nil && !ok:
+			t.Fatalf("addr %s: trie found nothing, want %+v", addr, *want)
+		case want != nil && got.ASN != want.ASN:
+			t.Fatalf("addr %s: trie AS%d, want AS%d", addr, got.ASN, want.ASN)
+		}
+	}
+}
+
+func randU128(rng *rand.Rand) uint128.Uint128 {
+	return uint128.New(rng.Uint64(), rng.Uint64())
+}
+
+func BenchmarkLookup(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tbl := New()
+	for i := 0; i < 10000; i++ {
+		a := ip6.AddrFrom128(randU128(rng)).TruncateTo(32 + rng.Intn(17))
+		tbl.Insert(Route{Prefix: a, ASN: uint32(i)})
+	}
+	addrs := make([]ip6.Addr, 1024)
+	for i := range addrs {
+		addrs[i] = ip6.AddrFrom128(randU128(rng))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Lookup(addrs[i%len(addrs)])
+	}
+}

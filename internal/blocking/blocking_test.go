@@ -1,0 +1,178 @@
+package blocking
+
+import (
+	"testing"
+	"time"
+
+	"followscent/internal/ip6"
+	"followscent/internal/simnet"
+)
+
+// simPopulation adapts a simulated pool to the Population interface.
+type simPopulation struct {
+	world    *simnet.World
+	pool     *simnet.Pool
+	attacker int // index into pool.CPEs()
+	base     time.Time
+}
+
+func (p *simPopulation) addrOf(i, d int) ip6.Addr {
+	p.world.Clock().Set(p.base.Add(time.Duration(d)*24*time.Hour + 12*time.Hour))
+	return p.pool.WANAddrNow(&p.pool.CPEs()[i])
+}
+
+func (p *simPopulation) AttackerAddr(d int) ip6.Addr { return p.addrOf(p.attacker, d) }
+
+func (p *simPopulation) InnocentAddrs(d int, fn func(ip6.Addr) bool) {
+	for i := range p.pool.CPEs() {
+		if i == p.attacker {
+			continue
+		}
+		if !fn(p.addrOf(i, d)) {
+			return
+		}
+	}
+}
+
+func rotatingPopulation(t *testing.T) *simPopulation {
+	t.Helper()
+	w := simnet.TestWorld(91)
+	p, _ := w.ProviderByASN(65001)
+	return &simPopulation{world: w, pool: p.Pools[0], attacker: 3, base: simnet.Epoch}
+}
+
+func TestAddressBlockingFailsUnderRotation(t *testing.T) {
+	pop := rotatingPopulation(t)
+	out, err := Evaluate(pop, Policy{Granularity: ByAddress}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The CPE rotates daily: yesterday's address never matches today's.
+	if out.AttacksBlocked != 0 {
+		t.Fatalf("address blocking stopped %d attacks under daily rotation", out.AttacksBlocked)
+	}
+	if out.AttacksLanded != 10 {
+		t.Fatalf("landed = %d", out.AttacksLanded)
+	}
+	// And the stale entries can hit innocents who inherit the prefix...
+	// at /128 granularity that requires an IID collision, so collateral
+	// stays zero here.
+	if out.Entries != 10 {
+		t.Fatalf("entries = %d", out.Entries)
+	}
+}
+
+func TestSlash64AndAllocationBlocking(t *testing.T) {
+	pop := rotatingPopulation(t)
+	// Blocking the observed /64 or the /56 delegation still fails
+	// against rotation (the attacker moves to a fresh delegation), but
+	// now innocents who rotate INTO the blocked prefix are punished.
+	for _, policy := range []Policy{
+		{Granularity: BySlash64},
+		{Granularity: ByAllocation, AllocBits: 56},
+	} {
+		out, err := Evaluate(pop, policy, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := out.Effectiveness(); got > 0.2 {
+			t.Errorf("%v: effectiveness %.2f under rotation", policy.Granularity, got)
+		}
+		if out.CollateralDays == 0 {
+			t.Errorf("%v: no collateral despite recycled prefixes", policy.Granularity)
+		}
+	}
+}
+
+func TestPoolBlockingWorksButBlocksEveryone(t *testing.T) {
+	pop := rotatingPopulation(t)
+	out, err := Evaluate(pop, Policy{Granularity: ByPool, PoolBits: 48}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Day 0 lands, days 1..9 blocked.
+	if out.AttacksBlocked != 9 || out.AttacksLanded != 1 {
+		t.Fatalf("pool blocking: %d blocked / %d landed", out.AttacksBlocked, out.AttacksLanded)
+	}
+	// Every innocent customer in the pool is blocked from the moment the
+	// entry lands on day 0 through day 9: ten days of collateral each.
+	innocents := len(pop.pool.CPEs()) - 1
+	if out.CollateralDays != innocents*10 {
+		t.Fatalf("collateral %d, want %d", out.CollateralDays, innocents*10)
+	}
+}
+
+func TestStaticPoolAddressBlockingWorks(t *testing.T) {
+	// Against a NON-rotating provider the IPv4 paradigm is fine: one
+	// address entry stops everything with zero collateral.
+	w := simnet.TestWorld(92)
+	p, _ := w.ProviderByASN(65003) // static pool
+	pop := &simPopulation{world: w, pool: p.Pools[0], attacker: 1, base: simnet.Epoch}
+	out, err := Evaluate(pop, Policy{Granularity: ByAddress}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.AttacksBlocked != 9 || out.CollateralDays != 0 {
+		t.Fatalf("static: %d blocked, %d collateral", out.AttacksBlocked, out.CollateralDays)
+	}
+	if out.Entries != 1 {
+		t.Fatalf("entries = %d", out.Entries)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	pop := rotatingPopulation(t)
+	out, err := Evaluate(pop, Policy{Granularity: ByAllocation, AllocBits: 56, TTLDays: 3}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TTL keeps the entry count bounded near the TTL.
+	if out.Entries > 4 {
+		t.Fatalf("TTL did not bound entries: %d", out.Entries)
+	}
+	noTTL, err := Evaluate(rotatingPopulation(t), Policy{Granularity: ByAllocation, AllocBits: 56}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noTTL.CollateralDays <= out.CollateralDays {
+		t.Errorf("TTL did not reduce collateral: %d vs %d", out.CollateralDays, noTTL.CollateralDays)
+	}
+}
+
+func TestBlocklistDirect(t *testing.T) {
+	bl, err := New(Policy{Granularity: BySlash64, TTLDays: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ip6.MustParseAddr("2001:db8:1:2::42")
+	sib := ip6.MustParseAddr("2001:db8:1:2::43") // same /64
+	other := ip6.MustParseAddr("2001:db8:1:3::42")
+	bl.Observe(a, 0)
+	if !bl.Blocked(a, 0) || !bl.Blocked(sib, 1) {
+		t.Fatal("same-/64 not blocked")
+	}
+	if bl.Blocked(other, 0) {
+		t.Fatal("neighbouring /64 blocked")
+	}
+	if bl.Blocked(a, 2) {
+		t.Fatal("entry survived its TTL")
+	}
+	if bl.Len() != 0 {
+		t.Fatal("expired entry not removed on touch")
+	}
+}
+
+func TestPolicyValidation(t *testing.T) {
+	if _, err := New(Policy{Granularity: ByAllocation}); err == nil {
+		t.Error("allocation policy without bits accepted")
+	}
+	if _, err := New(Policy{Granularity: ByPool, PoolBits: 99}); err == nil {
+		t.Error("pool bits 99 accepted")
+	}
+	if _, err := New(Policy{Granularity: Granularity(42)}); err == nil {
+		t.Error("unknown granularity accepted")
+	}
+	if Granularity(42).String() == "" {
+		t.Error("empty string for unknown granularity")
+	}
+}

@@ -1,0 +1,522 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"followscent/internal/bgp"
+	"followscent/internal/core"
+	"followscent/internal/ip6"
+	"followscent/internal/oui"
+	"followscent/internal/simnet"
+	"followscent/internal/zmap"
+)
+
+var vantage = ip6.MustParseAddr("2620:11f:7000::53")
+
+// scannerFor builds a loopback Scanner against a world.
+func scannerFor(w *simnet.World) *zmap.Scanner {
+	return &zmap.Scanner{
+		NewTransport: func() (zmap.Transport, error) { return zmap.NewLoopback(w, 0), nil },
+		Config:       zmap.Config{Source: vantage, Seed: 0xfee1},
+	}
+}
+
+// runCampaign scans the given prefixes daily, returning the corpus.
+func runCampaign(t *testing.T, w *simnet.World, prefixes []ip6.Prefix, days int) *core.Corpus {
+	t.Helper()
+	corpus := core.NewCorpus(w.RIB())
+	c := core.Campaign{
+		Scanner:  scannerFor(w),
+		Corpus:   corpus,
+		Prefixes: prefixes,
+		Days:     days,
+		Wait:     w.Clock().Advance,
+		Salt:     7,
+	}
+	if err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return corpus
+}
+
+func poolOf(t *testing.T, w *simnet.World, asn uint32, i int) *simnet.Pool {
+	t.Helper()
+	p, ok := w.ProviderByASN(asn)
+	if !ok {
+		t.Fatalf("AS%d missing", asn)
+	}
+	return p.Pools[i]
+}
+
+func TestAlgorithm1AllocationInference(t *testing.T) {
+	w := simnet.TestWorld(41)
+	// One day of probing over three pools with ground-truth allocation
+	// sizes /56, /64 and /60.
+	prefixes := []ip6.Prefix{
+		poolOf(t, w, 65001, 0).Prefix, // /56 allocations
+		poolOf(t, w, 65001, 1).Prefix, // /64 allocations
+		poolOf(t, w, 65002, 0).Prefix, // /60 allocations
+	}
+	corpus := runCampaign(t, w, prefixes, 1)
+
+	samples := corpus.AllocationSamples(0)
+	if len(samples) < 100 {
+		t.Fatalf("only %d allocation samples", len(samples))
+	}
+	byAS := core.AllocationSizeByAS(samples)
+	// AS65001 has both /56 and /64 pools; its /56 pool holds ~128
+	// devices and the /64 pool ~655, so the median lands on /64... the
+	// per-device samples must include both sizes.
+	got56, got64, got60 := 0, 0, 0
+	for _, s := range samples {
+		switch {
+		case s.ASN == 65001 && s.Bits == 56:
+			got56++
+		case s.ASN == 65001 && s.Bits == 64:
+			got64++
+		case s.ASN == 65002 && s.Bits == 60:
+			got60++
+		}
+	}
+	if got56 < 50 {
+		t.Errorf("only %d /56 inferences for AS65001", got56)
+	}
+	if got64 < 200 {
+		t.Errorf("only %d /64 inferences for AS65001", got64)
+	}
+	if got60 < 100 {
+		t.Errorf("only %d /60 inferences for AS65002", got60)
+	}
+	if byAS[65002] != 60 {
+		t.Errorf("AS65002 median allocation = /%d, want /60", byAS[65002])
+	}
+}
+
+func TestAlgorithm2PoolInference(t *testing.T) {
+	w := simnet.TestWorld(42)
+	prefixes := []ip6.Prefix{
+		poolOf(t, w, 65001, 1).Prefix, // random daily rotation over a /48
+		poolOf(t, w, 65003, 0).Prefix, // static
+	}
+	corpus := runCampaign(t, w, prefixes, 8)
+
+	pools := core.PoolSizeByAS(corpus.PoolSamples())
+	// Random rotation scatters devices across the whole /48 within a few
+	// epochs: inferred pool close to /48.
+	if got := pools[65001]; got > 50 {
+		t.Errorf("AS65001 inferred pool /%d, want ~/48", got)
+	}
+	// The static AS never moves: /64.
+	if got := pools[65003]; got != 64 {
+		t.Errorf("AS65003 inferred pool /%d, want /64", got)
+	}
+}
+
+func TestDiscoveryPipeline(t *testing.T) {
+	w := simnet.TestWorld(43)
+	// Seeds: one /48 from each provider's pool space (the stale CAIDA
+	// analogue — just the /48 identities).
+	seeds := []ip6.Prefix{
+		ip6.MustParsePrefix("2001:db8:10::/48"),
+		ip6.MustParsePrefix("2001:db9:30::/48"),
+		ip6.MustParsePrefix("2001:dba:40::/48"),
+	}
+	p := &core.Pipeline{
+		Scanner:     scannerFor(w),
+		RIB:         w.RIB(),
+		Wait:        w.Clock().Advance,
+		Salt:        11,
+		ProbesPer48: 16, // compensate for the scaled-down world (DESIGN.md)
+	}
+	res, err := p.Run(context.Background(), seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seed32s) != 3 {
+		t.Fatalf("expanded to %d /32s, want 3", len(res.Seed32s))
+	}
+	// The densely-delegated pool /48s must be rediscovered among the
+	// validated set. The sparse /64-allocation pool (2001:db8:20::/48,
+	// 1% occupancy) is only hit by luck with 16 probes — exactly the
+	// coverage limit the paper's single-probe seed expansion has — so it
+	// is deliberately not asserted.
+	want := map[string]bool{
+		"2001:db8:10::/48": false, // /56 allocs, daily increment
+		"2001:db9:30::/48": false, // /60 allocs, 48h random
+		"2001:dba:40::/48": false, // static with churn
+	}
+	for _, p48 := range res.Validated48s {
+		if _, ok := want[p48.String()]; ok {
+			want[p48.String()] = true
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("pool /48 %s not validated", k)
+		}
+	}
+	// The three dense pool /48s are high density (well above 2 devices).
+	if len(res.HighDensity) < 3 {
+		t.Errorf("high density count = %d", len(res.HighDensity))
+	}
+	// The daily rotators must be flagged; 2001:db9 rotates every 48h so
+	// the 24h-apart snapshots may or may not catch it (reassignment at
+	// hour boundaries) — do not assert it.
+	rotating := map[string]bool{}
+	for _, p48 := range res.Rotating48s {
+		rotating[p48.String()] = true
+	}
+	if !rotating["2001:db8:10::/48"] {
+		t.Errorf("daily rotator not flagged: %v", res.Rotating48s)
+	}
+	if res.EUIAddrs == 0 || res.UniqueIIDs == 0 || res.EUIAddrs < res.UniqueIIDs {
+		t.Errorf("address totals: %d EUI, %d IIDs", res.EUIAddrs, res.UniqueIIDs)
+	}
+	if res.ProbesSent == 0 {
+		t.Error("no probes accounted")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rib := bgp.New()
+	rib.Insert(bgp.Route{Prefix: ip6.MustParsePrefix("2001:16b8::/32"), ASN: 8881, Country: "DE"})
+	rib.Insert(bgp.Route{Prefix: ip6.MustParsePrefix("2a02:908::/32"), ASN: 6799, Country: "GR"})
+	rotating := []ip6.Prefix{
+		ip6.MustParsePrefix("2001:16b8:100::/48"),
+		ip6.MustParsePrefix("2001:16b8:101::/48"),
+		ip6.MustParsePrefix("2001:16b8:102::/48"),
+		ip6.MustParsePrefix("2a02:908:1::/48"),
+		ip6.MustParsePrefix("2a00:dead:1::/48"), // unrouted
+	}
+	byASN, byCC := core.Table1(rib, rotating, 1)
+	if byASN[0].Key != "8881" || byASN[0].Count != 3 {
+		t.Fatalf("top ASN = %+v", byASN[0])
+	}
+	if byASN[1].Key != "2 Other" || byASN[1].Count != 2 {
+		t.Fatalf("other = %+v", byASN[1])
+	}
+	if byCC[0].Key != "DE" || byCC[0].Count != 3 {
+		t.Fatalf("top CC = %+v", byCC[0])
+	}
+}
+
+func TestTrackerFollowsRotatingDevice(t *testing.T) {
+	w := simnet.TestWorld(44)
+	pool := poolOf(t, w, 65001, 0) // /56 allocs, daily stride 3
+	var target *simnet.CPE
+	for i := range pool.CPEs() {
+		c := &pool.CPEs()[i]
+		if c.Mode == simnet.ModeEUI64 && !c.Silent {
+			target = c
+			break
+		}
+	}
+	start := pool.WANAddrNow(target)
+
+	tracker := &core.Tracker{
+		Scanner:   scannerFor(w),
+		RIB:       w.RIB(),
+		AllocBits: map[uint32]int{65001: 56},
+		PoolBits:  map[uint32]int{65001: 48},
+	}
+	st, err := core.NewTrackState(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	days := 6
+	if err := tracker.Track(context.Background(), st, days, 5, w.Clock().Advance); err != nil {
+		t.Fatal(err)
+	}
+	sum := core.Summarize(st)
+	if sum.DaysFound < days-1 {
+		t.Fatalf("found on %d/%d days", sum.DaysFound, days)
+	}
+	// The device rotates daily: it must have been seen in several /64s.
+	if sum.Slash64s < 3 {
+		t.Errorf("device seen in %d /64s over %d days", sum.Slash64s, days)
+	}
+	// Search-space bound: never more than one probe per /56 in the /48.
+	for _, d := range st.History {
+		if d.ProbesSent > 256 {
+			t.Errorf("day %d used %d probes, want <=256", d.Day, d.ProbesSent)
+		}
+	}
+	// Ground truth: the final LastSeen matches the simulator's record.
+	w.Clock().Now() // no-op; clock already advanced by Track
+	locs := w.LocateMAC(target.MAC)
+	if len(locs) != 1 {
+		t.Fatalf("ground truth has %d locations", len(locs))
+	}
+	if st.History[len(st.History)-1].Found && st.LastSeen != locs[0] {
+		t.Errorf("tracker says %s, world says %s", st.LastSeen, locs[0])
+	}
+}
+
+func TestTrackerRejectsNonEUI(t *testing.T) {
+	if _, err := core.NewTrackState(ip6.MustParseAddr("2001:db8::1234")); err == nil {
+		t.Fatal("non-EUI address accepted")
+	}
+}
+
+func TestHomogeneityFromCampaign(t *testing.T) {
+	w := simnet.TestWorld(45)
+	corpus := runCampaign(t, w, []ip6.Prefix{
+		poolOf(t, w, 65001, 0).Prefix,
+		poolOf(t, w, 65002, 0).Prefix,
+	}, 2)
+
+	entries := core.Homogeneity(corpus, oui.Builtin(), 50)
+	byASN := map[uint32]core.HomogeneityEntry{}
+	for _, e := range entries {
+		byASN[e.ASN] = e
+	}
+	a, ok := byASN[65001]
+	if !ok {
+		t.Fatal("AS65001 missing from homogeneity")
+	}
+	if a.TopVendor != oui.VendorAVM {
+		t.Errorf("AS65001 top vendor %q", a.TopVendor)
+	}
+	if a.Homogeneity < 0.75 || a.Homogeneity > 1 {
+		t.Errorf("AS65001 homogeneity %.2f, want ~0.9", a.Homogeneity)
+	}
+	b, ok := byASN[65002]
+	if !ok {
+		t.Fatal("AS65002 missing")
+	}
+	if b.TopVendor != oui.VendorZTE || b.Homogeneity != 1 {
+		t.Errorf("AS65002: %q %.2f, want ZTE 1.0", b.TopVendor, b.Homogeneity)
+	}
+	totals := core.VendorTotals(corpus, oui.Builtin())
+	if totals[oui.VendorAVM] == 0 || totals[oui.VendorZTE] == 0 {
+		t.Error("vendor totals empty")
+	}
+}
+
+func TestPathologiesSynthetic(t *testing.T) {
+	rib := bgp.New()
+	rib.Insert(bgp.Route{Prefix: ip6.MustParsePrefix("2001:16b8::/32"), ASN: 8881, Country: "DE"})
+	rib.Insert(bgp.Route{Prefix: ip6.MustParsePrefix("2003:e2::/32"), ASN: 3320, Country: "DE"})
+	corpus := core.NewCorpus(rib)
+
+	mac := ip6.MustParseMAC("38:10:d5:aa:bb:cc")
+	iid := ip6.EUI64FromMAC(mac)
+	mk := func(prefix string) ip6.Addr {
+		return ip6.MustParsePrefix(prefix).Addr().WithIID(iid)
+	}
+	// Days 0-2 in AS8881, days 4-6 in AS3320: a provider switch.
+	for day := 0; day <= 2; day++ {
+		sd := corpus.NewScanDay(day)
+		sd.Record(mk("2001:16b8:2300::/48"), mk("2001:16b8:2300::/48"))
+		sd.Commit()
+	}
+	for day := 4; day <= 6; day++ {
+		sd := corpus.NewScanDay(day)
+		sd.Record(mk("2003:e2:f000::/48"), mk("2003:e2:f000::/48"))
+		sd.Commit()
+	}
+	// A second IID present in both ASes on the same day: MAC reuse.
+	mac2 := ip6.MustParseMAC("98:f5:37:ab:cd:ef")
+	iid2 := ip6.EUI64FromMAC(mac2)
+	sd := corpus.NewScanDay(1)
+	sd.Record(ip6.MustParsePrefix("2001:16b8:9::/48").Addr().WithIID(iid2),
+		ip6.MustParsePrefix("2001:16b8:9::/48").Addr().WithIID(iid2))
+	sd.Record(ip6.MustParsePrefix("2003:e2:9::/48").Addr().WithIID(iid2),
+		ip6.MustParsePrefix("2003:e2:9::/48").Addr().WithIID(iid2))
+	sd.Commit()
+
+	multi := corpus.MultiASIIDs()
+	if len(multi) != 2 {
+		t.Fatalf("%d multi-AS IIDs, want 2", len(multi))
+	}
+	var switcher, reuser *core.MultiASIID
+	for i := range multi {
+		if multi[i].IID == core.IID(iid) {
+			switcher = &multi[i]
+		}
+		if multi[i].IID == core.IID(iid2) {
+			reuser = &multi[i]
+		}
+	}
+	if switcher == nil || switcher.Overlapping {
+		t.Fatalf("switcher: %+v", switcher)
+	}
+	if reuser == nil || !reuser.Overlapping {
+		t.Fatalf("reuser: %+v", reuser)
+	}
+
+	switches := corpus.ProviderSwitches()
+	if len(switches) != 1 {
+		t.Fatalf("%d switches, want 1", len(switches))
+	}
+	sw := switches[0]
+	if sw.FromASN != 8881 || sw.ToASN != 3320 || sw.LastFrom != 2 || sw.FirstTo != 4 {
+		t.Fatalf("switch = %+v", sw)
+	}
+}
+
+func TestGridInference(t *testing.T) {
+	w := simnet.TestWorld(46)
+	pool := poolOf(t, w, 65001, 0) // /48 of /56 allocations
+	g, err := core.ScanGrid(context.Background(), scannerFor(w), pool.Prefix, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.InferAllocBits(); got != 56 {
+		t.Errorf("grid inferred /%d, want /56", got)
+	}
+	// About half the blocks are occupied; border responses add a few
+	// responders but each CPE answers its whole /56 row.
+	if g.ResponseCount() < 100 {
+		t.Errorf("only %d responders", g.ResponseCount())
+	}
+	if f := g.FilledFraction(); f < 0.3 || f > 0.9 {
+		t.Errorf("filled fraction %.2f", f)
+	}
+	if _, err := core.ScanGrid(context.Background(), scannerFor(w), ip6.MustParsePrefix("2001:db8::/32"), 1); err == nil {
+		t.Error("non-/48 accepted")
+	}
+}
+
+func TestTimeSeriesAndPrefixCounts(t *testing.T) {
+	w := simnet.TestWorld(47)
+	pool := poolOf(t, w, 65001, 0) // daily stride 3
+	corpus := runCampaign(t, w, []ip6.Prefix{pool.Prefix}, 5)
+
+	var iid core.IID
+	for i := range pool.CPEs() {
+		c := &pool.CPEs()[i]
+		if c.Mode == simnet.ModeEUI64 && !c.Silent {
+			iid = core.IID(ip6.EUI64FromMAC(c.MAC))
+			break
+		}
+	}
+	series := corpus.TimeSeries(iid)
+	if len(series) < 4 {
+		t.Fatalf("series has %d points over 5 days", len(series))
+	}
+	for i := 1; i < len(series); i++ {
+		if series[i].Day <= series[i-1].Day {
+			t.Fatal("series not chronological")
+		}
+		if series[i].PrefixHi == series[i-1].PrefixHi {
+			t.Error("daily rotator did not move between days")
+		}
+	}
+	rec, ok := corpus.Lookup(iid)
+	if !ok {
+		t.Fatal("IID missing")
+	}
+	if rec.PrefixCount() != len(series) {
+		t.Errorf("PrefixCount %d != series %d", rec.PrefixCount(), len(series))
+	}
+	counts := corpus.PrefixesPerIID()
+	if len(counts) != corpus.NumIIDs() {
+		t.Fatal("PrefixesPerIID length mismatch")
+	}
+}
+
+func TestPoolDensityNightReassignment(t *testing.T) {
+	w := simnet.TestWorld(48)
+	pool := poolOf(t, w, 65001, 0)
+	// Start at 20:00 so the series crosses the 00:00-06:00 window.
+	w.Clock().Set(simnet.Epoch.Add(20 * time.Hour))
+	snaps, err := core.PoolDensity(context.Background(), scannerFor(w), pool.Prefix, 12, 3, w.Clock().Advance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 12 {
+		t.Fatalf("%d snapshots", len(snaps))
+	}
+	// The pool delegates /56s: every /64 inside an occupied /56 answers
+	// with the CPE's address, so the density is approximately the
+	// occupancy times the EUI fraction (~0.45), with a visible dip in
+	// the 00:00-06:00 reassignment window as devices move (briefly
+	// unoccupied blocks while the diff is in flight).
+	p48 := pool.Prefix
+	base := snaps[0].Fraction[p48]
+	if base < 0.3 || base > 0.6 {
+		t.Fatalf("baseline density %.3f implausible", base)
+	}
+	minWin := base
+	for _, s := range snaps {
+		f := s.Fraction[p48]
+		if f <= 0 || f > 0.6 {
+			t.Errorf("hour %d density %.4f out of plausible range", s.Hour, f)
+		}
+		if s.Hour >= 4 && s.Hour <= 10 && f < minWin { // 00:00-06:00 virtual
+			minWin = f
+		}
+	}
+	if minWin >= base {
+		t.Errorf("no density dip during the reassignment window: base %.3f min %.3f", base, minWin)
+	}
+}
+
+func TestSearchSpaceNumbers(t *testing.T) {
+	// The paper's canonical example: /32 advertisement, /46 pool, /64
+	// allocations -> E[] = 2^18-1 probes, ~13 seconds at 10kpps.
+	s := core.SearchSpace{BGPBits: 32, PoolBits: 46, AllocBits: 64}
+	if s.Naive() != 1<<32 {
+		t.Errorf("Naive = %g", s.Naive())
+	}
+	if s.PoolBounded() != 1<<18 {
+		t.Errorf("PoolBounded = %g", s.PoolBounded())
+	}
+	if s.FullyBounded() != 1<<18 {
+		t.Errorf("FullyBounded = %g", s.FullyBounded())
+	}
+	secs := core.SecondsAt(core.ExpectedProbes(s.FullyBounded()), 10000)
+	if secs < 12 || secs > 14 {
+		t.Errorf("expected seconds = %.1f, paper says ~13", secs)
+	}
+	// /56 allocations cut the probes by 256 ("decreasing probing cost by
+	// 99.6%", §3.2.1).
+	s56 := core.SearchSpace{BGPBits: 32, PoolBits: 48, AllocBits: 56}
+	if s56.FullyBounded() != 256 {
+		t.Errorf("/56 in /48 = %g probes", s56.FullyBounded())
+	}
+	if got := s56.Reduction(); got != float64(1<<32)/256 {
+		t.Errorf("reduction = %g", got)
+	}
+}
+
+func TestCorpusAccounting(t *testing.T) {
+	rib := bgp.New()
+	corpus := core.NewCorpus(rib)
+	sd := corpus.NewScanDay(0)
+	eui := ip6.MustParsePrefix("2001:db8:1::/64").Addr().WithIID(ip6.EUI64FromMAC(ip6.MustParseMAC("38:10:d5:00:00:01")))
+	priv := ip6.MustParseAddr("2001:db8:2::1234:5678:9abc:def0")
+	sd.Record(ip6.MustParseAddr("2001:db8:1::1"), eui)
+	sd.Record(ip6.MustParseAddr("2001:db8:1:ff::2"), eui)
+	sd.Record(ip6.MustParseAddr("2001:db8:2::1"), priv)
+	sd.AddProbes(10)
+	sd.Commit()
+
+	total, euiN := corpus.UniqueAddrs()
+	if total != 2 || euiN != 1 {
+		t.Fatalf("unique addrs %d/%d", total, euiN)
+	}
+	if corpus.TotalProbes != 10 || corpus.TotalResponses != 3 {
+		t.Fatalf("probes/responses %d/%d", corpus.TotalProbes, corpus.TotalResponses)
+	}
+	if corpus.NumIIDs() != 1 {
+		t.Fatalf("IIDs = %d", corpus.NumIIDs())
+	}
+	days := corpus.Days()
+	if len(days) != 1 || days[0] != 0 {
+		t.Fatalf("days = %v", days)
+	}
+	rec, _ := corpus.Lookup(corpus.IIDs()[0])
+	if len(rec.Days) != 1 || rec.Days[0].Count != 2 {
+		t.Fatalf("day obs = %+v", rec.Days)
+	}
+	if rec.Days[0].MinTargetHi >= rec.Days[0].MaxTargetHi {
+		t.Error("target span not tracked")
+	}
+	if mac, ok := rec.MAC(); !ok || mac.String() != "38:10:d5:00:00:01" {
+		t.Errorf("MAC = %v %v", mac, ok)
+	}
+}

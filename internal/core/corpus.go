@@ -1,0 +1,265 @@
+// Package core implements the paper's measurement methodology: the
+// allocation-size and rotation-pool inference algorithms (§3.2,
+// Algorithms 1-2), the Internet-wide rotating-prefix discovery pipeline
+// (§4), the longitudinal campaign analyses (§5), and the targeted device
+// tracker (§6).
+//
+// Everything here consumes only probe observations — ⟨target, response
+// source⟩ pairs over time — through the zmap Scanner abstraction. The
+// package never imports the network simulator; pointed at a raw-socket
+// transport it would measure the real Internet.
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"followscent/internal/bgp"
+	"followscent/internal/ip6"
+)
+
+// IID is a 64-bit interface identifier (the lower half of an address).
+type IID uint64
+
+// DayObs aggregates one device-day: every probe on `Day` whose response
+// came from the same source address `Resp`.
+type DayObs struct {
+	Day  int
+	Resp ip6.Addr // the responding WAN address
+	// MinTargetHi/MaxTargetHi bound the upper-64 bits of the *probed*
+	// targets answered by Resp that day — Algorithm 1's input.
+	MinTargetHi, MaxTargetHi uint64
+	// Count is how many probes Resp answered that day.
+	Count int
+}
+
+// IIDRecord accumulates everything the campaign learned about one EUI-64
+// interface identifier.
+type IIDRecord struct {
+	IID  IID
+	Days []DayObs // chronological; multiple entries per day possible
+	// MinRespHi/MaxRespHi bound the upper-64 bits of every response
+	// address ever seen for this IID — Algorithm 2's input.
+	MinRespHi, MaxRespHi uint64
+	// PrefixCount is the number of distinct /64 prefixes the IID was
+	// observed in (Figure 8).
+	prefixes map[uint64]struct{}
+	// ASDays counts observation days per origin AS (§5.5 pathologies).
+	ASDays map[uint32]map[int]struct{}
+}
+
+// PrefixCount returns the number of distinct /64s the IID appeared in.
+func (r *IIDRecord) PrefixCount() int { return len(r.prefixes) }
+
+// ASNs returns the origin ASes the IID was observed in, sorted.
+func (r *IIDRecord) ASNs() []uint32 {
+	out := make([]uint32, 0, len(r.ASDays))
+	for asn := range r.ASDays {
+		out = append(out, asn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MAC recovers the embedded hardware address.
+func (r *IIDRecord) MAC() (ip6.MAC, bool) { return ip6.MACFromEUI64(uint64(r.IID)) }
+
+// Corpus is the accumulated campaign dataset: per-IID records plus
+// per-day global statistics. A Corpus is safe for concurrent AddScan
+// calls from one scan at a time interleaved with reads.
+type Corpus struct {
+	rib *bgp.Table
+
+	mu   sync.RWMutex
+	iids map[IID]*IIDRecord
+
+	// Totals across the campaign (the §5 headline numbers).
+	TotalProbes    uint64
+	TotalResponses uint64
+	totalAddrs     map[ip6.Addr]struct{} // unique response addresses
+	euiAddrs       map[ip6.Addr]struct{} // unique EUI-64 response addresses
+	days           map[int]struct{}
+	// Counters carried over from loaded corpus files, whose per-address
+	// sets are not persisted (see corpus_io.go).
+	loadedTotalAddrs int
+	loadedEUIAddrs   int
+}
+
+// NewCorpus returns an empty corpus attributing addresses via rib.
+func NewCorpus(rib *bgp.Table) *Corpus {
+	return &Corpus{
+		rib:        rib,
+		iids:       make(map[IID]*IIDRecord),
+		totalAddrs: make(map[ip6.Addr]struct{}),
+		euiAddrs:   make(map[ip6.Addr]struct{}),
+		days:       make(map[int]struct{}),
+	}
+}
+
+// ScanDay collects one day's scan into the corpus. Use NewScanDay, feed
+// it every probe result, then Commit.
+type ScanDay struct {
+	c   *Corpus
+	day int
+	// agg groups by (IID, response address) for the day.
+	agg map[dayKey]*DayObs
+}
+
+type dayKey struct {
+	iid  IID
+	resp ip6.Addr
+}
+
+// NewScanDay starts collecting observations for the given day index.
+func (c *Corpus) NewScanDay(day int) *ScanDay {
+	return &ScanDay{c: c, day: day, agg: make(map[dayKey]*DayObs)}
+}
+
+// Record adds one probe result: the probed target and the source of the
+// response. Non-EUI-64 responses update the global counters only, as in
+// the paper (14.8M of 19.4M discovered addresses were EUI-64; only those
+// drive the per-IID analyses).
+func (s *ScanDay) Record(target, from ip6.Addr) {
+	c := s.c
+	c.mu.Lock()
+	c.TotalResponses++
+	c.totalAddrs[from] = struct{}{}
+	isEUI := ip6.AddrIsEUI64(from)
+	if isEUI {
+		c.euiAddrs[from] = struct{}{}
+	}
+	c.mu.Unlock()
+	if !isEUI {
+		return
+	}
+	k := dayKey{IID(from.IID()), from}
+	obs, ok := s.agg[k]
+	if !ok {
+		obs = &DayObs{Day: s.day, Resp: from, MinTargetHi: target.High64(), MaxTargetHi: target.High64()}
+		s.agg[k] = obs
+	}
+	hi := target.High64()
+	if hi < obs.MinTargetHi {
+		obs.MinTargetHi = hi
+	}
+	if hi > obs.MaxTargetHi {
+		obs.MaxTargetHi = hi
+	}
+	obs.Count++
+}
+
+// AddProbes accounts probes sent (responsive or not).
+func (s *ScanDay) AddProbes(n uint64) {
+	s.c.mu.Lock()
+	s.c.TotalProbes += n
+	s.c.mu.Unlock()
+}
+
+// Commit merges the day's aggregation into the corpus.
+func (s *ScanDay) Commit() {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.days[s.day] = struct{}{}
+	// Deterministic merge order (map iteration is randomized).
+	keys := make([]dayKey, 0, len(s.agg))
+	for k := range s.agg {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].iid != keys[j].iid {
+			return keys[i].iid < keys[j].iid
+		}
+		return keys[i].resp.Less(keys[j].resp)
+	})
+	for _, k := range keys {
+		obs := s.agg[k]
+		rec, ok := c.iids[k.iid]
+		if !ok {
+			rec = &IIDRecord{
+				IID:       k.iid,
+				MinRespHi: obs.Resp.High64(),
+				MaxRespHi: obs.Resp.High64(),
+				prefixes:  make(map[uint64]struct{}),
+				ASDays:    make(map[uint32]map[int]struct{}),
+			}
+			c.iids[k.iid] = rec
+		}
+		rec.Days = append(rec.Days, *obs)
+		hi := obs.Resp.High64()
+		if hi < rec.MinRespHi {
+			rec.MinRespHi = hi
+		}
+		if hi > rec.MaxRespHi {
+			rec.MaxRespHi = hi
+		}
+		rec.prefixes[hi] = struct{}{}
+		asn := uint32(0)
+		if r, ok := c.rib.Lookup(obs.Resp); ok {
+			asn = r.ASN
+		}
+		if rec.ASDays[asn] == nil {
+			rec.ASDays[asn] = make(map[int]struct{})
+		}
+		rec.ASDays[asn][s.day] = struct{}{}
+	}
+	s.agg = nil
+}
+
+// Lookup returns the record for an IID.
+func (c *Corpus) Lookup(iid IID) (*IIDRecord, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.iids[iid]
+	return r, ok
+}
+
+// IIDs returns all observed EUI-64 IIDs, sorted.
+func (c *Corpus) IIDs() []IID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]IID, 0, len(c.iids))
+	for iid := range c.iids {
+		out = append(out, iid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumIIDs returns the count of distinct EUI-64 IIDs.
+func (c *Corpus) NumIIDs() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.iids)
+}
+
+// UniqueAddrs returns (total unique response addresses, unique EUI-64
+// response addresses) — the paper's "134M unique addresses, 110M EUI-64".
+func (c *Corpus) UniqueAddrs() (total, eui int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.totalAddrs) + c.loadedTotalAddrs, len(c.euiAddrs) + c.loadedEUIAddrs
+}
+
+// Days returns the scan-day indices present, sorted.
+func (c *Corpus) Days() []int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]int, 0, len(c.days))
+	for d := range c.days {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RIB exposes the table used for origin attribution.
+func (c *Corpus) RIB() *bgp.Table { return c.rib }
+
+// OriginASN maps an address to its origin AS (0 if unrouted).
+func (c *Corpus) OriginASN(a ip6.Addr) uint32 {
+	if r, ok := c.rib.Lookup(a); ok {
+		return r.ASN
+	}
+	return 0
+}

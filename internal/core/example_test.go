@@ -1,0 +1,33 @@
+package core_test
+
+import (
+	"fmt"
+
+	"followscent/internal/core"
+)
+
+// The paper's canonical search-space arithmetic (§3.2, Figure 2): a /32
+// provider, a /46 rotation pool, /64 customer delegations.
+func ExampleSearchSpace() {
+	ss := core.SearchSpace{BGPBits: 32, PoolBits: 46, AllocBits: 64}
+	fmt.Printf("naive:   %.0f probes\n", ss.Naive())
+	fmt.Printf("bounded: %.0f probes\n", ss.FullyBounded())
+	fmt.Printf("expected find: %.1f seconds at 10kpps\n",
+		core.SecondsAt(core.ExpectedProbes(ss.FullyBounded()), 10000))
+	// Output:
+	// naive:   4294967296 probes
+	// bounded: 262144 probes
+	// expected find: 13.1 seconds at 10kpps
+}
+
+// Algorithm 1 over one device-day: a CPE that answered probes across a
+// contiguous range of 256 /64s was delegated a /56.
+func ExampleAllocationSizeByAS() {
+	samples := []core.AllocationSample{
+		{ASN: 8881, Bits: 56},
+		{ASN: 8881, Bits: 56},
+		{ASN: 8881, Bits: 64}, // one device seen in a single /64 only
+	}
+	fmt.Println(core.AllocationSizeByAS(samples)[8881])
+	// Output: 56
+}

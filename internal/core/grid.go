@@ -1,0 +1,111 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"followscent/internal/analysis"
+	"followscent/internal/ip6"
+	"followscent/internal/zmap"
+)
+
+// Grid is the Figure 3/6 visualization substrate: one probe per /64 of a
+// /48, recording which source address answered each. The y axis is the
+// 7th byte of the target and the x axis the 8th byte, so horizontal
+// bands of one colour reveal the provider's customer allocation size.
+type Grid struct {
+	Prefix ip6.Prefix
+	// Cells maps [byte6][byte7] to a response index: 0 = no response,
+	// k>0 = the k-th distinct responding address.
+	Cells [256][256]uint32
+	// Responders holds the distinct responding addresses; the index into
+	// this slice plus one is the cell value.
+	Responders []ip6.Addr
+}
+
+// ScanGrid probes every /64 of slash48 once and builds the grid.
+func ScanGrid(ctx context.Context, sc *zmap.Scanner, slash48 ip6.Prefix, salt uint64) (*Grid, error) {
+	if slash48.Bits() != 48 {
+		return nil, fmt.Errorf("core: grid wants a /48, got %s", slash48)
+	}
+	ts, err := zmap.NewSubnetTargets([]ip6.Prefix{slash48}, 64, salt)
+	if err != nil {
+		return nil, err
+	}
+	g := &Grid{Prefix: slash48}
+	index := map[ip6.Addr]uint32{}
+	_, err = sc.Scan(ctx, ts, salt, func(r zmap.Result) {
+		id, ok := index[r.From]
+		if !ok {
+			g.Responders = append(g.Responders, r.From)
+			id = uint32(len(g.Responders))
+			index[r.From] = id
+		}
+		g.Cells[r.Target.Byte(6)][r.Target.Byte(7)] = id
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: grid scan of %s: %w", slash48, err)
+	}
+	return g, nil
+}
+
+// ResponseCount returns how many distinct addresses answered.
+func (g *Grid) ResponseCount() int { return len(g.Responders) }
+
+// FilledFraction returns the fraction of /64 cells that got any answer.
+func (g *Grid) FilledFraction() float64 {
+	n := 0
+	for y := range g.Cells {
+		for x := range g.Cells[y] {
+			if g.Cells[y][x] != 0 {
+				n++
+			}
+		}
+	}
+	return float64(n) / (256 * 256)
+}
+
+// InferAllocBits estimates the customer allocation size from the grid by
+// measuring, for each responder, the span of cells it answered — the
+// visual inference a human makes from Figure 3's banding, automated.
+// It returns the median span in prefix-length form.
+func (g *Grid) InferAllocBits() int {
+	type span struct{ min, max int }
+	spans := map[uint32]*span{}
+	for y := 0; y < 256; y++ {
+		for x := 0; x < 256; x++ {
+			id := g.Cells[y][x]
+			if id == 0 {
+				continue
+			}
+			lin := y<<8 | x
+			s, ok := spans[id]
+			if !ok {
+				spans[id] = &span{lin, lin}
+				continue
+			}
+			if lin < s.min {
+				s.min = lin
+			}
+			if lin > s.max {
+				s.max = lin
+			}
+		}
+	}
+	if len(spans) == 0 {
+		return 64
+	}
+	var sizes []int
+	for _, s := range spans {
+		d := s.max - s.min
+		bits := 0
+		for 1<<bits < d+1 && bits < 16 {
+			bits++
+		}
+		if d == 0 {
+			bits = 0
+		}
+		sizes = append(sizes, 64-bits)
+	}
+	return analysis.MedianInt(sizes)
+}

@@ -1,0 +1,38 @@
+package core_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCoreDoesNotImportSimulator enforces the architectural invariant in
+// DESIGN.md: the measurement library consumes only probe observations
+// and must never depend on the network simulator. If this test fails,
+// someone has coupled the paper's contribution to the test substrate.
+func TestCoreDoesNotImportSimulator(t *testing.T) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(".", name), nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if strings.Contains(path, "/simnet") {
+				t.Errorf("%s imports %s: core must stay simulator-free", name, path)
+			}
+		}
+	}
+}

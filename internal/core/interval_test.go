@@ -1,0 +1,138 @@
+package core_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"followscent/internal/bgp"
+	"followscent/internal/core"
+	"followscent/internal/ip6"
+	"followscent/internal/simnet"
+)
+
+func TestRotationIntervalEstimation(t *testing.T) {
+	w := simnet.TestWorld(49)
+	// Pool 65001-0 rotates daily; pool 65002-0 every 48h; 65003 is static.
+	corpus := runCampaign(t, w, []ip6.Prefix{
+		poolOf(t, w, 65001, 0).Prefix,
+		poolOf(t, w, 65002, 0).Prefix,
+		poolOf(t, w, 65003, 0).Prefix,
+	}, 9)
+
+	byAS := core.RotationIntervalByAS(corpus.IntervalSamples())
+	if got := byAS[65001]; got < 0.9 || got > 1.1 {
+		t.Errorf("AS65001 interval = %.2f days, want ~1", got)
+	}
+	if got := byAS[65002]; got < 1.8 || got > 2.2 {
+		t.Errorf("AS65002 interval = %.2f days, want ~2", got)
+	}
+	// The static AS contributes no samples (nothing ever changed).
+	if _, ok := byAS[65003]; ok {
+		t.Errorf("static AS has an interval estimate: %v", byAS[65003])
+	}
+}
+
+func TestIntervalSamplesSkipSingletons(t *testing.T) {
+	rib := bgp.New()
+	corpus := core.NewCorpus(rib)
+	iid := ip6.EUI64FromMAC(ip6.MustParseMAC("38:10:d5:00:00:07"))
+	addr := ip6.MustParsePrefix("2001:db8:7::/64").Addr().WithIID(iid)
+	for day := 0; day < 5; day++ {
+		sd := corpus.NewScanDay(day)
+		sd.Record(addr, addr) // never moves
+		sd.Commit()
+	}
+	if got := corpus.IntervalSamples(); len(got) != 0 {
+		t.Fatalf("non-rotating device produced samples: %v", got)
+	}
+}
+
+func TestCorpusSaveLoadRoundTrip(t *testing.T) {
+	w := simnet.TestWorld(50)
+	corpus := runCampaign(t, w, []ip6.Prefix{poolOf(t, w, 65001, 0).Prefix}, 3)
+
+	var buf bytes.Buffer
+	if err := corpus.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded := core.NewCorpus(w.RIB())
+	if err := core.LoadCorpus(bytes.NewReader(buf.Bytes()), loaded); err != nil {
+		t.Fatal(err)
+	}
+
+	if loaded.NumIIDs() != corpus.NumIIDs() {
+		t.Fatalf("IIDs: %d != %d", loaded.NumIIDs(), corpus.NumIIDs())
+	}
+	if loaded.TotalProbes != corpus.TotalProbes || loaded.TotalResponses != corpus.TotalResponses {
+		t.Fatal("counters not restored")
+	}
+	t1, e1 := corpus.UniqueAddrs()
+	t2, e2 := loaded.UniqueAddrs()
+	if t1 != t2 || e1 != e2 {
+		t.Fatalf("unique addrs: %d/%d != %d/%d", t2, e2, t1, e1)
+	}
+	// The analyses agree on the round-tripped data.
+	a1 := core.AllocationSizeByAS(corpus.AllocationSamples(0))
+	a2 := core.AllocationSizeByAS(loaded.AllocationSamples(0))
+	if len(a1) != len(a2) {
+		t.Fatalf("allocation inference diverged: %v vs %v", a1, a2)
+	}
+	for asn, bits := range a1 {
+		if a2[asn] != bits {
+			t.Fatalf("AS%d: /%d != /%d", asn, a2[asn], bits)
+		}
+	}
+	p1 := core.PoolSizeByAS(corpus.PoolSamples())
+	p2 := core.PoolSizeByAS(loaded.PoolSamples())
+	for asn, bits := range p1 {
+		if p2[asn] != bits {
+			t.Fatalf("pool AS%d: /%d != /%d", asn, p2[asn], bits)
+		}
+	}
+	// Per-IID chronology survives.
+	iids := corpus.IIDs()
+	for _, iid := range iids[:min(10, len(iids))] {
+		s1 := corpus.TimeSeries(iid)
+		s2 := loaded.TimeSeries(iid)
+		if len(s1) != len(s2) {
+			t.Fatalf("series length differs for %x", uint64(iid))
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Fatalf("series diverged for %x at %d", uint64(iid), i)
+			}
+		}
+	}
+	// Saving the loaded corpus reproduces identical bytes.
+	var buf2 bytes.Buffer
+	if err := loaded.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("save(load(save(x))) != save(x)")
+	}
+}
+
+func TestLoadCorpusErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"no magic":   "obs 0 0 :: 0 0 1\n",
+		"empty":      "",
+		"bad record": "# followscent corpus v1\nwhatever 1 2\n",
+		"bad probes": "# followscent corpus v1\nprobes many\n",
+		"bad obs":    "# followscent corpus v1\nobs xyz\n",
+		"bad addr":   "# followscent corpus v1\nobs 0011223344556677 0 nonsense 0 0 1\n",
+	} {
+		c := core.NewCorpus(bgp.New())
+		if err := core.LoadCorpus(strings.NewReader(in), c); err == nil {
+			t.Errorf("%s: load succeeded", name)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"math"
+)
+
+// SearchSpace quantifies the Figure 2 reduction: how many probes an
+// adversary needs to re-find a CPE after rotation, under successively
+// stronger knowledge.
+type SearchSpace struct {
+	BGPBits   int // covering BGP advertisement (e.g. 32)
+	PoolBits  int // inferred rotation pool (e.g. 46)
+	AllocBits int // inferred customer allocation (e.g. 56)
+}
+
+// probes2 returns 2^bits as float64 (saturating).
+func probes2(bits int) float64 {
+	if bits < 0 {
+		return 1
+	}
+	return math.Ldexp(1, bits)
+}
+
+// Naive is the brute-force probe count: one probe per /64 of the whole
+// BGP advertisement (the paper's "2^96 probes" intuition at /64
+// granularity: 2^(64-32) = 2^32 for a /32).
+func (s SearchSpace) Naive() float64 { return probes2(64 - s.BGPBits) }
+
+// PoolBounded applies only the rotation-pool inference: one probe per
+// /64 of the pool.
+func (s SearchSpace) PoolBounded() float64 { return probes2(64 - s.PoolBits) }
+
+// FullyBounded applies both inferences: one probe per allocation block
+// within the pool — the paper's example "E[] = 2^18 - 1 probes, about 13
+// seconds at 10kpps" for a /46 pool of /64 allocations.
+func (s SearchSpace) FullyBounded() float64 { return probes2(s.AllocBits - s.PoolBits) }
+
+// ExpectedProbes is the mean number of probes until the random-order
+// scan hits the device: half the space plus one-half.
+func ExpectedProbes(space float64) float64 { return (space + 1) / 2 }
+
+// SecondsAt returns how long `probes` take at `pps` probes per second.
+func SecondsAt(probes float64, pps float64) float64 {
+	if pps <= 0 {
+		return math.Inf(1)
+	}
+	return probes / pps
+}
+
+// Reduction returns the probe-count reduction factor of the fully
+// bounded search over the naive one.
+func (s SearchSpace) Reduction() float64 {
+	return s.Naive() / s.FullyBounded()
+}

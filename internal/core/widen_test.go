@@ -1,0 +1,80 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"followscent/internal/core"
+	"followscent/internal/simnet"
+	"followscent/internal/zmap"
+)
+
+// TestTrackerWideningRecoversLostDevice reproduces the §6 failure mode
+// ("if we underestimate the prefix rotation pool size, the CPE may
+// rotate out of the address space we are probing") and the motivated
+// adversary's recovery: widening the searched pool after misses.
+func TestTrackerWideningRecoversLostDevice(t *testing.T) {
+	// A /44 pool of /56 delegations rotating randomly each day: a /48
+	// pool inference only covers 1/16 of the space.
+	w := simnet.MustBuild(simnet.WorldSpec{
+		Seed: 17,
+		Providers: []simnet.ProviderSpec{{
+			ASN: 65401, Name: "WidePool", Country: "DE",
+			Allocations: []string{"2001:de0::/32"},
+			Pools: []simnet.PoolSpec{{
+				Prefix: "2001:de0:10::/44", AllocBits: 56,
+				Rotation:  simnet.Every(24 * time.Hour),
+				Occupancy: 0.3, EUIFrac: 1,
+			}},
+		}},
+	})
+	scanner := &zmap.Scanner{
+		NewTransport: func() (zmap.Transport, error) { return zmap.NewLoopback(w, 0), nil },
+		Config:       zmap.Config{Source: vantage},
+	}
+	pool := w.Providers()[0].Pools[0]
+	target := &pool.CPEs()[0]
+	start := pool.WANAddrNow(target)
+
+	run := func(widen int) (*core.TrackState, int) {
+		w.Clock().Set(simnet.Epoch)
+		tracker := &core.Tracker{
+			Scanner:   scanner,
+			RIB:       w.RIB(),
+			AllocBits: map[uint32]int{65401: 56},
+			PoolBits:  map[uint32]int{65401: 48}, // under-estimated: truth is /44
+			WidenBits: widen,
+		}
+		st, err := core.NewTrackState(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := 0
+		for d := 0; d < 8; d++ {
+			td, err := tracker.Step(context.Background(), st, d, 0x11+uint64(d))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if td.Found {
+				found++
+			}
+			w.Clock().Advance(24 * time.Hour)
+		}
+		return st, found
+	}
+
+	_, foundNarrow := run(0)
+	_, foundWide := run(2)
+	// Without widening the device is lost as soon as it rotates outside
+	// the assumed /48 (P(stay) = 1/16 per day).
+	if foundNarrow > 3 {
+		t.Fatalf("narrow tracker found %d/8 days despite wrong pool", foundNarrow)
+	}
+	if foundWide < 6 {
+		t.Fatalf("widening tracker found only %d/8 days", foundWide)
+	}
+	if foundWide <= foundNarrow {
+		t.Fatalf("widening did not help: %d vs %d", foundWide, foundNarrow)
+	}
+}

@@ -1,0 +1,57 @@
+// Package experiments wires the measurement library to the simulated
+// Internet and reproduces every table and figure in the paper's
+// evaluation. cmd/figures renders the results to files; the repository's
+// top-level benchmarks time the same entry points at reduced scale.
+package experiments
+
+import (
+	"time"
+
+	"followscent/internal/ip6"
+	"followscent/internal/simnet"
+	"followscent/internal/zmap"
+)
+
+// Vantage is the measurement source address, standing in for the
+// paper's "well-connected vantage point in a European IXP".
+var Vantage = ip6.MustParseAddr("2620:11f:7000::53")
+
+// Env binds a world to a prober.
+type Env struct {
+	World   *simnet.World
+	Scanner *zmap.Scanner
+}
+
+// NewEnv builds the full default world (DESIGN.md §6).
+func NewEnv(seed uint64) *Env {
+	return envFor(simnet.DefaultWorld(seed), seed)
+}
+
+// NewSmallEnv builds the compact test world — used by benchmarks so a
+// full `go test -bench .` stays minutes, not hours.
+func NewSmallEnv(seed uint64) *Env {
+	return envFor(simnet.TestWorld(seed), seed)
+}
+
+func envFor(w *simnet.World, seed uint64) *Env {
+	return &Env{
+		World: w,
+		Scanner: &zmap.Scanner{
+			NewTransport: func() (zmap.Transport, error) {
+				return zmap.NewLoopback(w, 0), nil
+			},
+			Config: zmap.Config{Source: Vantage, Seed: seed ^ 0x5ce47},
+		},
+	}
+}
+
+// Wait advances the world's virtual clock (the experiment "sleep").
+func (e *Env) Wait(d time.Duration) { e.World.Clock().Advance(d) }
+
+// At runs fn with the clock temporarily set to t, restoring it after.
+func (e *Env) At(t time.Time, fn func() error) error {
+	prev := e.World.Clock().Now()
+	e.World.Clock().Set(t)
+	defer e.World.Clock().Set(prev)
+	return fn()
+}

@@ -1,0 +1,446 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"followscent/internal/analysis"
+	"followscent/internal/core"
+	"followscent/internal/ip6"
+	"followscent/internal/oui"
+	"followscent/internal/plot"
+	"followscent/internal/simnet"
+)
+
+// Fig3Prefixes are the three providers of Figure 3 in the default world:
+// /56, /60 and /64 customer allocations respectively.
+var Fig3Prefixes = []ip6.Prefix{
+	ip6.MustParsePrefix("2800:4f00:10::/48"), // EntelBol (BO): /56
+	ip6.MustParsePrefix("2a02:27d0:40::/48"), // BH-Tel (BA): /60
+	ip6.MustParsePrefix("2400:7d80:30::/48"), // Starcat (JP): /64
+}
+
+// Fig6Prefixes are the two same-provider /48s with different allocation
+// sizes (Wersatel).
+var Fig6Prefixes = []ip6.Prefix{
+	ip6.MustParsePrefix("2001:16b8:501::/48"),  // /64 allocations
+	ip6.MustParsePrefix("2001:16b8:11f9::/48"), // /56 allocations
+}
+
+// Fig9Pool and Fig10Pool is the Wersatel /46 whose daily dynamics
+// Figures 9 and 10 show.
+var Fig9Pool = ip6.MustParsePrefix("2001:16b8:100::/46")
+
+// Grids scans allocation grids for the given /48s (Figures 3 and 6).
+func (s *Study) Grids(ctx context.Context, prefixes []ip6.Prefix) ([]*core.Grid, error) {
+	var out []*core.Grid
+	for i, p48 := range prefixes {
+		g, err := core.ScanGrid(ctx, s.Env.Scanner, p48, s.Cfg.Salt+uint64(i)*977)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: grid %s: %w", p48, err)
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// RenderGrid writes one grid's ASCII art plus its inferred allocation.
+func RenderGrid(g *core.Grid, w io.Writer) error {
+	fmt.Fprintf(w, "%s: %d responders, %.1f%% of /64s answered, inferred allocation /%d\n",
+		g.Prefix, g.ResponseCount(), 100*g.FilledFraction(), g.InferAllocBits())
+	return plot.GridASCII(g, w)
+}
+
+// Fig2Render prints the search-space reduction quantification for the
+// paper's canonical example and for every AS the campaign characterized.
+func (s *Study) Fig2Render(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 2: search-space reduction (probes to enumerate one pool)")
+	headers := []string{"ASN", "BGP", "pool", "alloc", "naive", "pool-bounded", "fully-bounded", "reduction"}
+	var rows [][]string
+	asns := make([]uint32, 0, len(s.PoolByAS))
+	for asn := range s.PoolByAS {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	for _, asn := range asns {
+		if asn == 0 {
+			continue
+		}
+		bgpBits := s.bgpBitsOf(asn)
+		alloc, ok := s.AllocByAS[asn]
+		if !ok {
+			alloc = 64
+		}
+		ss := core.SearchSpace{BGPBits: bgpBits, PoolBits: s.PoolByAS[asn], AllocBits: alloc}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", asn),
+			fmt.Sprintf("/%d", bgpBits),
+			fmt.Sprintf("/%d", ss.PoolBits),
+			fmt.Sprintf("/%d", ss.AllocBits),
+			fmt.Sprintf("%.3g", ss.Naive()),
+			fmt.Sprintf("%.3g", ss.PoolBounded()),
+			fmt.Sprintf("%.3g", ss.FullyBounded()),
+			fmt.Sprintf("%.3gx", ss.Reduction()),
+		})
+	}
+	return plot.Table(headers, rows, w)
+}
+
+// bgpBitsOf returns the advertisement length covering the AS's space.
+func (s *Study) bgpBitsOf(asn uint32) int {
+	if p, ok := s.Env.World.ProviderByASN(asn); ok {
+		return p.Allocations[0].Bits()
+	}
+	return 32
+}
+
+// Fig4 computes the per-AS vendor homogeneity distribution.
+func (s *Study) Fig4(minIIDs int) ([]core.HomogeneityEntry, analysis.CDF) {
+	entries := core.Homogeneity(s.Corpus, oui.Builtin(), minIIDs)
+	xs := make([]float64, 0, len(entries))
+	for _, e := range entries {
+		xs = append(xs, e.Homogeneity)
+	}
+	return entries, analysis.NewCDF(xs)
+}
+
+// Fig4Render writes the homogeneity CDF and headline quantiles.
+func (s *Study) Fig4Render(minIIDs int, w io.Writer) error {
+	entries, cdf := s.Fig4(minIIDs)
+	fmt.Fprintf(w, "Figure 4: manufacturer homogeneity across %d ASes (>=%d EUI IIDs each)\n", len(entries), minIIDs)
+	if cdf.Len() > 0 {
+		fmt.Fprintf(w, "  median %.2f | 25th pct %.2f | min %.2f | share of ASes >0.9: %.0f%%\n",
+			cdf.Quantile(0.5), cdf.Quantile(0.25), cdf.Min(), 100*(1-cdf.At(0.9)))
+	}
+	return plot.CDFASCII(cdf.Points(), 60, 12, "homogeneity", w)
+}
+
+// Fig5 returns the allocation-size CDFs: per IID (5a) and per AS (5b).
+func (s *Study) Fig5() (perIID, perAS analysis.CDF) {
+	var iidBits []float64
+	for _, sm := range s.AllocSamples {
+		iidBits = append(iidBits, float64(sm.Bits))
+	}
+	var asBits []float64
+	for asn, bits := range s.AllocByAS {
+		if asn != 0 {
+			asBits = append(asBits, float64(bits))
+		}
+	}
+	return analysis.NewCDF(iidBits), analysis.NewCDF(asBits)
+}
+
+// Fig5Render writes both allocation-size CDFs.
+func (s *Study) Fig5Render(w io.Writer) error {
+	perIID, perAS := s.Fig5()
+	fmt.Fprintf(w, "Figure 5a: inferred allocation size, CDF over %d EUI IIDs\n", perIID.Len())
+	for _, b := range []float64{64, 60, 56, 52, 48} {
+		fmt.Fprintf(w, "  share inferred /%v: %.0f%%\n", b, 100*(perIID.At(b)-perIID.At(b-1)))
+	}
+	if err := plot.CDFASCII(perIID.Points(), 60, 10, "allocation prefix length", w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Figure 5b: median inferred allocation size, CDF over %d ASes\n", perAS.Len())
+	return plot.CDFASCII(perAS.Points(), 60, 10, "allocation prefix length", w)
+}
+
+// Fig7 returns the per-AS CDFs of inferred rotation pool size and of the
+// encompassing BGP advertisement size.
+func (s *Study) Fig7() (pool, bgpCDF analysis.CDF) {
+	var poolBits, bgpBits []float64
+	for asn, bits := range s.PoolByAS {
+		if asn == 0 {
+			continue
+		}
+		poolBits = append(poolBits, float64(bits))
+		bgpBits = append(bgpBits, float64(s.bgpBitsOf(asn)))
+	}
+	return analysis.NewCDF(poolBits), analysis.NewCDF(bgpBits)
+}
+
+// Fig7Render writes the rotation-pool vs BGP comparison.
+func (s *Study) Fig7Render(w io.Writer) error {
+	pool, bgpCDF := s.Fig7()
+	fmt.Fprintf(w, "Figure 7: inferred rotation pool vs BGP prefix, %d ASes\n", pool.Len())
+	fmt.Fprintf(w, "  ASes with /64 pools (non-rotating): %.0f%%\n", 100*(1-pool.At(63)))
+	fmt.Fprintf(w, "  median pool /%v vs median BGP /%v (gap %.0f bits)\n",
+		pool.Quantile(0.5), bgpCDF.Quantile(0.5), pool.Quantile(0.5)-bgpCDF.Quantile(0.5))
+	fmt.Fprintln(w, "  inferred rotation pool size:")
+	if err := plot.CDFASCII(pool.Points(), 60, 10, "pool prefix length", w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  encompassing BGP prefix size:")
+	return plot.CDFASCII(bgpCDF.Points(), 60, 10, "BGP prefix length", w)
+}
+
+// Fig8 returns the distribution of distinct-/64 counts per IID.
+func (s *Study) Fig8() analysis.CDF {
+	counts := s.Corpus.PrefixesPerIID()
+	xs := make([]float64, len(counts))
+	for i, c := range counts {
+		xs[i] = float64(c)
+	}
+	return analysis.NewCDF(xs)
+}
+
+// Fig8Render writes the prefixes-per-IID CDF (log x, as in the paper).
+func (s *Study) Fig8Render(w io.Writer) error {
+	cdf := s.Fig8()
+	fmt.Fprintf(w, "Figure 8: distinct /64s per EUI IID (%d IIDs)\n", cdf.Len())
+	fmt.Fprintf(w, "  share in exactly one /64: %.0f%% | share in >1 (rotated): %.0f%% | max: %.0f\n",
+		100*cdf.At(1), 100*(1-cdf.At(1)), cdf.Max())
+	logPts := []analysis.Point{}
+	for _, p := range cdf.Points() {
+		logPts = append(logPts, analysis.Point{X: math.Log10(p.X), Y: p.Y})
+	}
+	return plot.CDFASCII(logPts, 60, 12, "log10(distinct /64 prefixes)", w)
+}
+
+// Fig9 picks the three longest-running rotating IIDs in the Figure 9
+// pool and returns their day-by-day /64 positions.
+func (s *Study) Fig9(asn uint32, pool ip6.Prefix, n int) []plot.Series {
+	type cand struct {
+		iid  core.IID
+		days int
+	}
+	var cands []cand
+	for _, iid := range s.Corpus.IIDs() {
+		rec, _ := s.Corpus.Lookup(iid)
+		if rec.PrefixCount() < 2 {
+			continue
+		}
+		inPool := true
+		for _, d := range rec.Days {
+			if !pool.Contains(d.Resp) {
+				inPool = false
+				break
+			}
+		}
+		if !inPool {
+			continue
+		}
+		if len(rec.ASNs()) == 1 && rec.ASNs()[0] == asn {
+			cands = append(cands, cand{iid, len(rec.Days)})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].days != cands[j].days {
+			return cands[i].days > cands[j].days
+		}
+		return cands[i].iid < cands[j].iid
+	})
+	if len(cands) > n {
+		cands = cands[:n]
+	}
+	base := pool.Addr().High64()
+	var out []plot.Series
+	for i, c := range cands {
+		sr := plot.Series{Name: fmt.Sprintf("EUI-64 IID #%d", i+1)}
+		for _, tp := range s.Corpus.TimeSeries(c.iid) {
+			sr.Points = append(sr.Points, analysis.Point{
+				X: float64(tp.Day),
+				Y: float64(tp.PrefixHi - base), // /64 offset within pool
+			})
+		}
+		out = append(out, sr)
+	}
+	return out
+}
+
+// Fig9Render plots the per-day /64 offsets of three Wersatel devices.
+func (s *Study) Fig9Render(w io.Writer) error {
+	series := s.Fig9(simnet.ASWersatel, Fig9Pool, 3)
+	fmt.Fprintf(w, "Figure 9: daily /64 positions of %d AS%d IIDs within %s\n",
+		len(series), simnet.ASWersatel, Fig9Pool)
+	return plot.SeriesASCII(series, 66, 16, "day", "/64 offset in pool", w)
+}
+
+// Fig10 measures hourly EUI density per /48 of the Figure 9 pool.
+func (s *Study) Fig10(ctx context.Context, hours int) ([]core.DensitySnapshot, error) {
+	return core.PoolDensity(ctx, s.Env.Scanner, Fig9Pool, hours, s.Cfg.Salt^0xf10, s.Env.Wait)
+}
+
+// Fig10Render plots the density series (one line per /48).
+func (s *Study) Fig10Render(ctx context.Context, hours int, w io.Writer) error {
+	snaps, err := s.Fig10(ctx, hours)
+	if err != nil {
+		return err
+	}
+	per48 := map[ip6.Prefix][]analysis.Point{}
+	for _, snap := range snaps {
+		for p48, f := range snap.Fraction {
+			per48[p48] = append(per48[p48], analysis.Point{X: float64(snap.Hour), Y: f})
+		}
+	}
+	var keys []ip6.Prefix
+	for k := range per48 {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Addr().Less(keys[j].Addr()) })
+	var series []plot.Series
+	for _, k := range keys {
+		series = append(series, plot.Series{Name: k.String(), Points: per48[k]})
+	}
+	fmt.Fprintf(w, "Figure 10: hourly EUI density per /48 of %s over %d hours\n", Fig9Pool, hours)
+	return plot.SeriesASCII(series, 66, 14, "hour", "fraction of /64s with EUI", w)
+}
+
+// Fig11 returns the per-AS observation series of the most-travelled
+// multi-AS IID (the vendor MAC-reuse pathology).
+func (s *Study) Fig11() (core.IID, []plot.Series) {
+	multi := s.Corpus.MultiASIIDs()
+	var best *core.MultiASIID
+	for i := range multi {
+		m := &multi[i]
+		if !m.Overlapping {
+			continue
+		}
+		if best == nil || len(m.ASNs) > len(best.ASNs) {
+			best = m
+		}
+	}
+	if best == nil {
+		return 0, nil
+	}
+	var series []plot.Series
+	for i, asn := range best.ASNs {
+		sr := plot.Series{Name: fmt.Sprintf("AS%d", asn)}
+		for _, d := range best.DaysByAS[asn] {
+			sr.Points = append(sr.Points, analysis.Point{X: float64(d), Y: float64(i)})
+		}
+		series = append(series, sr)
+	}
+	return best.IID, series
+}
+
+// Fig11Render plots the reused IID's daily AS presence.
+func (s *Study) Fig11Render(w io.Writer) error {
+	iid, series := s.Fig11()
+	if series == nil {
+		fmt.Fprintln(w, "Figure 11: no overlapping multi-AS IID observed")
+		return nil
+	}
+	mac, _ := ip6.MACFromEUI64(uint64(iid))
+	fmt.Fprintf(w, "Figure 11: IID %016x (MAC %s) observed in %d ASes\n", uint64(iid), mac, len(series))
+	return plot.SeriesASCII(series, 66, 10, "day", "AS index", w)
+}
+
+// Fig12 returns the provider-switch series: for each clean switch, the
+// device's observed /64 positions over time across both ASes.
+func (s *Study) Fig12(max int) []plot.Series {
+	switches := s.Corpus.ProviderSwitches()
+	if len(switches) > max {
+		switches = switches[:max]
+	}
+	var out []plot.Series
+	for _, sw := range switches {
+		sr := plot.Series{Name: fmt.Sprintf("AS%d to AS%d", sw.FromASN, sw.ToASN)}
+		for _, tp := range s.Corpus.TimeSeries(sw.IID) {
+			// Collapse the huge address gap between providers: plot the
+			// low 16 bits of the /48 index plus an AS offset.
+			y := float64(tp.PrefixHi>>16&0xffff) / 65536
+			if s.Corpus.OriginASN(addrFromHi(tp.PrefixHi)) == sw.ToASN {
+				y += 1.5
+			}
+			sr.Points = append(sr.Points, analysis.Point{X: float64(tp.Day), Y: y})
+		}
+		out = append(out, sr)
+	}
+	return out
+}
+
+func addrFromHi(hi uint64) ip6.Addr {
+	return ip6.AddrFromBytes(append(be64(hi), make([]byte, 8)...))
+}
+
+func be64(v uint64) []byte {
+	b := make([]byte, 8)
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+	return b
+}
+
+// Fig12Render plots provider switches.
+func (s *Study) Fig12Render(w io.Writer) error {
+	series := s.Fig12(2)
+	fmt.Fprintf(w, "Figure 12: %d devices switching between providers\n", len(series))
+	if len(series) == 0 {
+		return nil
+	}
+	return plot.SeriesASCII(series, 66, 12, "day", "position (upper band = new AS)", w)
+}
+
+// Table1Render prints the top rotating ASNs and countries.
+func (s *Study) Table1Render(k int, w io.Writer) error {
+	byASN, byCC := core.Table1(s.Env.World.RIB(), s.Discovery.Rotating48s, k)
+	fmt.Fprintf(w, "Table 1: top %d ASNs and countries by rotating /48 count (total %d)\n",
+		k, len(s.Discovery.Rotating48s))
+	rows := [][]string{}
+	for i := 0; i < len(byASN) || i < len(byCC); i++ {
+		row := []string{"", "", "", ""}
+		if i < len(byASN) {
+			row[0], row[1] = byASN[i].Key, fmt.Sprintf("%d", byASN[i].Count)
+		}
+		if i < len(byCC) {
+			row[2], row[3] = byCC[i].Key, fmt.Sprintf("%d", byCC[i].Count)
+		}
+		rows = append(rows, row)
+	}
+	return plot.Table([]string{"ASN", "# /48", "Country", "# /48"}, rows, w)
+}
+
+// PipelineRender prints the §4 stage counts.
+func (s *Study) PipelineRender(w io.Writer) error {
+	d := s.Discovery
+	fmt.Fprintf(w, "Pipeline stage counts (paper: 938 /32s -> 48,970 validated -> 17,513 high / 27,429 low / 4,028 none -> 12,885 rotating)\n")
+	fmt.Fprintf(w, "  seed /32s:       %d\n", len(d.Seed32s))
+	fmt.Fprintf(w, "  validated /48s:  %d\n", len(d.Validated48s))
+	fmt.Fprintf(w, "  high density:    %d\n", len(d.HighDensity))
+	fmt.Fprintf(w, "  low density:     %d\n", len(d.LowDensity))
+	fmt.Fprintf(w, "  no response:     %d\n", len(d.NoResponse))
+	fmt.Fprintf(w, "  rotating /48s:   %d\n", len(d.Rotating48s))
+	fmt.Fprintf(w, "  addresses found: %d total, %d EUI-64, %d unique IIDs\n",
+		d.TotalAddrs, d.EUIAddrs, d.UniqueIIDs)
+	fmt.Fprintf(w, "  probes sent:     %d\n", d.ProbesSent)
+	return nil
+}
+
+// IntervalRender prints the per-AS rotation-period estimates — the
+// paper's §4.3 future work ("rotations on a weekly or monthly basis"),
+// answerable from the longitudinal corpus.
+func (s *Study) IntervalRender(w io.Writer) error {
+	byAS := core.RotationIntervalByAS(s.Corpus.IntervalSamples())
+	asns := make([]uint32, 0, len(byAS))
+	for asn := range byAS {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	fmt.Fprintf(w, "Rotation-interval estimates (extension): %d ASes with observable rotation\n", len(asns))
+	rows := make([][]string, 0, len(asns))
+	for _, asn := range asns {
+		if asn == 0 {
+			continue
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", asn),
+			fmt.Sprintf("%.1f", byAS[asn]),
+		})
+	}
+	return plot.Table([]string{"ASN", "period (days)"}, rows, w)
+}
+
+// CampaignRender prints the §5 headline numbers.
+func (s *Study) CampaignRender(w io.Writer) error {
+	total, eui := s.Corpus.UniqueAddrs()
+	fmt.Fprintf(w, "Campaign totals over %d days (paper: 37B probes, 24B responses, 134M unique addrs, 110M EUI-64, 9M IIDs)\n", s.Cfg.CampaignDays)
+	fmt.Fprintf(w, "  probes:          %d\n", s.Corpus.TotalProbes)
+	fmt.Fprintf(w, "  responses:       %d\n", s.Corpus.TotalResponses)
+	fmt.Fprintf(w, "  unique addrs:    %d (%d EUI-64)\n", total, eui)
+	fmt.Fprintf(w, "  unique IIDs:     %d\n", s.Corpus.NumIIDs())
+	return nil
+}

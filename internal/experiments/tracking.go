@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"followscent/internal/analysis"
+	"followscent/internal/core"
+	"followscent/internal/ip6"
+	"followscent/internal/plot"
+)
+
+// The §6 case study: select ten EUI-64 IIDs (one per country/AS, no
+// multi-AS pathologies), then track them for a week with the Figure 2
+// search-space reduction, recording probes-to-find and day outcomes.
+
+// Cohort is a set of tracked devices.
+type Cohort struct {
+	States []*core.TrackState
+	// PerDay[d] summarizes day d across the cohort (Figure 13).
+	PerDay []CohortDay
+}
+
+// CohortDay is one day of Figure 13.
+type CohortDay struct {
+	Day   int
+	Found int
+	Moved int // found in a different /64 than the day before
+	Same  int // found in the same /64
+}
+
+// SelectCohort picks up to n tracking targets from the latest campaign
+// day: EUI-64 IIDs observed on that day, excluding IIDs seen in several
+// ASes (§5.5 pathologies), at most one per (country, AS). With
+// requireRotation, only devices already seen in more than one /64
+// qualify (the Figure 13b cohort).
+func (s *Study) SelectCohort(n int, requireRotation bool) ([]*core.TrackState, error) {
+	days := s.Corpus.Days()
+	if len(days) == 0 {
+		return nil, fmt.Errorf("experiments: empty corpus")
+	}
+	lastDay := days[len(days)-1]
+	usedAS := map[uint32]bool{}
+	usedCC := map[string]bool{}
+	var out []*core.TrackState
+	for _, iid := range s.Corpus.IIDs() {
+		if len(out) >= n {
+			break
+		}
+		rec, _ := s.Corpus.Lookup(iid)
+		if len(rec.ASNs()) != 1 {
+			continue // multi-AS pathology: excluded by the paper
+		}
+		if requireRotation && rec.PrefixCount() < 2 {
+			continue
+		}
+		// Current address: the device must have answered on the last day.
+		var last ip6.Addr
+		for i := len(rec.Days) - 1; i >= 0; i-- {
+			if rec.Days[i].Day == lastDay {
+				last = rec.Days[i].Resp
+				break
+			}
+		}
+		if last.IsZero() {
+			continue
+		}
+		route, ok := s.Corpus.RIB().Lookup(last)
+		if !ok || usedAS[route.ASN] || usedCC[route.Country] {
+			continue
+		}
+		st, err := core.NewTrackState(last)
+		if err != nil {
+			continue
+		}
+		usedAS[route.ASN] = true
+		usedCC[route.Country] = true
+		out = append(out, st)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: no eligible tracking targets")
+	}
+	return out, nil
+}
+
+// TrackCohort follows every device in states for the given number of
+// days, interleaved (all devices probed each day, then the clock
+// advances), exactly like the paper's week-long case study.
+func (s *Study) TrackCohort(ctx context.Context, states []*core.TrackState, days int) (*Cohort, error) {
+	tracker := &core.Tracker{
+		Scanner:   s.Env.Scanner,
+		RIB:       s.Env.World.RIB(),
+		AllocBits: s.AllocByAS,
+		PoolBits:  s.PoolByAS,
+	}
+	c := &Cohort{States: states}
+	for d := 0; d < days; d++ {
+		day := CohortDay{Day: d}
+		for i, st := range states {
+			td, err := tracker.Step(ctx, st, d, s.Cfg.Salt^0x77ac^uint64(d)<<16^uint64(i))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: tracking device %d day %d: %w", i, d, err)
+			}
+			if td.Found {
+				day.Found++
+				if td.Moved {
+					day.Moved++
+				} else {
+					day.Same++
+				}
+			}
+		}
+		c.PerDay = append(c.PerDay, day)
+		if d != days-1 {
+			s.Env.Wait(24 * time.Hour)
+		}
+	}
+	return c, nil
+}
+
+// Table2Row is one line of the paper's Table 2.
+type Table2Row struct {
+	Index      int
+	MeanProbes float64
+	StdProbes  float64
+	BGPBits    int
+	ASN        uint32
+	Country    string
+	DaysFound  int
+	Slash64s   int
+}
+
+// Table2 summarizes a tracked cohort.
+func (s *Study) Table2(c *Cohort) []Table2Row {
+	var rows []Table2Row
+	for i, st := range c.States {
+		sum := core.Summarize(st)
+		row := Table2Row{
+			Index:      i + 1,
+			MeanProbes: sum.MeanProbes,
+			StdProbes:  sum.StdProbes,
+			DaysFound:  sum.DaysFound,
+			Slash64s:   sum.Slash64s,
+		}
+		if route, ok := s.Corpus.RIB().Lookup(st.LastSeen); ok {
+			row.BGPBits = route.Prefix.Bits()
+			row.ASN = route.ASN
+			row.Country = route.Country
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Index < rows[j].Index })
+	return rows
+}
+
+// Table2Render prints the cohort summary in the paper's column layout.
+func (s *Study) Table2Render(c *Cohort, w io.Writer) error {
+	rows := s.Table2(c)
+	fmt.Fprintln(w, "Table 2: prefix-changing EUI-64 IIDs tracked over one week")
+	headers := []string{"IID", "Mean Probes / StdDev", "BGP", "ASN", "CC", "# Days", "# /64"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprintf("#%d", r.Index),
+			fmt.Sprintf("%.1f / %.1f", r.MeanProbes, r.StdProbes),
+			fmt.Sprintf("/%d", r.BGPBits),
+			fmt.Sprintf("%d", r.ASN),
+			r.Country,
+			fmt.Sprintf("%d", r.DaysFound),
+			fmt.Sprintf("%d", r.Slash64s),
+		})
+	}
+	return plot.Table(headers, cells, w)
+}
+
+// Fig13Render plots a cohort's daily outcome counts.
+func Fig13Render(c *Cohort, title string, w io.Writer) error {
+	found := plot.Series{Name: "# IID Found"}
+	moved := plot.Series{Name: "# IID in Different /64 Prefix"}
+	same := plot.Series{Name: "# IID in Same /64 Prefix"}
+	for _, d := range c.PerDay {
+		found.Points = append(found.Points, analysis.Point{X: float64(d.Day), Y: float64(d.Found)})
+		moved.Points = append(moved.Points, analysis.Point{X: float64(d.Day), Y: float64(d.Moved)})
+		same.Points = append(same.Points, analysis.Point{X: float64(d.Day), Y: float64(d.Same)})
+	}
+	fmt.Fprintf(w, "%s (%d devices)\n", title, len(c.States))
+	return plot.SeriesASCII([]plot.Series{found, moved, same}, 60, 12, "day", "count of IID", w)
+}

@@ -1,0 +1,347 @@
+// Package icmp6 implements the ICMPv6 (RFC 4443) and fixed IPv6 header
+// (RFC 8200) wire formats used by the prober and the network simulator.
+//
+// The paper's measurement primitive is: send an ICMPv6 Echo Request to a
+// random IID inside a candidate customer subnet and record the *source
+// address* of whatever ICMPv6 message comes back — usually a Destination
+// Unreachable (No Route / Administratively Prohibited / Address
+// Unreachable) or Hop Limit Exceeded originated by the CPE (§3.1). The
+// particular type/code does not matter to the method; all of them reveal
+// the CPE's WAN address.
+//
+// Marshalling follows the gopacket DecodingLayerParser philosophy: parsing
+// decodes into caller-owned structs and the hot paths do not allocate.
+package icmp6
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"followscent/internal/ip6"
+)
+
+// ICMPv6 message types used in this study.
+const (
+	TypeDestinationUnreachable = 1
+	TypePacketTooBig           = 2
+	TypeTimeExceeded           = 3
+	TypeParameterProblem       = 4
+	TypeEchoRequest            = 128
+	TypeEchoReply              = 129
+)
+
+// Destination Unreachable codes (RFC 4443 §3.1).
+const (
+	CodeNoRoute         = 0
+	CodeAdminProhibited = 1
+	CodeBeyondScope     = 2
+	CodeAddrUnreachable = 3
+	CodePortUnreachable = 4
+)
+
+// Time Exceeded codes.
+const (
+	CodeHopLimitExceeded = 0
+)
+
+// ProtoICMPv6 is the IPv6 Next Header value for ICMPv6.
+const ProtoICMPv6 = 58
+
+// HeaderLen is the length of the fixed IPv6 header.
+const HeaderLen = 40
+
+// TypeName returns a human-readable name for an ICMPv6 type/code pair.
+func TypeName(typ, code uint8) string {
+	switch typ {
+	case TypeDestinationUnreachable:
+		switch code {
+		case CodeNoRoute:
+			return "unreach/no-route"
+		case CodeAdminProhibited:
+			return "unreach/admin-prohibited"
+		case CodeBeyondScope:
+			return "unreach/beyond-scope"
+		case CodeAddrUnreachable:
+			return "unreach/addr-unreachable"
+		case CodePortUnreachable:
+			return "unreach/port-unreachable"
+		}
+		return fmt.Sprintf("unreach/%d", code)
+	case TypeTimeExceeded:
+		if code == CodeHopLimitExceeded {
+			return "time-exceeded/hop-limit"
+		}
+		return fmt.Sprintf("time-exceeded/%d", code)
+	case TypeEchoRequest:
+		return "echo-request"
+	case TypeEchoReply:
+		return "echo-reply"
+	}
+	return fmt.Sprintf("icmp6/%d/%d", typ, code)
+}
+
+// Header is the fixed IPv6 header.
+type Header struct {
+	TrafficClass uint8
+	FlowLabel    uint32 // 20 bits
+	PayloadLen   uint16
+	NextHeader   uint8
+	HopLimit     uint8
+	Src, Dst     ip6.Addr
+}
+
+// MarshalTo writes the 40-byte header into b, which must have room.
+func (h *Header) MarshalTo(b []byte) {
+	_ = b[HeaderLen-1]
+	b[0] = 6<<4 | h.TrafficClass>>4
+	b[1] = h.TrafficClass<<4 | uint8(h.FlowLabel>>16)
+	binary.BigEndian.PutUint16(b[2:4], uint16(h.FlowLabel))
+	binary.BigEndian.PutUint16(b[4:6], h.PayloadLen)
+	b[6] = h.NextHeader
+	b[7] = h.HopLimit
+	src, dst := h.Src.As16(), h.Dst.As16()
+	copy(b[8:24], src[:])
+	copy(b[24:40], dst[:])
+}
+
+// Errors returned by the parsers.
+var (
+	ErrTruncated   = errors.New("icmp6: truncated packet")
+	ErrNotIPv6     = errors.New("icmp6: not an IPv6 packet")
+	ErrNotICMPv6   = errors.New("icmp6: next header is not ICMPv6")
+	ErrBadChecksum = errors.New("icmp6: bad checksum")
+)
+
+// Unmarshal parses the 40-byte fixed header from b.
+func (h *Header) Unmarshal(b []byte) error {
+	if len(b) < HeaderLen {
+		return ErrTruncated
+	}
+	if b[0]>>4 != 6 {
+		return ErrNotIPv6
+	}
+	h.TrafficClass = b[0]<<4 | b[1]>>4
+	h.FlowLabel = uint32(b[1]&0x0f)<<16 | uint32(binary.BigEndian.Uint16(b[2:4]))
+	h.PayloadLen = binary.BigEndian.Uint16(b[4:6])
+	h.NextHeader = b[6]
+	h.HopLimit = b[7]
+	h.Src = ip6.AddrFromBytes(b[8:24])
+	h.Dst = ip6.AddrFromBytes(b[24:40])
+	return nil
+}
+
+// Checksum computes the ICMPv6 checksum of payload under the IPv6
+// pseudo-header (RFC 4443 §2.3): source, destination, upper-layer length
+// and next-header 58. The checksum field inside payload must be zeroed by
+// the caller (or the result interpreted as a verification sum).
+func Checksum(src, dst ip6.Addr, payload []byte) uint16 {
+	// Accumulate 64 bits at a time (the ones-complement sum is
+	// fold-invariant), then fold down to 16 bits.
+	var sum uint64
+	s, d := src.As16(), dst.As16()
+	for i := 0; i < 16; i += 8 {
+		sum = add64c(sum, binary.BigEndian.Uint64(s[i:]))
+		sum = add64c(sum, binary.BigEndian.Uint64(d[i:]))
+	}
+	sum = add64c(sum, uint64(len(payload)))
+	sum = add64c(sum, ProtoICMPv6)
+	for len(payload) >= 8 {
+		sum = add64c(sum, binary.BigEndian.Uint64(payload))
+		payload = payload[8:]
+	}
+	if len(payload) > 0 {
+		var tail [8]byte
+		copy(tail[:], payload)
+		sum = add64c(sum, binary.BigEndian.Uint64(tail[:]))
+	}
+	// Fold 64 -> 16 bits.
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// add64c is ones-complement 64-bit addition (add with end-around carry).
+func add64c(a, b uint64) uint64 {
+	s, c := bits.Add64(a, b, 0)
+	return s + c
+}
+
+// Message is a parsed ICMPv6 message. Body aliases the input buffer
+// (NoCopy-style); callers that retain it across reads must copy.
+type Message struct {
+	Type     uint8
+	Code     uint8
+	Checksum uint16
+	Body     []byte // everything after the 4-byte type/code/checksum
+}
+
+// echoBodyLen is the fixed Identifier+Sequence part of an echo body.
+const echoBodyLen = 4
+
+// UnmarshalMessage parses an ICMPv6 message (no IPv6 header) from b.
+func (m *Message) UnmarshalMessage(b []byte) error {
+	if len(b) < 4 {
+		return ErrTruncated
+	}
+	m.Type = b[0]
+	m.Code = b[1]
+	m.Checksum = binary.BigEndian.Uint16(b[2:4])
+	m.Body = b[4:]
+	return nil
+}
+
+// Echo returns the identifier and sequence number of an Echo Request or
+// Reply body, and ok=false if the message is not an echo or is truncated.
+func (m *Message) Echo() (id, seq uint16, ok bool) {
+	if m.Type != TypeEchoRequest && m.Type != TypeEchoReply {
+		return 0, 0, false
+	}
+	if len(m.Body) < echoBodyLen {
+		return 0, 0, false
+	}
+	return binary.BigEndian.Uint16(m.Body[0:2]), binary.BigEndian.Uint16(m.Body[2:4]), true
+}
+
+// EchoPayload returns the data portion of an echo message.
+func (m *Message) EchoPayload() []byte {
+	if len(m.Body) < echoBodyLen {
+		return nil
+	}
+	return m.Body[echoBodyLen:]
+}
+
+// InvokingPacket returns the quoted original packet carried in an error
+// message (Destination Unreachable / Time Exceeded), skipping the 4-byte
+// unused/MTU field, and ok=false for non-error messages.
+func (m *Message) InvokingPacket() ([]byte, bool) {
+	switch m.Type {
+	case TypeDestinationUnreachable, TypePacketTooBig, TypeTimeExceeded, TypeParameterProblem:
+	default:
+		return nil, false
+	}
+	if len(m.Body) < 4 {
+		return nil, false
+	}
+	return m.Body[4:], true
+}
+
+// IsError reports whether m is an ICMPv6 error message (type < 128).
+func (m *Message) IsError() bool { return m.Type < 128 }
+
+// Packet assembly ----------------------------------------------------------
+
+// DefaultHopLimit is used for crafted probe packets.
+const DefaultHopLimit = 64
+
+// AppendEchoRequest appends a full IPv6+ICMPv6 Echo Request packet to dst
+// and returns the extended slice. With a sufficiently large dst capacity
+// the call does not allocate — this is the prober's hot path.
+func AppendEchoRequest(dst []byte, src, target ip6.Addr, id, seq uint16, data []byte) []byte {
+	icmpLen := 4 + echoBodyLen + len(data)
+	h := Header{
+		PayloadLen: uint16(icmpLen),
+		NextHeader: ProtoICMPv6,
+		HopLimit:   DefaultHopLimit,
+		Src:        src,
+		Dst:        target,
+	}
+	off := len(dst)
+	dst = append(dst, make([]byte, HeaderLen+icmpLen)...)
+	h.MarshalTo(dst[off:])
+	p := dst[off+HeaderLen:]
+	p[0] = TypeEchoRequest
+	p[1] = 0
+	p[2], p[3] = 0, 0
+	binary.BigEndian.PutUint16(p[4:6], id)
+	binary.BigEndian.PutUint16(p[6:8], seq)
+	copy(p[8:], data)
+	cs := Checksum(src, target, p)
+	binary.BigEndian.PutUint16(p[2:4], cs)
+	return dst
+}
+
+// AppendEchoReply appends a full Echo Reply packet answering the given
+// echo parameters.
+func AppendEchoReply(dst []byte, src, to ip6.Addr, id, seq uint16, data []byte) []byte {
+	b := AppendEchoRequest(dst, src, to, id, seq, data)
+	p := b[len(dst)+HeaderLen:]
+	p[0] = TypeEchoReply
+	p[2], p[3] = 0, 0
+	cs := Checksum(src, to, p)
+	binary.BigEndian.PutUint16(p[2:4], cs)
+	return b
+}
+
+// maxQuoted bounds the quoted invoking packet in error messages, keeping
+// the whole error within the IPv6 minimum MTU as RFC 4443 requires.
+const maxQuoted = 1232 - 8
+
+// AppendError appends a full ICMPv6 error packet (Destination Unreachable
+// or Time Exceeded) quoting the invoking packet, originated by src and
+// sent to the original prober at to.
+func AppendError(dst []byte, typ, code uint8, src, to ip6.Addr, invoking []byte) []byte {
+	if len(invoking) > maxQuoted {
+		invoking = invoking[:maxQuoted]
+	}
+	icmpLen := 4 + 4 + len(invoking)
+	h := Header{
+		PayloadLen: uint16(icmpLen),
+		NextHeader: ProtoICMPv6,
+		HopLimit:   DefaultHopLimit,
+		Src:        src,
+		Dst:        to,
+	}
+	off := len(dst)
+	dst = append(dst, make([]byte, HeaderLen+icmpLen)...)
+	h.MarshalTo(dst[off:])
+	p := dst[off+HeaderLen:]
+	p[0] = typ
+	p[1] = code
+	// bytes 2-3 checksum, 4-7 unused/MTU: zero
+	copy(p[8:], invoking)
+	cs := Checksum(src, to, p)
+	binary.BigEndian.PutUint16(p[2:4], cs)
+	return dst
+}
+
+// Packet is a fully parsed IPv6+ICMPv6 packet.
+type Packet struct {
+	Header  Header
+	Message Message
+}
+
+// Unmarshal parses a full IPv6+ICMPv6 packet, verifying the checksum.
+// The Message body aliases b.
+func (p *Packet) Unmarshal(b []byte) error {
+	return p.unmarshal(b, true)
+}
+
+// UnmarshalNoVerify parses without checksum verification — for the
+// quoted invoking packet inside an error message, whose integrity is
+// established by the prober's own validation fields instead.
+func (p *Packet) UnmarshalNoVerify(b []byte) error {
+	return p.unmarshal(b, false)
+}
+
+func (p *Packet) unmarshal(b []byte, verify bool) error {
+	if err := p.Header.Unmarshal(b); err != nil {
+		return err
+	}
+	if p.Header.NextHeader != ProtoICMPv6 {
+		return ErrNotICMPv6
+	}
+	payload := b[HeaderLen:]
+	if len(payload) < int(p.Header.PayloadLen) {
+		return ErrTruncated
+	}
+	payload = payload[:p.Header.PayloadLen]
+	if verify && Checksum(p.Header.Src, p.Header.Dst, payload) != 0 {
+		// Verifying over a buffer that includes the transmitted checksum
+		// yields 0 (i.e. ^0xffff) exactly when the checksum is valid.
+		return ErrBadChecksum
+	}
+	return p.Message.UnmarshalMessage(payload)
+}

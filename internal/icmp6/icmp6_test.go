@@ -1,0 +1,250 @@
+package icmp6
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"followscent/internal/ip6"
+)
+
+var (
+	srcAddr = ip6.MustParseAddr("2001:db8:ffff::53")
+	dstAddr = ip6.MustParseAddr("2001:16b8:501:aa00:1234:5678:9abc:def0")
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{
+		TrafficClass: 0xb8,
+		FlowLabel:    0xabcde,
+		PayloadLen:   123,
+		NextHeader:   ProtoICMPv6,
+		HopLimit:     64,
+		Src:          srcAddr,
+		Dst:          dstAddr,
+	}
+	var b [HeaderLen]byte
+	h.MarshalTo(b[:])
+	var got Header
+	if err := got.Unmarshal(b[:]); err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, h)
+	}
+	if b[0]>>4 != 6 {
+		t.Error("version nibble != 6")
+	}
+}
+
+func TestHeaderRejects(t *testing.T) {
+	var h Header
+	if err := h.Unmarshal(make([]byte, 10)); err != ErrTruncated {
+		t.Errorf("short: %v", err)
+	}
+	b := make([]byte, HeaderLen)
+	b[0] = 4 << 4
+	if err := h.Unmarshal(b); err != ErrNotIPv6 {
+		t.Errorf("v4: %v", err)
+	}
+}
+
+func TestEchoRequestRoundTrip(t *testing.T) {
+	data := []byte("scent-probe")
+	pkt := AppendEchoRequest(nil, srcAddr, dstAddr, 0xbeef, 42, data)
+
+	var p Packet
+	if err := p.Unmarshal(pkt); err != nil {
+		t.Fatal(err)
+	}
+	if p.Header.Src != srcAddr || p.Header.Dst != dstAddr {
+		t.Error("addresses mismatch")
+	}
+	if p.Message.Type != TypeEchoRequest || p.Message.Code != 0 {
+		t.Errorf("type/code = %d/%d", p.Message.Type, p.Message.Code)
+	}
+	id, seq, ok := p.Message.Echo()
+	if !ok || id != 0xbeef || seq != 42 {
+		t.Errorf("echo id/seq = %#x/%d/%v", id, seq, ok)
+	}
+	if !bytes.Equal(p.Message.EchoPayload(), data) {
+		t.Errorf("payload = %q", p.Message.EchoPayload())
+	}
+	if p.Message.IsError() {
+		t.Error("echo request classified as error")
+	}
+}
+
+func TestEchoReply(t *testing.T) {
+	pkt := AppendEchoReply(nil, dstAddr, srcAddr, 7, 8, []byte("pong"))
+	var p Packet
+	if err := p.Unmarshal(pkt); err != nil {
+		t.Fatal(err)
+	}
+	if p.Message.Type != TypeEchoReply {
+		t.Fatalf("type = %d", p.Message.Type)
+	}
+	id, seq, ok := p.Message.Echo()
+	if !ok || id != 7 || seq != 8 {
+		t.Errorf("echo = %d/%d/%v", id, seq, ok)
+	}
+}
+
+func TestErrorMessageQuotesInvoking(t *testing.T) {
+	probe := AppendEchoRequest(nil, srcAddr, dstAddr, 1, 2, []byte("x"))
+	cpe := ip6.MustParseAddr("2001:16b8:501:aa00:3a10:d5ff:feaa:bbcc")
+	errPkt := AppendError(nil, TypeDestinationUnreachable, CodeAddrUnreachable, cpe, srcAddr, probe)
+
+	var p Packet
+	if err := p.Unmarshal(errPkt); err != nil {
+		t.Fatal(err)
+	}
+	if p.Header.Src != cpe {
+		t.Errorf("error source = %s, want CPE", p.Header.Src)
+	}
+	if !p.Message.IsError() {
+		t.Error("not classified as error")
+	}
+	quoted, ok := p.Message.InvokingPacket()
+	if !ok {
+		t.Fatal("no invoking packet")
+	}
+	if !bytes.Equal(quoted, probe) {
+		t.Error("invoking packet not quoted verbatim")
+	}
+	// The quoted packet parses back to the original probe.
+	var q Packet
+	if err := q.Unmarshal(quoted); err != nil {
+		t.Fatal(err)
+	}
+	if q.Header.Dst != dstAddr {
+		t.Errorf("quoted dst = %s", q.Header.Dst)
+	}
+}
+
+func TestErrorTruncatesLargeInvoking(t *testing.T) {
+	big := make([]byte, 4096)
+	pkt := AppendError(nil, TypeTimeExceeded, CodeHopLimitExceeded, srcAddr, dstAddr, big)
+	var p Packet
+	if err := p.Unmarshal(pkt); err != nil {
+		t.Fatal(err)
+	}
+	quoted, _ := p.Message.InvokingPacket()
+	if len(quoted) != maxQuoted {
+		t.Errorf("quoted %d bytes, want %d", len(quoted), maxQuoted)
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	pkt := AppendEchoRequest(nil, srcAddr, dstAddr, 1, 1, []byte("hello"))
+	for _, i := range []int{HeaderLen, HeaderLen + 5, len(pkt) - 1} {
+		corrupt := append([]byte(nil), pkt...)
+		corrupt[i] ^= 0x40
+		var p Packet
+		if err := p.Unmarshal(corrupt); err != ErrBadChecksum {
+			t.Errorf("corruption at %d: err = %v, want ErrBadChecksum", i, err)
+		}
+	}
+}
+
+func TestChecksumKnownProperties(t *testing.T) {
+	// Checksum over a buffer with the checksum field set must verify to 0.
+	f := func(payload []byte) bool {
+		if len(payload) < 4 {
+			payload = append(payload, 0, 0, 0, 0)
+		}
+		p := append([]byte(nil), payload...)
+		p[2], p[3] = 0, 0
+		cs := Checksum(srcAddr, dstAddr, p)
+		p[2], p[3] = byte(cs>>8), byte(cs)
+		return Checksum(srcAddr, dstAddr, p) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	odd := []byte{TypeEchoRequest, 0, 0, 0, 1, 2, 3} // 7 bytes
+	cs := Checksum(srcAddr, dstAddr, odd)
+	odd[2], odd[3] = byte(cs>>8), byte(cs)
+	if Checksum(srcAddr, dstAddr, odd) != 0 {
+		t.Fatal("odd-length checksum does not verify")
+	}
+}
+
+func TestUnmarshalRejectsNonICMP(t *testing.T) {
+	h := Header{PayloadLen: 0, NextHeader: 17, HopLimit: 1, Src: srcAddr, Dst: dstAddr}
+	b := make([]byte, HeaderLen)
+	h.MarshalTo(b)
+	var p Packet
+	if err := p.Unmarshal(b); err != ErrNotICMPv6 {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestUnmarshalRejectsTruncatedPayload(t *testing.T) {
+	pkt := AppendEchoRequest(nil, srcAddr, dstAddr, 1, 1, nil)
+	var p Packet
+	if err := p.Unmarshal(pkt[:len(pkt)-2]); err != ErrTruncated {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTypeName(t *testing.T) {
+	cases := map[string]string{
+		TypeName(TypeDestinationUnreachable, CodeNoRoute):         "unreach/no-route",
+		TypeName(TypeDestinationUnreachable, CodeAdminProhibited): "unreach/admin-prohibited",
+		TypeName(TypeDestinationUnreachable, CodeAddrUnreachable): "unreach/addr-unreachable",
+		TypeName(TypeTimeExceeded, CodeHopLimitExceeded):          "time-exceeded/hop-limit",
+		TypeName(TypeEchoRequest, 0):                              "echo-request",
+		TypeName(TypeEchoReply, 0):                                "echo-reply",
+		TypeName(200, 3):                                          "icmp6/200/3",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("TypeName = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestEchoOnNonEcho(t *testing.T) {
+	m := Message{Type: TypeDestinationUnreachable, Body: []byte{0, 0, 0, 0}}
+	if _, _, ok := m.Echo(); ok {
+		t.Error("Echo ok on error message")
+	}
+	if _, ok := m.InvokingPacket(); !ok {
+		t.Error("InvokingPacket not ok on unreachable")
+	}
+	m2 := Message{Type: TypeEchoRequest, Body: []byte{0, 0, 0, 0}}
+	if _, ok := m2.InvokingPacket(); ok {
+		t.Error("InvokingPacket ok on echo")
+	}
+}
+
+func TestAppendReusesBuffer(t *testing.T) {
+	buf := make([]byte, 0, 2048)
+	p1 := AppendEchoRequest(buf, srcAddr, dstAddr, 1, 1, nil)
+	if cap(p1) != cap(buf) {
+		t.Fatal("AppendEchoRequest reallocated despite capacity")
+	}
+}
+
+func BenchmarkAppendEchoRequest(b *testing.B) {
+	buf := make([]byte, 0, 2048)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendEchoRequest(buf[:0], srcAddr, dstAddr, 1, uint16(i), nil)
+	}
+}
+
+func BenchmarkUnmarshalPacket(b *testing.B) {
+	pkt := AppendEchoRequest(nil, srcAddr, dstAddr, 1, 1, []byte("payload"))
+	var p Packet
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := p.Unmarshal(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

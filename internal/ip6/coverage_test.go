@@ -1,0 +1,110 @@
+package ip6
+
+import (
+	"net/netip"
+	"testing"
+
+	"followscent/internal/uint128"
+)
+
+// Tests for accessors and edge branches not touched by the main suite.
+
+func TestAddrAccessors(t *testing.T) {
+	a := MustParseAddr("2001:db8::42")
+	if a.Uint128() != uint128.New(0x20010db800000000, 0x42) {
+		t.Errorf("Uint128 = %v", a.Uint128())
+	}
+	b := a.As16()
+	if b[0] != 0x20 || b[15] != 0x42 {
+		t.Errorf("As16 = %v", b)
+	}
+	if a.IsZero() {
+		t.Error("non-zero addr IsZero")
+	}
+	if !MustParseAddr("::").IsZero() {
+		t.Error(":: not IsZero")
+	}
+	if a.Cmp(a) != 0 || !MustParseAddr("::1").Less(a) || a.Less(MustParseAddr("::1")) {
+		t.Error("Cmp/Less ordering")
+	}
+	if got := a.TruncateTo(32).String(); got != "2001:db8::/32" {
+		t.Errorf("TruncateTo = %s", got)
+	}
+}
+
+func TestPrefixAccessors(t *testing.T) {
+	p := MustParsePrefix("2001:db8::/56")
+	if p.Bits() != 56 {
+		t.Errorf("Bits = %d", p.Bits())
+	}
+	if p.IsZero() {
+		t.Error("real prefix IsZero")
+	}
+	var zero Prefix
+	if !zero.IsZero() {
+		t.Error("zero prefix not IsZero")
+	}
+	a := MustParsePrefix("2001:db8::/48")
+	b := MustParsePrefix("2001:db8:0:ff00::/56")
+	c := MustParsePrefix("2001:db9::/48")
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("nested prefixes do not overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("disjoint prefixes overlap")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"addr":   func() { MustParseAddr("bogus") },
+		"prefix": func() { MustParsePrefix("bogus") },
+		"mac":    func() { MustParseMAC("bogus") },
+		"v4":     func() { MustParseAddr("10.0.0.1") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAddrFromNetipPanicsOnV4(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for IPv4 netip.Addr")
+		}
+	}()
+	AddrFromNetip(netip.MustParseAddr("192.0.2.1"))
+}
+
+func TestPrefixFromPanicsOnBadBits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for bits=129")
+		}
+	}()
+	PrefixFrom(MustParseAddr("::"), 129)
+}
+
+func TestMACFromEUI64NonEUI(t *testing.T) {
+	if _, ok := MACFromEUI64(0x1234567890abcdef); ok {
+		t.Error("non-EUI IID decoded")
+	}
+	if _, ok := MACFromAddr(MustParseAddr("2001:db8::1")); ok {
+		t.Error("non-EUI addr decoded")
+	}
+}
+
+func TestNumSubprefixesPanicsBackwards(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for subBits < bits")
+		}
+	}()
+	MustParsePrefix("2001:db8::/48").NumSubprefixes(32)
+}

@@ -1,0 +1,107 @@
+package ip6
+
+import (
+	"fmt"
+)
+
+// MAC is an IEEE 802 48-bit hardware address.
+type MAC [6]byte
+
+// OUI is the Organizationally Unique Identifier: the three high-order
+// bytes of a MAC, assigned by the IEEE to a manufacturer.
+type OUI [3]byte
+
+// OUI returns the manufacturer portion of the MAC.
+func (m MAC) OUI() OUI { return OUI{m[0], m[1], m[2]} }
+
+// String formats the MAC in canonical colon-separated form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// String formats the OUI in canonical colon-separated form.
+func (o OUI) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x", o[0], o[1], o[2])
+}
+
+// IsZero reports whether m is 00:00:00:00:00:00. The paper (§5.5) observes
+// this all-zero MAC in 12 distinct ASes, apparently used as a default when
+// an interface has no burned-in address.
+func (m MAC) IsZero() bool { return m == MAC{} }
+
+// ParseMAC parses a colon-separated MAC address.
+func ParseMAC(s string) (MAC, error) {
+	var m MAC
+	n, err := fmt.Sscanf(s, "%02x:%02x:%02x:%02x:%02x:%02x",
+		&m[0], &m[1], &m[2], &m[3], &m[4], &m[5])
+	if err != nil || n != 6 {
+		return MAC{}, fmt.Errorf("ip6: invalid MAC %q", s)
+	}
+	return m, nil
+}
+
+// MustParseMAC parses a MAC address, panicking on error.
+func MustParseMAC(s string) MAC {
+	m, err := ParseMAC(s)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// The modified EUI-64 transform (RFC 4291 Appendix A): the 48-bit MAC is
+// split in half, ff:fe is inserted in the middle, and the Universal/Local
+// bit (bit 1 of the first byte, 0x02) is inverted. A universally-
+// administered MAC therefore produces an IID with the U/L bit set.
+const (
+	euiFiller1 = 0xff
+	euiFiller2 = 0xfe
+	ulBit      = 0x02
+)
+
+// EUI64FromMAC returns the 64-bit modified EUI-64 interface identifier
+// derived from m.
+func EUI64FromMAC(m MAC) uint64 {
+	return uint64(m[0]^ulBit)<<56 |
+		uint64(m[1])<<48 |
+		uint64(m[2])<<40 |
+		uint64(euiFiller1)<<32 |
+		uint64(euiFiller2)<<24 |
+		uint64(m[3])<<16 |
+		uint64(m[4])<<8 |
+		uint64(m[5])
+}
+
+// IsEUI64 reports whether iid has the ff:fe filler bytes characteristic of
+// a modified EUI-64 interface identifier. This is the classification used
+// throughout the paper (isEUI in Algorithms 1 and 2).
+//
+// Note the inherent false-positive possibility: a privacy-extension IID
+// can contain ff:fe at bytes 3-4 by chance (probability 2^-16). The paper
+// accepts this; so do we, and the simulator can inject such collisions.
+func IsEUI64(iid uint64) bool {
+	return byte(iid>>32) == euiFiller1 && byte(iid>>24) == euiFiller2
+}
+
+// MACFromEUI64 recovers the hardware MAC address embedded in a modified
+// EUI-64 IID by removing the filler and re-inverting the U/L bit.
+// The boolean result is false if iid is not EUI-64 formed.
+func MACFromEUI64(iid uint64) (MAC, bool) {
+	if !IsEUI64(iid) {
+		return MAC{}, false
+	}
+	return MAC{
+		byte(iid>>56) ^ ulBit,
+		byte(iid >> 48),
+		byte(iid >> 40),
+		byte(iid >> 16),
+		byte(iid >> 8),
+		byte(iid),
+	}, true
+}
+
+// AddrIsEUI64 reports whether the address's IID is EUI-64 formed.
+func AddrIsEUI64(a Addr) bool { return IsEUI64(a.IID()) }
+
+// MACFromAddr extracts the embedded MAC from an EUI-64 formed address.
+func MACFromAddr(a Addr) (MAC, bool) { return MACFromEUI64(a.IID()) }

@@ -1,0 +1,40 @@
+package ip6_test
+
+import (
+	"fmt"
+
+	"followscent/internal/ip6"
+)
+
+// The paper's Figure 1 example: a Fritz!Box-style CPE whose WAN address
+// embeds its MAC via the legacy modified-EUI-64 transform.
+func ExampleEUI64FromMAC() {
+	mac := ip6.MustParseMAC("38:10:d5:aa:bb:cc")
+	iid := ip6.EUI64FromMAC(mac)
+	addr := ip6.MustParsePrefix("2001:16b8:5a1:e400::/64").Addr().WithIID(iid)
+	fmt.Println(addr)
+	// The transform is reversible: anyone who sees the address learns
+	// the hardware MAC (and with it, the manufacturer).
+	back, _ := ip6.MACFromAddr(addr)
+	fmt.Println(back)
+	// Output:
+	// 2001:16b8:5a1:e400:3a10:d5ff:feaa:bbcc
+	// 38:10:d5:aa:bb:cc
+}
+
+func ExampleAddrIsEUI64() {
+	legacy := ip6.MustParseAddr("2001:db8::3a10:d5ff:feaa:bbcc")
+	privacy := ip6.MustParseAddr("2001:db8::49c3:c01b:8f00:2c6e")
+	fmt.Println(ip6.AddrIsEUI64(legacy), ip6.AddrIsEUI64(privacy))
+	// Output: true false
+}
+
+func ExamplePrefix_Subprefix() {
+	// Enumerate customer delegations: the third /56 of a provider /48.
+	p48 := ip6.MustParsePrefix("2800:4f00:10::/48")
+	fmt.Println(p48.Subprefix(2, 56))
+	fmt.Println(p48.NumSubprefixes(56), "delegations")
+	// Output:
+	// 2800:4f00:10:200::/56
+	// 256 delegations
+}

@@ -1,0 +1,233 @@
+// Package ip6 provides IPv6 addresses and prefixes as arithmetic-friendly
+// value types, plus the MAC/EUI-64 machinery at the heart of the paper.
+//
+// The standard library's net/netip is excellent for parsing and formatting
+// but deliberately hides the 128-bit integer view of an address. The
+// measurement algorithms here constantly treat addresses as numbers:
+// "the maximum numeric distance between any two /64 periphery prefixes"
+// (Algorithm 2), "the 7th and 8th byte of the probed address" (Figure 3),
+// "the /64 prefix increments each day modulo 2^18" (Figure 9). Addr wraps
+// a uint128 and converts to and from netip.Addr at the edges.
+package ip6
+
+import (
+	"fmt"
+	"net/netip"
+
+	"followscent/internal/uint128"
+)
+
+// Addr is an IPv6 address represented as an unsigned 128-bit integer.
+// The zero value is "::".
+type Addr struct {
+	u uint128.Uint128
+}
+
+// AddrFrom128 returns the address with numeric value u.
+func AddrFrom128(u uint128.Uint128) Addr { return Addr{u} }
+
+// AddrFromBytes returns the address from a 16-byte slice.
+// It panics if len(b) != 16.
+func AddrFromBytes(b []byte) Addr { return Addr{uint128.FromBytes(b)} }
+
+// AddrFromNetip converts a netip.Addr. It panics if a is not IPv6
+// (4-in-6 mapped addresses are accepted and kept in their 16-byte form).
+func AddrFromNetip(a netip.Addr) Addr {
+	if !a.Is6() {
+		panic(fmt.Sprintf("ip6: AddrFromNetip on non-IPv6 address %v", a))
+	}
+	b := a.As16()
+	return AddrFromBytes(b[:])
+}
+
+// MustParseAddr parses s as an IPv6 address, panicking on error.
+// Intended for tests and static tables.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// ParseAddr parses an IPv6 address in any form netip accepts.
+func ParseAddr(s string) (Addr, error) {
+	a, err := netip.ParseAddr(s)
+	if err != nil {
+		return Addr{}, fmt.Errorf("ip6: %w", err)
+	}
+	if !a.Is6() {
+		return Addr{}, fmt.Errorf("ip6: %q is not an IPv6 address", s)
+	}
+	return AddrFromNetip(a), nil
+}
+
+// Uint128 returns the numeric value of a.
+func (a Addr) Uint128() uint128.Uint128 { return a.u }
+
+// As16 returns the 16-byte representation.
+func (a Addr) As16() [16]byte { return a.u.Bytes() }
+
+// Netip converts to a netip.Addr.
+func (a Addr) Netip() netip.Addr { return netip.AddrFrom16(a.u.Bytes()) }
+
+// String formats the address in canonical RFC 5952 form.
+func (a Addr) String() string { return a.Netip().String() }
+
+// IsZero reports whether a is "::".
+func (a Addr) IsZero() bool { return a.u.IsZero() }
+
+// Cmp numerically compares two addresses.
+func (a Addr) Cmp(b Addr) int { return a.u.Cmp(b.u) }
+
+// Less reports whether a sorts before b numerically.
+func (a Addr) Less(b Addr) bool { return a.u.Less(b.u) }
+
+// Add returns a+delta (wrapping).
+func (a Addr) Add(delta uint128.Uint128) Addr { return Addr{a.u.Add(delta)} }
+
+// Sub returns the numeric difference a-b (wrapping).
+func (a Addr) Sub(b Addr) uint128.Uint128 { return a.u.Sub(b.u) }
+
+// High64 returns the upper 64 bits: the routing prefix plus subnet ID.
+func (a Addr) High64() uint64 { return a.u.Hi }
+
+// IID returns the lower 64 bits: the interface identifier.
+func (a Addr) IID() uint64 { return a.u.Lo }
+
+// WithIID returns a with its lower 64 bits replaced by iid.
+func (a Addr) WithIID(iid uint64) Addr {
+	return Addr{uint128.New(a.u.Hi, iid)}
+}
+
+// Byte returns the i-th byte (0-based, network order) of the address.
+// Byte(6) and Byte(7) are the axes of the paper's Figure 3 grids.
+func (a Addr) Byte(i int) byte {
+	b := a.u.Bytes()
+	return b[i]
+}
+
+// Slash64 returns the /64 prefix containing a.
+func (a Addr) Slash64() Prefix {
+	return Prefix{addr: Addr{uint128.New(a.u.Hi, 0)}, bits: 64}
+}
+
+// TruncateTo returns the prefix of the given length containing a.
+func (a Addr) TruncateTo(bits int) Prefix {
+	return PrefixFrom(a, bits)
+}
+
+// Prefix is an IPv6 CIDR prefix. The address is always kept masked to the
+// prefix length, so two Prefix values covering the same block are ==.
+type Prefix struct {
+	addr Addr
+	bits int
+}
+
+// PrefixFrom returns the prefix of length bits containing addr,
+// masking off the host portion. It panics if bits is outside [0,128].
+func PrefixFrom(addr Addr, bits int) Prefix {
+	if bits < 0 || bits > 128 {
+		panic(fmt.Sprintf("ip6: invalid prefix length %d", bits))
+	}
+	mask := uint128.Max.Lsh(uint(128 - bits))
+	return Prefix{addr: Addr{addr.u.And(mask)}, bits: bits}
+}
+
+// MustParsePrefix parses s as CIDR, panicking on error.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParsePrefix parses an IPv6 CIDR prefix such as "2001:16b8::/32".
+func ParsePrefix(s string) (Prefix, error) {
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		return Prefix{}, fmt.Errorf("ip6: %w", err)
+	}
+	if !p.Addr().Is6() {
+		return Prefix{}, fmt.Errorf("ip6: %q is not an IPv6 prefix", s)
+	}
+	return PrefixFrom(AddrFromNetip(p.Addr()), p.Bits()), nil
+}
+
+// Addr returns the (masked) base address of the prefix.
+func (p Prefix) Addr() Addr { return p.addr }
+
+// Bits returns the prefix length.
+func (p Prefix) Bits() int { return p.bits }
+
+// String formats the prefix as CIDR.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%s/%d", p.addr, p.bits)
+}
+
+// IsZero reports whether p is the zero Prefix (::/0 with bits 0 counts as
+// non-zero only through explicit construction; the zero value has bits 0
+// and addr :: and is treated as "unset").
+func (p Prefix) IsZero() bool { return p.bits == 0 && p.addr.IsZero() }
+
+// Contains reports whether a is inside p.
+func (p Prefix) Contains(a Addr) bool {
+	return PrefixFrom(a, p.bits).addr == p.addr
+}
+
+// ContainsPrefix reports whether q is entirely inside p.
+func (p Prefix) ContainsPrefix(q Prefix) bool {
+	return q.bits >= p.bits && p.Contains(q.addr)
+}
+
+// Overlaps reports whether p and q share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	return p.ContainsPrefix(q) || q.ContainsPrefix(p)
+}
+
+// NumSubprefixes returns the number of sub-prefixes of length subBits
+// inside p, capped at 2^63-1. It panics if subBits < p.Bits().
+func (p Prefix) NumSubprefixes(subBits int) uint64 {
+	if subBits < p.bits {
+		panic(fmt.Sprintf("ip6: NumSubprefixes(%d) of %s", subBits, p))
+	}
+	d := subBits - p.bits
+	if d >= 63 {
+		return 1<<63 - 1
+	}
+	return 1 << uint(d)
+}
+
+// Subprefix returns the i-th sub-prefix of length subBits within p
+// (0-indexed, in address order). It panics if i is out of range.
+func (p Prefix) Subprefix(i uint64, subBits int) Prefix {
+	n := p.NumSubprefixes(subBits)
+	if i >= n {
+		panic(fmt.Sprintf("ip6: Subprefix(%d) of %s at /%d, only %d exist", i, p, subBits, n))
+	}
+	off := uint128.From64(i).Lsh(uint(128 - subBits))
+	return Prefix{addr: Addr{p.addr.u.Add(off)}, bits: subBits}
+}
+
+// SubprefixIndex returns which sub-prefix of length subBits within p
+// contains a. The inverse of Subprefix for contained addresses.
+func (p Prefix) SubprefixIndex(a Addr, subBits int) uint64 {
+	off := a.u.Sub(p.addr.u).Rsh(uint(128 - subBits))
+	return off.Lo
+}
+
+// Last returns the numerically largest address in p.
+func (p Prefix) Last() Addr {
+	host := uint128.Max.Rsh(uint(p.bits))
+	return Addr{p.addr.u.Or(host)}
+}
+
+// RandomAddr returns a uniformly random address within p, using the two
+// given 64-bit random words as entropy. Passing fresh random words each
+// call yields a uniform draw; the function itself is deterministic so the
+// caller controls reproducibility.
+func (p Prefix) RandomAddr(r1, r2 uint64) Addr {
+	host := uint128.New(r1, r2).And(uint128.Max.Rsh(uint(p.bits)))
+	return Addr{p.addr.u.Or(host)}
+}

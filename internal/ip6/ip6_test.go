@@ -1,0 +1,301 @@
+package ip6
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"followscent/internal/uint128"
+)
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"::",
+		"::1",
+		"2001:16b8::",
+		"2001:16b8:501:aa00:3a10:d5ff:feaa:bbcc",
+		"fe80::1",
+		"ff02::1:ff00:0",
+	} {
+		a := MustParseAddr(s)
+		if got := a.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestParseRejectsIPv4(t *testing.T) {
+	if _, err := ParseAddr("192.0.2.1"); err == nil {
+		t.Fatal("ParseAddr accepted an IPv4 address")
+	}
+	if _, err := ParsePrefix("10.0.0.0/8"); err == nil {
+		t.Fatal("ParsePrefix accepted an IPv4 prefix")
+	}
+}
+
+func TestAddrArithmetic(t *testing.T) {
+	a := MustParseAddr("2001:db8::")
+	b := a.Add(uint128.From64(1))
+	if b.String() != "2001:db8::1" {
+		t.Errorf("Add(1) = %s", b)
+	}
+	if d := b.Sub(a); d != uint128.One {
+		t.Errorf("Sub = %s", d)
+	}
+}
+
+func TestHigh64IID(t *testing.T) {
+	a := MustParseAddr("2001:16b8:501:aa00:3a10:d5ff:feaa:bbcc")
+	if got := a.High64(); got != 0x200116b80501aa00 {
+		t.Errorf("High64 = %#x", got)
+	}
+	if got := a.IID(); got != 0x3a10d5fffeaabbcc {
+		t.Errorf("IID = %#x", got)
+	}
+	w := a.WithIID(0xdeadbeefcafef00d)
+	if w.High64() != a.High64() || w.IID() != 0xdeadbeefcafef00d {
+		t.Errorf("WithIID = %s", w)
+	}
+}
+
+func TestByte(t *testing.T) {
+	a := MustParseAddr("2001:db8:0:1234::")
+	if got := a.Byte(6); got != 0x12 {
+		t.Errorf("Byte(6) = %#x", got)
+	}
+	if got := a.Byte(7); got != 0x34 {
+		t.Errorf("Byte(7) = %#x", got)
+	}
+}
+
+func TestPrefixMasking(t *testing.T) {
+	p := PrefixFrom(MustParseAddr("2001:db8::ffff"), 64)
+	if p.Addr().String() != "2001:db8::" {
+		t.Errorf("masked addr = %s", p.Addr())
+	}
+	q := MustParsePrefix("2001:db8::/64")
+	if p != q {
+		t.Errorf("equal prefixes not ==: %v vs %v", p, q)
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustParsePrefix("2001:16b8::/32")
+	if !p.Contains(MustParseAddr("2001:16b8:ffff:ffff:ffff:ffff:ffff:ffff")) {
+		t.Error("Contains last address: false")
+	}
+	if p.Contains(MustParseAddr("2001:16b9::")) {
+		t.Error("Contains neighbour: true")
+	}
+	if !p.ContainsPrefix(MustParsePrefix("2001:16b8:100::/46")) {
+		t.Error("ContainsPrefix /46: false")
+	}
+	if p.ContainsPrefix(MustParsePrefix("2001::/16")) {
+		t.Error("ContainsPrefix parent: true")
+	}
+}
+
+func TestSubprefixEnumeration(t *testing.T) {
+	p := MustParsePrefix("2001:db8::/48")
+	if n := p.NumSubprefixes(64); n != 65536 {
+		t.Fatalf("NumSubprefixes(64) = %d", n)
+	}
+	first := p.Subprefix(0, 64)
+	if first.String() != "2001:db8::/64" {
+		t.Errorf("Subprefix(0) = %s", first)
+	}
+	last := p.Subprefix(65535, 64)
+	if last.String() != "2001:db8:0:ffff::/64" {
+		t.Errorf("Subprefix(65535) = %s", last)
+	}
+	// Inverse relationship.
+	for _, i := range []uint64{0, 1, 77, 65535} {
+		sp := p.Subprefix(i, 64)
+		if got := p.SubprefixIndex(sp.Addr(), 64); got != i {
+			t.Errorf("SubprefixIndex(Subprefix(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestSubprefixPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustParsePrefix("2001:db8::/48").Subprefix(65536, 64)
+}
+
+func TestNumSubprefixesCap(t *testing.T) {
+	p := MustParsePrefix("2001::/16")
+	if n := p.NumSubprefixes(128); n != 1<<63-1 {
+		t.Errorf("NumSubprefixes(128) of /16 = %d, want cap", n)
+	}
+}
+
+func TestLast(t *testing.T) {
+	p := MustParsePrefix("2001:db8::/64")
+	want := "2001:db8::ffff:ffff:ffff:ffff"
+	if got := p.Last().String(); got != want {
+		t.Errorf("Last = %s, want %s", got, want)
+	}
+}
+
+func TestRandomAddrStaysInside(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, bits := range []int{32, 48, 56, 60, 64, 96, 127} {
+		p := PrefixFrom(MustParseAddr("2001:db8:a5a5:5a5a::"), bits)
+		for i := 0; i < 100; i++ {
+			a := p.RandomAddr(rng.Uint64(), rng.Uint64())
+			if !p.Contains(a) {
+				t.Fatalf("RandomAddr %s escaped %s", a, p)
+			}
+		}
+	}
+}
+
+func TestRandomAddrCoversHostBits(t *testing.T) {
+	// With full-entropy inputs the low bits must vary.
+	p := MustParsePrefix("2001:db8::/64")
+	rng := rand.New(rand.NewSource(1))
+	seen := map[uint64]bool{}
+	for i := 0; i < 32; i++ {
+		seen[p.RandomAddr(rng.Uint64(), rng.Uint64()).IID()] = true
+	}
+	if len(seen) < 30 {
+		t.Errorf("only %d distinct IIDs from 32 draws", len(seen))
+	}
+}
+
+func TestNetipInterop(t *testing.T) {
+	f := func(hi, lo uint64) bool {
+		a := AddrFrom128(uint128.New(hi, lo))
+		return AddrFromNetip(a.Netip()) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// netip equivalence of string form
+	a := MustParseAddr("2001:db8::42")
+	if a.Netip() != netip.MustParseAddr("2001:db8::42") {
+		t.Error("Netip mismatch")
+	}
+}
+
+// --- EUI-64 tests ---
+
+func TestEUI64KnownVector(t *testing.T) {
+	// The canonical example from the paper's Figure 1:
+	// MAC 38:10:d5:aa:bb:cc -> IID 3a10:d5ff:feaa:bbcc.
+	m := MustParseMAC("38:10:d5:aa:bb:cc")
+	iid := EUI64FromMAC(m)
+	if iid != 0x3a10d5fffeaabbcc {
+		t.Fatalf("EUI64FromMAC = %#x", iid)
+	}
+	if !IsEUI64(iid) {
+		t.Fatal("IsEUI64 = false for derived IID")
+	}
+	back, ok := MACFromEUI64(iid)
+	if !ok || back != m {
+		t.Fatalf("MACFromEUI64 = %v, %v", back, ok)
+	}
+}
+
+func TestEUI64RoundTripAllMACs(t *testing.T) {
+	f := func(b0, b1, b2, b3, b4, b5 byte) bool {
+		m := MAC{b0, b1, b2, b3, b4, b5}
+		iid := EUI64FromMAC(m)
+		back, ok := MACFromEUI64(iid)
+		return ok && back == m && IsEUI64(iid)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsEUI64Negative(t *testing.T) {
+	// A privacy-extension style random IID without the filler.
+	if IsEUI64(0x1234567890abcdef) {
+		t.Error("IsEUI64 accepted a random IID")
+	}
+	// ff:fe in the wrong position.
+	if IsEUI64(0xfffe000000000000) {
+		t.Error("IsEUI64 accepted misplaced filler")
+	}
+	// Chance collision: random IID that happens to contain ff:fe at 3-4 is
+	// (correctly, per the paper's method) classified as EUI-64.
+	if !IsEUI64(0xabcd_00ff_fe00_0000) {
+		t.Error("IsEUI64 rejected filler bytes")
+	}
+}
+
+func TestULBitInversion(t *testing.T) {
+	// Universally administered MAC (U/L clear) must yield IID with bit set.
+	m := MustParseMAC("00:00:5e:00:53:01")
+	iid := EUI64FromMAC(m)
+	if byte(iid>>56)&ulBit == 0 {
+		t.Error("U/L bit not inverted")
+	}
+	// Locally administered MAC (U/L set) must yield IID with bit clear.
+	m2 := MustParseMAC("02:00:5e:00:53:01")
+	iid2 := EUI64FromMAC(m2)
+	if byte(iid2>>56)&ulBit != 0 {
+		t.Error("U/L bit not cleared for locally-administered MAC")
+	}
+}
+
+func TestMACParsing(t *testing.T) {
+	m, err := ParseMAC("aa:bb:cc:dd:ee:ff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.String() != "aa:bb:cc:dd:ee:ff" {
+		t.Errorf("String = %s", m)
+	}
+	if m.OUI().String() != "aa:bb:cc" {
+		t.Errorf("OUI = %s", m.OUI())
+	}
+	if _, err := ParseMAC("nonsense"); err == nil {
+		t.Error("ParseMAC accepted garbage")
+	}
+	if !(MAC{}).IsZero() {
+		t.Error("zero MAC not IsZero")
+	}
+}
+
+func TestAddrEUIHelpers(t *testing.T) {
+	a := MustParseAddr("2001:16b8:501:aa00:3a10:d5ff:feaa:bbcc")
+	if !AddrIsEUI64(a) {
+		t.Fatal("AddrIsEUI64 = false")
+	}
+	m, ok := MACFromAddr(a)
+	if !ok || m.String() != "38:10:d5:aa:bb:cc" {
+		t.Fatalf("MACFromAddr = %v %v", m, ok)
+	}
+}
+
+func TestSlash64(t *testing.T) {
+	a := MustParseAddr("2001:db8:1:2:3:4:5:6")
+	if got := a.Slash64().String(); got != "2001:db8:1:2::/64" {
+		t.Errorf("Slash64 = %s", got)
+	}
+}
+
+func BenchmarkEUI64FromMAC(b *testing.B) {
+	m := MustParseMAC("38:10:d5:aa:bb:cc")
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = EUI64FromMAC(m)
+	}
+	_ = sink
+}
+
+func BenchmarkRandomAddr(b *testing.B) {
+	p := MustParsePrefix("2001:db8::/56")
+	var sink Addr
+	for i := 0; i < b.N; i++ {
+		sink = p.RandomAddr(uint64(i)*0x9e3779b97f4a7c15, uint64(i))
+	}
+	_ = sink
+}

@@ -1,0 +1,120 @@
+package oui
+
+import (
+	"strings"
+	"testing"
+
+	"followscent/internal/ip6"
+)
+
+func TestBuiltinLookup(t *testing.T) {
+	r := Builtin()
+	// The paper's Figure 1 example CPE MAC resolves to AVM.
+	v, ok := r.Lookup(ip6.MustParseMAC("38:10:d5:aa:bb:cc"))
+	if !ok || v != VendorAVM {
+		t.Fatalf("Lookup(38:10:d5:..) = %q, %v", v, ok)
+	}
+	v, ok = r.Lookup(ip6.MustParseMAC("98:f5:37:01:02:03"))
+	if !ok || v != VendorZTE {
+		t.Fatalf("Lookup(ZTE) = %q, %v", v, ok)
+	}
+	if _, ok := r.Lookup(ip6.MustParseMAC("de:ad:be:ef:00:01")); ok {
+		t.Fatal("unregistered OUI resolved")
+	}
+}
+
+func TestBuiltinShape(t *testing.T) {
+	r := Builtin()
+	if r.Vendors() < 15 {
+		t.Errorf("builtin has only %d vendors", r.Vendors())
+	}
+	if r.Len() < 40 {
+		t.Errorf("builtin has only %d OUIs", r.Len())
+	}
+	// AVM holds multiple blocks, like the real registry.
+	if got := len(r.OUIs(VendorAVM)); got < 3 {
+		t.Errorf("AVM has %d OUIs", got)
+	}
+}
+
+func TestBuiltinIsShared(t *testing.T) {
+	if Builtin() != Builtin() {
+		t.Fatal("Builtin not a singleton")
+	}
+}
+
+func TestParseIEEE(t *testing.T) {
+	const sample = `OUI/MA-L                                                    Organization
+company_id                                                  Organization
+                                                            Address
+
+38-10-D5   (hex)		AVM GmbH
+3810D5     (base 16)		AVM GmbH
+				Alt-Moabit 95
+				Berlin    10559
+				DE
+
+00-19-C6   (hex)		ZTE Corporation
+0019C6     (base 16)		ZTE Corporation
+
+garbage line without marker
+XX-YY-ZZ   (hex)		Broken Hex Vendor
+`
+	r := NewRegistry()
+	added, err := r.ParseIEEE(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 2 {
+		t.Fatalf("added = %d, want 2", added)
+	}
+	v, ok := r.Lookup(ip6.MustParseMAC("38:10:d5:00:00:01"))
+	if !ok || v != "AVM GmbH" {
+		t.Fatalf("parsed lookup = %q %v", v, ok)
+	}
+	if _, ok := r.LookupOUI(ip6.MAC{0x00, 0x19, 0xc6}.OUI()); !ok {
+		t.Fatal("ZTE OUI missing")
+	}
+}
+
+func TestAddReplaces(t *testing.T) {
+	r := NewRegistry()
+	o := ip6.MAC{1, 2, 3}.OUI()
+	r.Add(o, "First Corp")
+	r.Add(o, "Second Corp")
+	v, _ := r.LookupOUI(o)
+	if v != "Second Corp" {
+		t.Fatalf("after replace: %q", v)
+	}
+	if n := len(r.OUIs("First Corp")); n != 0 {
+		t.Fatalf("stale reverse index: %d entries", n)
+	}
+	if r.Vendors() != 1 {
+		t.Fatalf("Vendors = %d", r.Vendors())
+	}
+}
+
+func TestOUIsReturnsCopy(t *testing.T) {
+	r := NewRegistry()
+	r.Add(ip6.MAC{1, 2, 3}.OUI(), "V")
+	s := r.OUIs("V")
+	s[0] = ip6.MAC{9, 9, 9}.OUI()
+	if r.OUIs("V")[0] != (ip6.OUI{1, 2, 3}) {
+		t.Fatal("OUIs exposed internal slice")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			r.Add(ip6.OUI{byte(i), byte(i >> 8), 0}, "V")
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		r.Lookup(ip6.MAC{byte(i), 0, 0, 1, 2, 3})
+	}
+	<-done
+}

@@ -1,0 +1,292 @@
+// Package plot renders the paper's tables and figures as text: ASCII
+// art for terminals, PPM images for the 256×256 allocation grids
+// (Figures 3 and 6), and CSV for anything downstream tooling might want.
+// Everything writes to an io.Writer; nothing touches the filesystem.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"followscent/internal/analysis"
+	"followscent/internal/core"
+)
+
+// GridPPM writes a 256×256 binary PPM (P6) of an allocation grid: black
+// for unresponsive /64s, and a stable pseudo-colour per responding
+// address, matching the paper's Figure 3 rendering.
+func GridPPM(g *core.Grid, w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "P6\n256 256\n255\n"); err != nil {
+		return fmt.Errorf("plot: ppm header: %w", err)
+	}
+	row := make([]byte, 256*3)
+	for y := 0; y < 256; y++ {
+		for x := 0; x < 256; x++ {
+			r, gr, b := cellColor(g.Cells[y][x])
+			row[x*3], row[x*3+1], row[x*3+2] = r, gr, b
+		}
+		if _, err := w.Write(row); err != nil {
+			return fmt.Errorf("plot: ppm row %d: %w", y, err)
+		}
+	}
+	return nil
+}
+
+// cellColor maps a responder index to a bright, stable colour; 0 (no
+// response) is black.
+func cellColor(id uint32) (r, g, b byte) {
+	if id == 0 {
+		return 0, 0, 0
+	}
+	h := uint64(id) * 0x9e3779b97f4a7c15
+	// Avoid near-black by biasing each channel upward.
+	return byte(h>>40)%200 + 55, byte(h>>24)%200 + 55, byte(h>>8)%200 + 55
+}
+
+// GridASCII writes a 64×64 downsampled view of the grid, one glyph per
+// 4×4 cell block: space for empty regions, letters cycling per
+// responder. Horizontal runs of one letter are the Figure 3 bands.
+func GridASCII(g *core.Grid, w io.Writer) error {
+	const glyphs = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	var sb strings.Builder
+	sb.WriteString("    " + strings.Repeat("-", 64) + "\n")
+	for y := 0; y < 256; y += 4 {
+		sb.WriteString(fmt.Sprintf("%02x: ", y))
+		for x := 0; x < 256; x += 4 {
+			// Majority responder in the 4x4 block.
+			counts := map[uint32]int{}
+			for dy := 0; dy < 4; dy++ {
+				for dx := 0; dx < 4; dx++ {
+					counts[g.Cells[y+dy][x+dx]]++
+				}
+			}
+			best, bestN := uint32(0), -1
+			for id, n := range counts {
+				if n > bestN || (n == bestN && id < best) {
+					best, bestN = id, n
+				}
+			}
+			if best == 0 {
+				sb.WriteByte(' ')
+			} else {
+				sb.WriteByte(glyphs[int(best)%len(glyphs)])
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// CDFASCII renders a step CDF as a width×height ASCII plot.
+func CDFASCII(points []analysis.Point, width, height int, xlabel string, w io.Writer) error {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	if len(points) == 0 {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+	minX, maxX := points[0].X, points[len(points)-1].X
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	canvas := make([][]byte, height)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int((x - minX) / (maxX - minX) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	rowOf := func(y float64) int {
+		r := height - 1 - int(y*float64(height-1)+0.5)
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	prevY := 0.0
+	prevC := 0
+	for _, p := range points {
+		c := col(p.X)
+		// Horizontal run at the previous level, then the step.
+		r := rowOf(prevY)
+		for x := prevC; x <= c; x++ {
+			if canvas[r][x] == ' ' {
+				canvas[r][x] = '-'
+			}
+		}
+		canvas[rowOf(p.Y)][c] = '*'
+		prevY, prevC = p.Y, c
+	}
+	for x := prevC; x < width; x++ {
+		canvas[rowOf(prevY)][x] = '-'
+	}
+	var sb strings.Builder
+	for i, line := range canvas {
+		label := "    "
+		switch i {
+		case 0:
+			label = "1.0 "
+		case height - 1:
+			label = "0.0 "
+		case (height - 1) / 2:
+			label = "0.5 "
+		}
+		sb.WriteString(label + "|" + string(line) + "\n")
+	}
+	sb.WriteString("    +" + strings.Repeat("-", width) + "\n")
+	sb.WriteString(fmt.Sprintf("     %-10.4g%s%10.4g  (%s)\n",
+		minX, strings.Repeat(" ", max(0, width-20)), maxX, xlabel))
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// CDFCSV writes "x,cdf" rows.
+func CDFCSV(points []analysis.Point, w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "x,cdf"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%g,%g\n", p.X, p.Y); err != nil {
+			return fmt.Errorf("plot: csv: %w", err)
+		}
+	}
+	return nil
+}
+
+// Series is one named line of (x, y) points for time-series figures.
+type Series struct {
+	Name   string
+	Points []analysis.Point
+}
+
+// SeriesASCII scatter-plots several series on one canvas, one glyph per
+// series (Figures 9-13 are all small-multiple scatters of this shape).
+func SeriesASCII(series []Series, width, height int, xlabel, ylabel string, w io.Writer) error {
+	if len(series) == 0 {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+	glyphs := "*o+x#@%&=~"
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, p := range s.Points {
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		_, err := fmt.Fprintln(w, "(no points)")
+		return err
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	canvas := make([][]byte, height)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			x := int((p.X - minX) / (maxX - minX) * float64(width-1))
+			y := height - 1 - int((p.Y-minY)/(maxY-minY)*float64(height-1)+0.5)
+			if x >= 0 && x < width && y >= 0 && y < height {
+				canvas[y][x] = g
+			}
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("%s (top=%.4g bottom=%.4g)\n", ylabel, maxY, minY))
+	for _, line := range canvas {
+		sb.WriteString("|" + string(line) + "\n")
+	}
+	sb.WriteString("+" + strings.Repeat("-", width) + "\n")
+	sb.WriteString(fmt.Sprintf(" %-10.4g%s%10.4g  (%s)\n",
+		minX, strings.Repeat(" ", max(0, width-20)), maxX, xlabel))
+	for si, s := range series {
+		sb.WriteString(fmt.Sprintf("  %c = %s\n", glyphs[si%len(glyphs)], s.Name))
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// SeriesCSV writes "series,x,y" rows.
+func SeriesCSV(series []Series, w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "series,x,y"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", s.Name, p.X, p.Y); err != nil {
+				return fmt.Errorf("plot: csv: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Table writes an aligned text table.
+func Table(headers []string, rows [][]string, w io.Writer) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(widths))
+		for i := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	var sb strings.Builder
+	sb.WriteString(line(headers) + "\n")
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	sb.WriteString(line(sep) + "\n")
+	for _, row := range rows {
+		sb.WriteString(line(row) + "\n")
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,136 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"followscent/internal/analysis"
+	"followscent/internal/core"
+)
+
+func TestGridPPM(t *testing.T) {
+	g := &core.Grid{}
+	for x := 0; x < 256; x++ {
+		g.Cells[0x10][x] = 1
+	}
+	var buf bytes.Buffer
+	if err := GridPPM(g, &buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if !bytes.HasPrefix(b, []byte("P6\n256 256\n255\n")) {
+		t.Fatal("bad PPM header")
+	}
+	want := len("P6\n256 256\n255\n") + 256*256*3
+	if len(b) != want {
+		t.Fatalf("PPM is %d bytes, want %d", len(b), want)
+	}
+	// Row 0 black, row 0x10 coloured.
+	off := len("P6\n256 256\n255\n")
+	if b[off] != 0 || b[off+1] != 0 || b[off+2] != 0 {
+		t.Error("empty cell not black")
+	}
+	rowOff := off + 0x10*256*3
+	if b[rowOff] == 0 && b[rowOff+1] == 0 && b[rowOff+2] == 0 {
+		t.Error("responding cell is black")
+	}
+}
+
+func TestGridASCIIBands(t *testing.T) {
+	g := &core.Grid{}
+	for x := 0; x < 256; x++ {
+		for y := 0x10; y < 0x14; y++ { // a full 4-row band -> one glyph row
+			g.Cells[y][x] = 1
+		}
+	}
+	var buf bytes.Buffer
+	if err := GridASCII(g, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "10: "+strings.Repeat("b", 64)) {
+		t.Fatalf("band row missing:\n%s", out[:400])
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 65 { // header + 64 rows
+		t.Fatalf("%d lines", len(lines))
+	}
+}
+
+func TestCDFASCII(t *testing.T) {
+	cdf := analysis.NewCDF([]float64{56, 56, 60, 64, 64, 64})
+	var buf bytes.Buffer
+	if err := CDFASCII(cdf.Points(), 40, 10, "prefix bits", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "prefix bits") {
+		t.Fatalf("plot missing content:\n%s", out)
+	}
+	// Empty data does not crash.
+	if err := CDFASCII(nil, 40, 10, "x", &buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CDFCSV([]analysis.Point{{X: 1, Y: 0.5}, {X: 2, Y: 1}}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "x,cdf\n1,0.5\n2,1\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q", buf.String())
+	}
+}
+
+func TestSeriesASCII(t *testing.T) {
+	series := []Series{
+		{Name: "IID #1", Points: []analysis.Point{{X: 0, Y: 1}, {X: 1, Y: 2}, {X: 2, Y: 3}}},
+		{Name: "IID #2", Points: []analysis.Point{{X: 0, Y: 3}, {X: 1, Y: 1}}},
+	}
+	var buf bytes.Buffer
+	if err := SeriesASCII(series, 30, 8, "day", "prefix", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"IID #1", "IID #2", "*", "o", "day"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if err := SeriesASCII(nil, 30, 8, "x", "y", &buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := SeriesCSV([]Series{{Name: "a", Points: []analysis.Point{{X: 1, Y: 2}}}}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "series,x,y\na,1,2\n" {
+		t.Fatalf("csv = %q", buf.String())
+	}
+}
+
+func TestTable(t *testing.T) {
+	var buf bytes.Buffer
+	err := Table([]string{"ASN", "# /48"}, [][]string{
+		{"8881", "5149"},
+		{"6799", "3386"},
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[0], "ASN ") || !strings.Contains(lines[2], "8881") {
+		t.Fatalf("table content:\n%s", out)
+	}
+}

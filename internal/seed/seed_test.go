@@ -1,0 +1,163 @@
+package seed
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"followscent/internal/ip6"
+	"followscent/internal/simnet"
+	"followscent/internal/zmap"
+)
+
+var vantage = ip6.MustParseAddr("2620:11f:7000::53")
+
+// seedWorld is a compact world with /44 advertisements (16 /48s each) so
+// the traceroute sweep stays fast; MaxPrefixBits is relaxed accordingly.
+func seedWorld(seedVal uint64) *simnet.World {
+	return simnet.MustBuild(simnet.WorldSpec{
+		Seed: seedVal,
+		Providers: []simnet.ProviderSpec{
+			{
+				ASN: 65101, Name: "SeedNetA", Country: "DE",
+				Allocations:    []string{"2001:db8:10::/44"},
+				RouterHops:     3,
+				BorderRespProb: 0.3,
+				Pools: []simnet.PoolSpec{{
+					Prefix: "2001:db8:10::/48", AllocBits: 56,
+					Rotation:  simnet.DailyStride(3),
+					Occupancy: 0.5, EUIFrac: 0.9,
+				}},
+			},
+			{
+				ASN: 65102, Name: "SeedNetB", Country: "JP",
+				Allocations:    []string{"2001:db8:20::/44"},
+				RouterHops:     4,
+				BorderRespProb: 0.2,
+				Pools: []simnet.PoolSpec{{
+					Prefix: "2001:db8:2f::/48", AllocBits: 60,
+					Rotation:  simnet.Every(48 * time.Hour),
+					Occupancy: 0.3, EUIFrac: 0.8,
+				}},
+			},
+		},
+	})
+}
+
+func generate(t *testing.T, w *simnet.World) []Record {
+	t.Helper()
+	records, err := Generate(context.Background(),
+		func() (zmap.Transport, error) { return zmap.NewLoopback(w, 0), nil },
+		w.RIB(),
+		Config{Vantage: vantage, MaxTTL: 8, Seed: 3, TargetsPer48: 8, MaxPrefixBits: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return records
+}
+
+func TestGenerateFindsEUILastHops(t *testing.T) {
+	w := seedWorld(51)
+	// Wind the clock back a year: the seed campaign predates the study.
+	w.Clock().Set(simnet.Epoch.Add(-400 * 24 * time.Hour))
+	records := generate(t, w)
+	if len(records) == 0 {
+		t.Fatal("no seed records")
+	}
+	euis := 0
+	seen48 := map[ip6.Prefix]bool{}
+	for _, r := range records {
+		if !r.Slash48.Contains(r.LastHop) && !simnet.TransitPrefix.Contains(r.LastHop) {
+			t.Fatalf("last hop %s neither inside %s nor transit", r.LastHop, r.Slash48)
+		}
+		if seen48[r.Slash48] {
+			t.Fatalf("duplicate /48 %s", r.Slash48)
+		}
+		seen48[r.Slash48] = true
+		if r.IsEUI() {
+			euis++
+		}
+	}
+	if euis == 0 {
+		t.Fatal("no EUI-64 last hops in seed")
+	}
+	// The EUI prefixes must include the dense /56-allocation pool /48.
+	prefixes := EUIPrefixes(records)
+	found := false
+	for _, p := range prefixes {
+		if p.String() == "2001:db8:10::/48" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dense pool /48 missing from %d EUI seed prefixes", len(prefixes))
+	}
+}
+
+func TestEUIPrefixesUniqueness(t *testing.T) {
+	eui := ip6.MustParsePrefix("2001:db8:1::/64").Addr().
+		WithIID(ip6.EUI64FromMAC(ip6.MustParseMAC("38:10:d5:00:00:01")))
+	nonEUI := ip6.MustParseAddr("2001:db8:2::1")
+	records := []Record{
+		{Slash48: ip6.MustParsePrefix("2001:db8:1::/48"), LastHop: eui},
+		{Slash48: ip6.MustParsePrefix("2001:db8:2::/48"), LastHop: nonEUI},
+		// The same EUI hop appearing for a second /48 disqualifies both.
+		{Slash48: ip6.MustParsePrefix("2001:db8:3::/48"), LastHop: eui},
+	}
+	if got := EUIPrefixes(records); len(got) != 0 {
+		t.Fatalf("EUIPrefixes = %v, want none (shared last hop)", got)
+	}
+	if got := EUIPrefixes(records[:2]); len(got) != 1 || got[0].String() != "2001:db8:1::/48" {
+		t.Fatalf("EUIPrefixes = %v", got)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	w := seedWorld(52)
+	records := generate(t, w)
+	var buf bytes.Buffer
+	if err := Write(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(records) {
+		t.Fatalf("round trip: %d != %d", len(back), len(records))
+	}
+	for i := range back {
+		if back[i] != records[i] {
+			t.Fatalf("record %d: %+v != %+v", i, back[i], records[i])
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	for _, bad := range []string{
+		"2001:db8::/48",                  // missing addr
+		"nonsense 2001:db8::1",           // bad prefix
+		"2001:db8::/48 not-an-address x", // too many fields
+	} {
+		if _, err := Read(strings.NewReader(bad)); err == nil {
+			t.Errorf("Read(%q) succeeded", bad)
+		}
+	}
+	// Comments and blanks are fine.
+	recs, err := Read(strings.NewReader("# comment\n\n2001:db8::/48 2001:db8::1\n"))
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("Read with comments: %v, %d", err, len(recs))
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	w := seedWorld(53)
+	_, err := Generate(context.Background(),
+		func() (zmap.Transport, error) { return zmap.NewLoopback(w, 0), nil },
+		w.RIB(), Config{Vantage: vantage, MaxPrefixBits: 49})
+	if err == nil {
+		t.Error("no error for empty root set")
+	}
+}

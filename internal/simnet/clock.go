@@ -1,0 +1,48 @@
+package simnet
+
+import (
+	"sync"
+	"time"
+)
+
+// Epoch is the start of simulated time: the day the paper's 44-day
+// campaign began (late July 2020, §5).
+var Epoch = time.Date(2020, time.July, 20, 0, 0, 0, 0, time.UTC)
+
+// Clock is the virtual clock the simulated Internet runs on. Experiments
+// advance it explicitly; nothing in the simulator sleeps. It is safe for
+// concurrent use.
+type Clock struct {
+	mu  sync.RWMutex
+	now time.Time
+}
+
+// NewClock returns a clock set to Epoch.
+func NewClock() *Clock { return &Clock{now: Epoch} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d (which may be negative in tests).
+func (c *Clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// Set moves the clock to an absolute instant.
+func (c *Clock) Set(t time.Time) {
+	c.mu.Lock()
+	c.now = t
+	c.mu.Unlock()
+}
+
+// Day returns the number of whole virtual days since Epoch (negative
+// before Epoch).
+func (c *Clock) Day() int {
+	return int(c.Now().Sub(Epoch) / (24 * time.Hour))
+}

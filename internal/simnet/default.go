@@ -1,0 +1,532 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"followscent/internal/oui"
+)
+
+// This file instantiates the scaled-down default Internet described in
+// DESIGN.md §6. Every behaviour class the paper reports is represented:
+//
+//   - AS68881 "Wersatel": the dominant daily rotator (the paper's AS8881
+//     Versatel analogue) with /46 pools, mixed /64 and /56 customer
+//     allocations (Figure 6), a daily stride of about one /48 so IIDs hop
+//     across /48s and wrap modulo the /46 (Figures 9 and 10).
+//   - "EntelBol" (/56 allocations, Figure 3a), "BH-Tel" (/60, Figure 3b),
+//     "Starcat" (/64, sparse and partly silent, Figure 3c).
+//   - "NetKöln" (~99.9% AVM) and "VietNet" (~99.6% ZTE): the §5.1
+//     homogeneity extremes.
+//   - A shared-vendor-MAC pool ("ChinaLink") whose one EUI-64 IID appears
+//     in thousands of /64s: the Figure 8 tail.
+//   - §5.5 pathology fixtures: the all-zero MAC present in 12 ASes, a
+//     reused ZTE MAC visible on several continents daily, and two devices
+//     that switch between the German ISPs mid-campaign (Figure 12).
+//   - ~30 additional small ASes whose dominant-vendor shares trace the
+//     Figure 4 homogeneity CDF, most of them non-rotating with churn
+//     (they get flagged by the §4.3 detector but infer /64 pools,
+//     reproducing Figure 7's bimodality).
+//
+// All ASNs, names and prefixes are synthetic; countries and behaviour
+// shapes mirror the paper's Tables 1-2 and Figures 3-13.
+
+// Well-known ASNs in the default world, used by tests and experiments.
+const (
+	ASWersatel  = 68881
+	ASHellas    = 66799
+	ASChinaLink = 61241
+	ASBrasilTel = 69808
+	ASDTRes     = 63320
+	ASNetKoeln  = 68422
+	ASVietNet   = 67552
+	ASEntelBol  = 27882
+	ASBHTel     = 69146
+	ASStarcat   = 62907
+	ASRioNet    = 64425
+	ASPatagonia = 60834
+	ASShenzhen  = 66044
+	ASBerlinF   = 70924
+	ASUruCable  = 57296
+)
+
+// Pathology fixture MACs (§5.5, Figures 11 and 12).
+const (
+	ZeroMAC          = "00:00:00:00:00:00"
+	ReusedZTEMAC     = "98:f5:37:ab:cd:ef"
+	SwitcherToDTMAC  = "c0:25:06:77:88:99" // Wersatel -> DT at day 38
+	SwitcherToWerMAC = "e0:28:6d:44:55:66" // DT -> Wersatel at day 12
+	SharedVendorMAC  = "f8:a3:4f:00:00:01" // ChinaLink pool default MAC
+)
+
+// smallASCountries cycles 25 countries across the long-tail ASes.
+var smallASCountries = []string{
+	"DE", "GR", "CN", "BR", "BO", "JP", "BA", "VN", "UY", "AR",
+	"RU", "FR", "IT", "ES", "PL", "NL", "SE", "TR", "IN", "MX",
+	"ZA", "AU", "KR", "TH", "GB",
+}
+
+// DefaultWorld builds the standard simulated Internet under the given
+// seed. It is deterministic: equal seeds produce identical worlds.
+func DefaultWorld(seed uint64) *World {
+	return MustBuild(DefaultWorldSpec(seed))
+}
+
+// DefaultWorldSpec returns the spec DefaultWorld builds.
+func DefaultWorldSpec(seed uint64) WorldSpec {
+	ws := WorldSpec{Seed: seed}
+
+	add := func(p ProviderSpec) { ws.Providers = append(ws.Providers, p) }
+
+	germanMix := []VendorShare{
+		{oui.VendorAVM, 6}, {oui.VendorSagemcom, 2}, {oui.VendorZyxel, 1}, {oui.VendorTPLink, 1},
+	}
+
+	// --- Wersatel: the dominant daily rotator (paper AS8881). ---
+	add(ProviderSpec{
+		ASN: ASWersatel, Name: "Wersatel", Country: "DE",
+		Allocations:    []string{"2001:16b8::/32"},
+		RouterHops:     4,
+		BorderRespProb: 0.35,
+		Pools: []PoolSpec{
+			{
+				// Figures 9 and 10: /46 pool, /64 allocations, daily
+				// stride of one /48 plus a bit. Devices sit in four
+				// unequal DHCPv6-style clusters, one per /48, so the
+				// daily increment produces Figure 10's density wave.
+				Prefix: "2001:16b8:100::/46", AllocBits: 64,
+				Rotation:  DailyStride(65537),
+				Occupancy: 0.08, EUIFrac: 0.85, SilentFrac: 0.04, LossProb: 0.01,
+				ClusterWeights: []float64{45, 30, 20, 5},
+				Vendors:        germanMix,
+				ExtraCPE: []ExtraCPESpec{
+					{MAC: SwitcherToDTMAC, UntilDay: 38},
+					{MAC: SwitcherToWerMAC, FromDay: 12},
+				},
+			},
+			{
+				// Figure 6a: /64 allocations (2001:16b8:501::/48 lives here).
+				Prefix: "2001:16b8:500::/46", AllocBits: 64,
+				Rotation:  DailyStride(65793),
+				Occupancy: 0.06, EUIFrac: 0.85, SilentFrac: 0.05, LossProb: 0.01,
+				ClusterWeights: []float64{40, 30, 20, 10},
+				Vendors:        germanMix,
+			},
+			{
+				// Figure 6b: /56 allocations (2001:16b8:11f9::/48 lives here).
+				Prefix: "2001:16b8:11f8::/46", AllocBits: 56,
+				Rotation:  DailyStride(259),
+				Occupancy: 0.55, EUIFrac: 0.85, SilentFrac: 0.05, LossProb: 0.01,
+				Vendors: germanMix,
+			},
+			{
+				// The bulk of Wersatel's DSL base: /56 delegations across a
+				// /43, rotated daily — this is what makes AS68881 dominate
+				// Table 1 (the paper's AS8881 holds 40% of rotating /48s)
+				// and /56 the most common Figure 5a allocation size.
+				Prefix: "2001:16b8:2000::/43", AllocBits: 56,
+				Rotation:  DailyStride(259),
+				Occupancy: 0.6, EUIFrac: 0.85, SilentFrac: 0.05, LossProb: 0.01,
+				Vendors: germanMix,
+			},
+		},
+	})
+
+	// --- Hellas Net: the #2 rotator (paper AS6799, GR). ---
+	add(ProviderSpec{
+		ASN: ASHellas, Name: "Hellas Net", Country: "GR",
+		Allocations:    []string{"2a02:9a8::/32"},
+		RouterHops:     3,
+		BorderRespProb: 0.3,
+		Pools: []PoolSpec{
+			{
+				Prefix: "2a02:9a8:400::/46", AllocBits: 56,
+				Rotation:  Every(24 * time.Hour),
+				Occupancy: 0.6, EUIFrac: 0.8, SilentFrac: 0.06, LossProb: 0.015,
+				Vendors: []VendorShare{{oui.VendorZTE, 4}, {oui.VendorSagemcom, 3}, {oui.VendorTechnicolor, 2}},
+			},
+			{
+				Prefix: "2a02:9a8:a00::/47", AllocBits: 56,
+				Rotation:  Every(24 * time.Hour),
+				Occupancy: 0.6, EUIFrac: 0.8, SilentFrac: 0.06, LossProb: 0.015,
+				Vendors: []VendorShare{{oui.VendorZTE, 4}, {oui.VendorSagemcom, 3}, {oui.VendorTechnicolor, 2}},
+			},
+			{
+				// Hellas's broader subscriber base: /56 delegations over a
+				// /44 (so GR stays the #2 rotator, as in Table 1).
+				Prefix: "2a02:9a8:3000::/44", AllocBits: 56,
+				Rotation:  Every(24 * time.Hour),
+				Occupancy: 0.6, EUIFrac: 0.8, SilentFrac: 0.06, LossProb: 0.015,
+				Vendors: []VendorShare{{oui.VendorZTE, 4}, {oui.VendorSagemcom, 3}, {oui.VendorTechnicolor, 2}},
+			},
+		},
+	})
+
+	// --- ChinaLink: shared-vendor-MAC pathology (Figure 8 tail). ---
+	add(ProviderSpec{
+		ASN: ASChinaLink, Name: "ChinaLink", Country: "CN",
+		Allocations:    []string{"2408:8a00::/32"},
+		RouterHops:     5,
+		BorderRespProb: 0.2,
+		Pools: []PoolSpec{
+			{
+				Prefix: "2408:8a00:100::/50", AllocBits: 64,
+				Rotation:  Every(24 * time.Hour),
+				Occupancy: 0.6, EUIFrac: 0.85, SilentFrac: 0.03, LossProb: 0.01,
+				SharedMAC: SharedVendorMAC,
+				Vendors:   []VendorShare{{oui.VendorZTE, 6}, {oui.VendorHuawei, 3}, {oui.VendorFiberHome, 1}},
+				ExtraCPE:  []ExtraCPESpec{{MAC: ReusedZTEMAC}},
+			},
+			{
+				Prefix: "2408:8a00:200::/48", AllocBits: 56,
+				Rotation:  Every(24 * time.Hour),
+				Occupancy: 0.5, EUIFrac: 0.75, SilentFrac: 0.05, LossProb: 0.01,
+				Vendors: []VendorShare{{oui.VendorZTE, 5}, {oui.VendorHuawei, 4}, {oui.VendorFiberHome, 1}},
+			},
+		},
+	})
+
+	// --- BrasilTel: mixed rotating and static pools. ---
+	add(ProviderSpec{
+		ASN: ASBrasilTel, Name: "BrasilTel", Country: "BR",
+		Allocations:    []string{"2804:1400::/32"},
+		RouterHops:     4,
+		BorderRespProb: 0.25,
+		Pools: []PoolSpec{
+			{
+				Prefix: "2804:1400:10::/48", AllocBits: 56,
+				Rotation:  Every(48 * time.Hour),
+				Occupancy: 0.6, EUIFrac: 0.75, SilentFrac: 0.05, LossProb: 0.02,
+				Vendors:  []VendorShare{{oui.VendorTechnicolor, 4}, {oui.VendorArris, 3}, {oui.VendorZTE, 2}},
+				ExtraCPE: []ExtraCPESpec{{MAC: ReusedZTEMAC}},
+			},
+			{
+				Prefix: "2804:1400:20::/48", AllocBits: 56,
+				Rotation:  Every(48 * time.Hour),
+				Occupancy: 0.55, EUIFrac: 0.75, SilentFrac: 0.05, LossProb: 0.02,
+				Vendors: []VendorShare{{oui.VendorTechnicolor, 4}, {oui.VendorArris, 3}, {oui.VendorZTE, 2}},
+			},
+			{
+				// Static pool with churn: flagged by the detector, infers /64.
+				Prefix: "2804:1400:30::/48", AllocBits: 60,
+				Rotation:  RotationPolicy{Kind: RotateNone},
+				Occupancy: 0.4, EUIFrac: 0.7, SilentFrac: 0.05, LossProb: 0.02, ChurnFrac: 0.15,
+				Vendors: []VendorShare{{oui.VendorTechnicolor, 4}, {oui.VendorArris, 3}, {oui.VendorZTE, 2}},
+			},
+		},
+	})
+
+	// --- DT-Residential: the other German ISP of Figure 12. ---
+	add(ProviderSpec{
+		ASN: ASDTRes, Name: "DT-Residential", Country: "DE",
+		Allocations:    []string{"2003:e2::/32"},
+		RouterHops:     4,
+		BorderRespProb: 0.4,
+		Pools: []PoolSpec{
+			{
+				Prefix: "2003:e2:f000::/46", AllocBits: 56,
+				Rotation:  Every(72 * time.Hour),
+				Occupancy: 0.5, EUIFrac: 0.8, SilentFrac: 0.05, LossProb: 0.01, ChurnFrac: 0.08,
+				Vendors: germanMix,
+				ExtraCPE: []ExtraCPESpec{
+					{MAC: SwitcherToDTMAC, FromDay: 38},
+					{MAC: SwitcherToWerMAC, UntilDay: 12},
+				},
+			},
+		},
+	})
+
+	// --- NetKöln: extreme AVM homogeneity (§5.1). ---
+	add(ProviderSpec{
+		ASN: ASNetKoeln, Name: "NetKoeln", Country: "DE",
+		Allocations:    []string{"2a0a:a540::/32"},
+		RouterHops:     3,
+		BorderRespProb: 0.3,
+		Pools: []PoolSpec{
+			{
+				Prefix: "2a0a:a540:10::/47", AllocBits: 56,
+				Rotation:  DailyStride(3),
+				Occupancy: 0.8, EUIFrac: 0.95, SilentFrac: 0.03, LossProb: 0.01,
+				Vendors: []VendorShare{{oui.VendorAVM, 9990}, {oui.VendorLancom, 8}, {oui.VendorZyxel, 2}},
+			},
+		},
+	})
+
+	// --- VietNet: extreme ZTE homogeneity (§5.1). ---
+	add(ProviderSpec{
+		ASN: ASVietNet, Name: "VietNet", Country: "VN",
+		Allocations:    []string{"2405:4800::/32"},
+		RouterHops:     5,
+		BorderRespProb: 0.2,
+		Pools: []PoolSpec{
+			{
+				Prefix: "2405:4800:20::/47", AllocBits: 56,
+				Rotation:  Every(24 * time.Hour),
+				Occupancy: 0.8, EUIFrac: 0.9, SilentFrac: 0.04, LossProb: 0.02,
+				Vendors:  []VendorShare{{oui.VendorZTE, 996}, {oui.VendorHuawei, 4}},
+				ExtraCPE: []ExtraCPESpec{{MAC: ReusedZTEMAC}},
+			},
+		},
+	})
+
+	// --- The Figure 3 allocation-grid providers. ---
+	add(ProviderSpec{
+		ASN: ASEntelBol, Name: "EntelBol", Country: "BO",
+		Allocations:    []string{"2800:4f00::/32"},
+		RouterHops:     4,
+		BorderRespProb: 0.2,
+		Pools: []PoolSpec{
+			{
+				Prefix: "2800:4f00:10::/48", AllocBits: 56,
+				Rotation:  Every(48 * time.Hour),
+				Occupancy: 0.7, EUIFrac: 0.85, SilentFrac: 0.08, LossProb: 0.01,
+				Vendors: []VendorShare{{oui.VendorHuawei, 5}, {oui.VendorZTE, 3}, {oui.VendorMitraStar, 2}},
+			},
+		},
+	})
+	add(ProviderSpec{
+		ASN: ASBHTel, Name: "BH-Tel", Country: "BA",
+		Allocations:    []string{"2a02:27d0::/32"},
+		RouterHops:     3,
+		BorderRespProb: 0.25,
+		Pools: []PoolSpec{
+			{
+				Prefix: "2a02:27d0:40::/48", AllocBits: 60,
+				Rotation:  DailyStride(273),
+				Occupancy: 0.5, EUIFrac: 0.8, SilentFrac: 0.07, LossProb: 0.02,
+				Vendors:  []VendorShare{{oui.VendorSagemcom, 4}, {oui.VendorZyxel, 3}, {oui.VendorTPLink, 2}},
+				ExtraCPE: []ExtraCPESpec{{MAC: ReusedZTEMAC}},
+			},
+		},
+	})
+	add(ProviderSpec{
+		ASN: ASStarcat, Name: "Starcat", Country: "JP",
+		Allocations:    []string{"2400:7d80::/32"},
+		RouterHops:     4,
+		BorderRespProb: 0.15,
+		Pools: []PoolSpec{
+			{
+				// Figure 3c: /64 delegations scattered over the lower
+				// three quarters of the /48; the top stays unallocated.
+				Prefix: "2400:7d80:30::/48", AllocBits: 64,
+				Rotation:  Every(72 * time.Hour),
+				Occupancy: 0.15, EUIFrac: 0.85, SilentFrac: 0.15, LossProb: 0.02,
+				ClusterSpan: 0.75,
+				Vendors:     []VendorShare{{oui.VendorNokia, 4}, {oui.VendorZyxel, 3}, {oui.VendorTPLink, 3}},
+			},
+		},
+	})
+
+	// --- Remaining mid-size rotators for Table 2 geography. ---
+	add(ProviderSpec{
+		ASN: ASRioNet, Name: "RioNet", Country: "BR",
+		Allocations: []string{"2804:3a00::/32"}, RouterHops: 4, BorderRespProb: 0.2,
+		Pools: []PoolSpec{{
+			Prefix: "2804:3a00:50::/48", AllocBits: 56,
+			Rotation:  Every(24 * time.Hour),
+			Occupancy: 0.5, EUIFrac: 0.8, SilentFrac: 0.06, LossProb: 0.02,
+			Vendors: []VendorShare{{oui.VendorArris, 5}, {oui.VendorTechnicolor, 3}, {oui.VendorZTE, 2}},
+		}},
+	})
+	add(ProviderSpec{
+		ASN: ASPatagonia, Name: "PatagoniaTel", Country: "AR",
+		Allocations: []string{"2803:9100::/32"}, RouterHops: 5, BorderRespProb: 0.2,
+		Pools: []PoolSpec{{
+			Prefix: "2803:9100:60::/48", AllocBits: 56,
+			Rotation:  Every(48 * time.Hour),
+			Occupancy: 0.5, EUIFrac: 0.75, SilentFrac: 0.05, LossProb: 0.02,
+			Vendors: []VendorShare{{oui.VendorHuawei, 4}, {oui.VendorZTE, 3}, {oui.VendorAskey, 2}},
+		}},
+	})
+	add(ProviderSpec{
+		ASN: ASShenzhen, Name: "ShenzhenBroadband", Country: "CN",
+		Allocations: []string{"240e:5a00::/32"}, RouterHops: 5, BorderRespProb: 0.2,
+		Pools: []PoolSpec{{
+			Prefix: "240e:5a00:70::/48", AllocBits: 56,
+			Rotation:  Every(24 * time.Hour),
+			Occupancy: 0.55, EUIFrac: 0.8, SilentFrac: 0.05, LossProb: 0.03,
+			Vendors: []VendorShare{{oui.VendorHuawei, 5}, {oui.VendorZTE, 4}, {oui.VendorFiberHome, 1}},
+		}},
+	})
+	add(ProviderSpec{
+		ASN: ASBerlinF, Name: "BerlinFiber", Country: "DE",
+		Allocations: []string{"2a0e:b200::/32"}, RouterHops: 3, BorderRespProb: 0.3,
+		Pools: []PoolSpec{{
+			Prefix: "2a0e:b200:80::/48", AllocBits: 60,
+			Rotation:  Every(24 * time.Hour),
+			Occupancy: 0.35, EUIFrac: 0.85, SilentFrac: 0.04, LossProb: 0.01,
+			Vendors: germanMix,
+		}},
+	})
+	add(ProviderSpec{
+		ASN: ASUruCable, Name: "UruguayCable", Country: "UY",
+		Allocations: []string{"2800:a800::/32"}, RouterHops: 4, BorderRespProb: 0.2,
+		Pools: []PoolSpec{{
+			Prefix: "2800:a800:90::/48", AllocBits: 56,
+			Rotation:  Every(48 * time.Hour),
+			Occupancy: 0.5, EUIFrac: 0.8, SilentFrac: 0.05, LossProb: 0.02,
+			Vendors:  []VendorShare{{oui.VendorTechnicolor, 5}, {oui.VendorArris, 3}, {oui.VendorZTE, 2}},
+			ExtraCPE: []ExtraCPESpec{{MAC: ReusedZTEMAC}},
+		}},
+	})
+
+	// --- Long tail: ~30 small ASes tracing the Figure 4 homogeneity CDF.
+	vendorsPool := []string{
+		oui.VendorAVM, oui.VendorZTE, oui.VendorHuawei, oui.VendorSagemcom,
+		oui.VendorZyxel, oui.VendorTPLink, oui.VendorNetgear, oui.VendorTechnicolor,
+		oui.VendorArris, oui.VendorCompal, oui.VendorAskey, oui.VendorArcadyan,
+		oui.VendorMitraStar, oui.VendorDLink, oui.VendorUbiquiti, oui.VendorCalix,
+		oui.VendorAdtran, oui.VendorNokia, oui.VendorFiberHome, oui.VendorLancom,
+	}
+	for i := 0; i < 30; i++ {
+		cc := smallASCountries[i%len(smallASCountries)]
+		dominant := vendorsPool[i%len(vendorsPool)]
+		second := vendorsPool[(i+7)%len(vendorsPool)]
+		third := vendorsPool[(i+13)%len(vendorsPool)]
+		share := smallASShare(i)
+		rest := 1 - share
+
+		rot := RotationPolicy{Kind: RotateNone}
+		churn := 0.25
+		if i%4 == 0 { // a quarter of the tail genuinely rotates
+			rot = Every(time.Duration(24*(1+i%3)) * time.Hour)
+			churn = 0.05
+		}
+		alloc := 56
+		occ := 0.85
+		if i%5 == 2 {
+			alloc = 60
+			occ = 0.5 // /60 tails would otherwise dwarf the /56 mass
+		}
+		extra := []ExtraCPESpec(nil)
+		if i < 12 { // the all-zero MAC appears in 12 distinct ASes (§5.5)
+			extra = append(extra, ExtraCPESpec{MAC: ZeroMAC})
+		}
+		if cc == "RU" || cc == "FR" { // reused ZTE MAC, more continents
+			extra = append(extra, ExtraCPESpec{MAC: ReusedZTEMAC})
+		}
+		// Advertisement sizes vary across the tail (/32, /36, /40) so the
+		// Figure 7 BGP-prefix CDF has the paper's spread, and smaller
+		// advertisements keep the seed traceroute sweep affordable.
+		allocBits := []int{32, 36, 40}[i%3]
+		add(ProviderSpec{
+			ASN:     uint32(64600 + i),
+			Name:    fmt.Sprintf("TailNet-%02d", i),
+			Country: cc,
+			Allocations: []string{
+				fmt.Sprintf("2a10:%x::/%d", 0x1000+i*16, allocBits),
+			},
+			RouterHops:     3 + i%3,
+			BorderRespProb: 0.2,
+			Pools: []PoolSpec{{
+				Prefix:    fmt.Sprintf("2a10:%x:10::/49", 0x1000+i*16),
+				AllocBits: alloc,
+				Rotation:  rot,
+				Occupancy: occ, EUIFrac: 0.95, SilentFrac: 0.04, LossProb: 0.02,
+				ChurnFrac: churn,
+				Vendors: []VendorShare{
+					{dominant, share},
+					{second, rest * 0.6},
+					{third, rest * 0.4},
+				},
+				ExtraCPE: extra,
+			}},
+		})
+	}
+	// --- Low-density networks (§4.2): providers delegating huge blocks,
+	// so a /48 holds only one or two responding devices.
+	for i := 0; i < 4; i++ {
+		add(ProviderSpec{
+			ASN:     uint32(64700 + i),
+			Name:    fmt.Sprintf("SparseNet-%d", i),
+			Country: smallASCountries[(i*7+3)%len(smallASCountries)],
+			Allocations: []string{
+				fmt.Sprintf("2a11:%x::/40", 0x300+i*2),
+			},
+			RouterHops:     3,
+			BorderRespProb: 0.2,
+			Pools: []PoolSpec{{
+				Prefix:    fmt.Sprintf("2a11:%x:20::/48", 0x300+i*2),
+				AllocBits: 52, // 16 blocks; ~2 customers own the whole /48
+				Rotation:  RotationPolicy{Kind: RotateNone},
+				Occupancy: 0.15, EUIFrac: 1,
+			}},
+		})
+	}
+	return ws
+}
+
+// smallASShare maps tail-AS index to a dominant-vendor share tracing the
+// Figure 4 CDF: about a quarter of ASes fully homogeneous, half above
+// 0.9, three quarters above 0.67, minimum around 0.34.
+func smallASShare(i int) float64 {
+	switch {
+	case i < 8:
+		return 1.0 - float64(i)*0.004 // 0.97..1.0
+	case i < 15:
+		return 0.97 - float64(i-8)*0.01 // 0.90..0.97
+	case i < 23:
+		return 0.90 - float64(i-15)*0.029 // 0.67..0.90
+	default:
+		return 0.67 - float64(i-23)*0.047 // 0.34..0.67
+	}
+}
+
+// TestWorld returns a small, fast world for unit tests: three providers
+// exercising /56, /60 and /64 allocations, daily increment and random
+// rotation, and a non-rotator.
+func TestWorld(seed uint64) *World {
+	return MustBuild(WorldSpec{
+		Seed: seed,
+		Providers: []ProviderSpec{
+			{
+				ASN: 65001, Name: "AlphaNet", Country: "DE",
+				Allocations:    []string{"2001:db8::/32"},
+				RouterHops:     3,
+				BorderRespProb: 0.3,
+				Pools: []PoolSpec{
+					{
+						Prefix: "2001:db8:10::/48", AllocBits: 56,
+						Rotation:  DailyStride(3),
+						Occupancy: 0.5, EUIFrac: 0.9,
+						Vendors: []VendorShare{{oui.VendorAVM, 9}, {oui.VendorZyxel, 1}},
+					},
+					{
+						Prefix: "2001:db8:20::/48", AllocBits: 64,
+						Rotation:  Every(24 * time.Hour),
+						Occupancy: 0.01, EUIFrac: 0.9,
+						Vendors: []VendorShare{{oui.VendorAVM, 9}, {oui.VendorZyxel, 1}},
+					},
+				},
+			},
+			{
+				ASN: 65002, Name: "BetaCom", Country: "JP",
+				Allocations:    []string{"2001:db9::/32"},
+				RouterHops:     4,
+				BorderRespProb: 0.2,
+				Pools: []PoolSpec{
+					{
+						Prefix: "2001:db9:30::/48", AllocBits: 60,
+						Rotation:  Every(48 * time.Hour),
+						Occupancy: 0.3, EUIFrac: 0.8,
+						Vendors: []VendorShare{{oui.VendorZTE, 1}},
+					},
+				},
+			},
+			{
+				ASN: 65003, Name: "GammaStatic", Country: "BR",
+				Allocations:    []string{"2001:dba::/32"},
+				RouterHops:     3,
+				BorderRespProb: 0.2,
+				Pools: []PoolSpec{
+					{
+						Prefix: "2001:dba:40::/48", AllocBits: 56,
+						Rotation:  RotationPolicy{Kind: RotateNone},
+						Occupancy: 0.4, EUIFrac: 0.7, ChurnFrac: 0.2,
+						Vendors: []VendorShare{{oui.VendorHuawei, 1}},
+					},
+				},
+			},
+		},
+	})
+}

@@ -1,0 +1,82 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"followscent/internal/ip6"
+)
+
+func TestEnumStrings(t *testing.T) {
+	cases := map[string]string{
+		ModeEUI64.String():         "eui64",
+		ModePrivacy.String():       "privacy",
+		ModePrivacyStatic.String(): "privacy-static",
+		AddressingMode(9).String(): "mode(9)",
+		RotateNone.String():        "none",
+		RotateIncrement.String():   "increment",
+		RotateRandom.String():      "random",
+		RotationKind(9).String():   "rotation(9)",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestClock(t *testing.T) {
+	c := NewClock()
+	if !c.Now().Equal(Epoch) {
+		t.Fatal("clock does not start at Epoch")
+	}
+	c.Advance(36 * time.Hour)
+	if c.Day() != 1 {
+		t.Fatalf("Day = %d after 36h", c.Day())
+	}
+	c.Set(Epoch.Add(-25 * time.Hour))
+	if c.Day() != -1 {
+		t.Fatalf("Day = %d before Epoch", c.Day())
+	}
+}
+
+func TestEveryPolicy(t *testing.T) {
+	p := Every(48 * time.Hour)
+	if p.Kind != RotateRandom || p.Interval != 48*time.Hour {
+		t.Fatalf("Every = %+v", p)
+	}
+	d := DailyStride(7)
+	if d.Stride != 7 || d.Interval != 24*time.Hour || d.Kind != RotateIncrement {
+		t.Fatalf("DailyStride = %+v", d)
+	}
+}
+
+func TestLocateMACAbsent(t *testing.T) {
+	w := TestWorld(61)
+	if got := w.LocateMAC(ip6.MustParseMAC("de:ad:be:ef:00:00")); len(got) != 0 {
+		t.Fatalf("absent MAC located %d times", len(got))
+	}
+}
+
+func TestMACAllocatorUnique(t *testing.T) {
+	w := DefaultWorld(7)
+	seen := map[ip6.MAC][]string{}
+	for _, p := range w.Providers() {
+		for _, pool := range p.Pools {
+			for i := range pool.CPEs() {
+				c := &pool.CPEs()[i]
+				seen[c.MAC] = append(seen[c.MAC], p.Name)
+			}
+		}
+	}
+	fixtures := map[string]bool{
+		ZeroMAC: true, ReusedZTEMAC: true,
+		SwitcherToDTMAC: true, SwitcherToWerMAC: true,
+		SharedVendorMAC: true,
+	}
+	for mac, owners := range seen {
+		if len(owners) > 1 && !fixtures[mac.String()] {
+			t.Fatalf("accidental MAC collision: %s in %v", mac, owners)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// clusterWorld builds one provider with a 4-cluster /46 pool (Wersatel
+// style) and one with a span-restricted /48 pool (Starcat style).
+func clusterWorld(seed uint64) *World {
+	return MustBuild(WorldSpec{
+		Seed: seed,
+		Providers: []ProviderSpec{
+			{
+				ASN: 65201, Name: "Wave", Country: "DE",
+				Allocations: []string{"2001:dd0::/32"},
+				Pools: []PoolSpec{{
+					Prefix: "2001:dd0:100::/46", AllocBits: 64,
+					Rotation:  DailyStride(65537),
+					Occupancy: 0.02, EUIFrac: 1,
+					ClusterWeights: []float64{45, 30, 20, 5},
+					ExtraCPE:       []ExtraCPESpec{{MAC: "38:10:d5:01:02:03"}},
+				}},
+			},
+			{
+				ASN: 65202, Name: "Span", Country: "JP",
+				Allocations: []string{"2001:dd1::/32"},
+				Pools: []PoolSpec{{
+					Prefix: "2001:dd1:30::/48", AllocBits: 64,
+					Rotation:  Every(24 * time.Hour),
+					Occupancy: 0.1, EUIFrac: 1,
+					ClusterSpan: 0.75,
+				}},
+			},
+		},
+	})
+}
+
+func TestClusterWeightsPlaceUnevenly(t *testing.T) {
+	w := clusterWorld(81)
+	pool := w.Providers()[0].Pools[0]
+	// Count home bases per /48 segment (4 segments in the /46).
+	segment := pool.Blocks() / 4
+	counts := [4]int{}
+	for i := range pool.CPEs() {
+		counts[pool.cpes[i].base/segment]++
+	}
+	total := len(pool.CPEs())
+	// Weights 45/30/20/5 (the extra device lands in the top segment).
+	if counts[0] <= counts[1] || counts[1] <= counts[2] || counts[2] <= counts[3] {
+		t.Fatalf("cluster sizes not descending: %v", counts)
+	}
+	if float64(counts[0])/float64(total) < 0.35 {
+		t.Fatalf("first cluster only %d/%d", counts[0], total)
+	}
+	// Bases within each cluster are contiguous from the segment start.
+	seen := map[uint64]bool{}
+	for i := range pool.cpes {
+		if seen[pool.cpes[i].base] {
+			t.Fatal("duplicate home base")
+		}
+		seen[pool.cpes[i].base] = true
+	}
+}
+
+func TestClusterWaveMovesDaily(t *testing.T) {
+	w := clusterWorld(82)
+	pool := w.Providers()[0].Pools[0]
+	// Density per /48 shifts by one segment per day (stride 65537).
+	densityAt := func(at time.Time) [4]int {
+		var d [4]int
+		segment := pool.Blocks() / 4
+		for i := range pool.cpes {
+			d[pool.blockAt(&pool.cpes[i], at)/segment]++
+		}
+		return d
+	}
+	noon := Epoch.Add(12 * time.Hour)
+	d0 := densityAt(noon)
+	d1 := densityAt(noon.Add(24 * time.Hour))
+	// The day-1 distribution is the day-0 one rotated by one segment,
+	// give or take a few edge devices (the stride is one segment plus
+	// one block, so cluster tails drift across boundaries).
+	for seg := 0; seg < 4; seg++ {
+		diff := d1[(seg+1)%4] - d0[seg]
+		if diff < -8 || diff > 8 {
+			t.Fatalf("wave did not shift: day0 %v day1 %v", d0, d1)
+		}
+	}
+	// Uneven: max much larger than min.
+	max, min := 0, 1<<30
+	for _, n := range d0 {
+		if n > max {
+			max = n
+		}
+		if n < min {
+			min = n
+		}
+	}
+	if max < 4*min+1 {
+		t.Fatalf("densities too even: %v", d0)
+	}
+}
+
+func TestSpanRestrictsRotation(t *testing.T) {
+	w := clusterWorld(83)
+	pool := w.Providers()[1].Pools[0]
+	limit := pool.spanLimit
+	if limit != pool.Blocks()*3/4 {
+		t.Fatalf("spanLimit = %d", limit)
+	}
+	// Over many days, no device ever occupies a block above the span.
+	for d := 0; d < 12; d++ {
+		at := Epoch.Add(time.Duration(d)*24*time.Hour + 12*time.Hour)
+		blocks := map[uint64]bool{}
+		for i := range pool.cpes {
+			j := pool.blockAt(&pool.cpes[i], at)
+			if j >= limit {
+				t.Fatalf("day %d: device in block %d >= span %d", d, j, limit)
+			}
+			if blocks[j] {
+				t.Fatalf("day %d: block %d double-occupied", d, j)
+			}
+			blocks[j] = true
+			// occupantAt is consistent with blockAt under the span walk.
+			if got := pool.occupantAt(j, at); got != &pool.cpes[i] {
+				t.Fatalf("day %d: occupant mismatch at block %d", d, j)
+			}
+		}
+	}
+	// Queries into the unallocated top get no CPE response.
+	top := pool.Block(pool.Blocks() - 2)
+	if r, ok := w.Query(top.RandomAddr(1, 2), 64, 0); ok && pool.Prefix.Contains(r.From) {
+		t.Fatalf("response from unallocated span top: %+v", r)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	bad := WorldSpec{Seed: 1, Providers: []ProviderSpec{{
+		ASN: 65203, Name: "Bad", Country: "XX",
+		Allocations: []string{"2001:dd2::/32"},
+		Pools: []PoolSpec{{
+			Prefix: "2001:dd2:10::/48", AllocBits: 56,
+			Rotation:       RotationPolicy{Kind: RotateNone},
+			Occupancy:      0.5,
+			ClusterWeights: []float64{1},
+			ClusterSpan:    0.5,
+		}},
+	}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("weights+span accepted")
+	}
+	bad.Providers[0].Pools[0].ClusterWeights = nil
+	bad.Providers[0].Pools[0].ClusterSpan = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("span > 1 accepted")
+	}
+	bad.Providers[0].Pools[0].ClusterSpan = 0
+	bad.Providers[0].Pools[0].ClusterWeights = []float64{-1, 2}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	// Overfull cluster: 0.9 occupancy cannot fit in one of 256 segments.
+	overfull := WorldSpec{Seed: 1, Providers: []ProviderSpec{{
+		ASN: 65204, Name: "Full", Country: "XX",
+		Allocations: []string{"2001:dd3::/32"},
+		Pools: []PoolSpec{{
+			Prefix: "2001:dd3:10::/48", AllocBits: 56,
+			Rotation:       RotationPolicy{Kind: RotateNone},
+			Occupancy:      0.9,
+			ClusterWeights: []float64{100, 1, 1, 1},
+		}},
+	}}}
+	if _, err := Build(overfull); err == nil {
+		t.Fatal("overfull cluster accepted")
+	}
+}

@@ -1,0 +1,104 @@
+package simnet
+
+// Deterministic hashing and small-domain permutations.
+//
+// Every stochastic decision in the simulator — MAC assignment, occupancy
+// sampling, packet loss, per-CPE reassignment jitter — is a pure function
+// of (world seed, identifiers), never of call order. Two probes of the
+// same target at the same virtual time always behave identically, and a
+// rebuilt world is bit-for-bit the same. This is what lets the experiment
+// harness replay "44 days of scanning" and get stable figures.
+
+// splitmix64 is the SplitMix64 finalizer: a high-quality 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ x>>30) * 0xbf58476d1ce4e5b9
+	x = (x ^ x>>27) * 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+// mix hashes a sequence of words into one 64-bit value.
+func mix(words ...uint64) uint64 {
+	h := uint64(0x243f6a8885a308d3) // pi
+	for _, w := range words {
+		h = splitmix64(h ^ w)
+	}
+	return h
+}
+
+// unitFloat maps a hash to [0,1).
+func unitFloat(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}
+
+// perm is a keyed bijection over [0, 2^bits), 1 <= bits <= 63, built from
+// invertible rounds: multiply by an odd constant mod 2^bits, xorshift, and
+// add. It bijectively shuffles rotation-pool block indices for the
+// "periodic random" rotation policy, so no two CPE ever collide on a
+// block, while still looking random across epochs.
+type perm struct {
+	bits uint
+	mask uint64
+	mul  [permRounds]uint64 // odd multipliers
+	add  [permRounds]uint64
+}
+
+const permRounds = 3
+
+func newPerm(key uint64, bits uint) perm {
+	if bits < 1 || bits > 63 {
+		panic("simnet: perm domain bits out of range")
+	}
+	p := perm{bits: bits, mask: 1<<bits - 1}
+	for i := 0; i < permRounds; i++ {
+		p.mul[i] = mix(key, uint64(i), 0xa5) | 1 // odd => invertible mod 2^bits
+		p.add[i] = mix(key, uint64(i), 0x5a)
+	}
+	return p
+}
+
+// apply permutes x within the domain.
+func (p perm) apply(x uint64) uint64 {
+	x &= p.mask
+	for i := 0; i < permRounds; i++ {
+		x = (x * p.mul[i]) & p.mask
+		if p.bits > 1 {
+			x ^= x >> (p.bits/2 + 1)
+		}
+		x = (x + p.add[i]) & p.mask
+	}
+	return x
+}
+
+// invert recovers y such that apply(y) == x.
+func (p perm) invert(x uint64) uint64 {
+	x &= p.mask
+	for i := permRounds - 1; i >= 0; i-- {
+		x = (x - p.add[i]) & p.mask
+		if p.bits > 1 {
+			x = invXorshift(x, p.bits/2+1, p.mask)
+		}
+		x = (x * mulInverse(p.mul[i])) & p.mask
+	}
+	return x
+}
+
+// invXorshift inverts y = x ^ (x >> s) over a masked domain.
+func invXorshift(y uint64, s uint, mask uint64) uint64 {
+	x := y
+	for i := 0; i < 64; i += int(s) {
+		x = y ^ (x >> s)
+	}
+	return x & mask
+}
+
+// mulInverse returns the multiplicative inverse of odd a modulo 2^64
+// (which is also the inverse modulo any smaller power of two after
+// masking), via Newton iteration.
+func mulInverse(a uint64) uint64 {
+	x := a // 3 correct bits
+	for i := 0; i < 5; i++ {
+		x *= 2 - a*x
+	}
+	return x
+}

@@ -1,0 +1,100 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPermIsBijection(t *testing.T) {
+	for _, bits := range []uint{1, 2, 3, 8, 10, 18} {
+		p := newPerm(0xfeed, bits)
+		n := uint64(1) << bits
+		if n > 1<<12 {
+			n = 1 << 12 // sample the large domains
+		}
+		seen := make(map[uint64]bool, n)
+		for x := uint64(0); x < n; x++ {
+			y := p.apply(x)
+			if y >= 1<<bits {
+				t.Fatalf("bits=%d: apply(%d)=%d escapes domain", bits, x, y)
+			}
+			if bits <= 12 {
+				if seen[y] {
+					t.Fatalf("bits=%d: collision at %d", bits, y)
+				}
+				seen[y] = true
+			}
+			if got := p.invert(y); got != x {
+				t.Fatalf("bits=%d: invert(apply(%d)) = %d", bits, x, got)
+			}
+		}
+	}
+}
+
+func TestPermRoundTripQuick(t *testing.T) {
+	f := func(key, x uint64, bitsRaw uint8) bool {
+		bits := uint(bitsRaw)%63 + 1
+		p := newPerm(key, bits)
+		x &= p.mask
+		return p.invert(p.apply(x)) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermKeysDiffer(t *testing.T) {
+	a, b := newPerm(1, 16), newPerm(2, 16)
+	same := 0
+	for x := uint64(0); x < 1000; x++ {
+		if a.apply(x) == b.apply(x) {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Errorf("different keys agree on %d/1000 points", same)
+	}
+}
+
+func TestMulInverse(t *testing.T) {
+	f := func(a uint64) bool {
+		a |= 1
+		return a*mulInverse(a) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvXorshift(t *testing.T) {
+	f := func(x uint64, sRaw, bitsRaw uint8) bool {
+		bits := uint(bitsRaw)%63 + 1
+		s := uint(sRaw)%bits + 1
+		mask := uint64(1)<<bits - 1
+		x &= mask
+		y := x ^ (x >> s)
+		return invXorshift(y, s, mask) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixDeterministic(t *testing.T) {
+	if mix(1, 2, 3) != mix(1, 2, 3) {
+		t.Fatal("mix not deterministic")
+	}
+	if mix(1, 2, 3) == mix(1, 3, 2) {
+		t.Fatal("mix ignores order")
+	}
+}
+
+func TestUnitFloatRange(t *testing.T) {
+	f := func(h uint64) bool {
+		u := unitFloat(h)
+		return u >= 0 && u < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

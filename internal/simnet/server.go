@@ -1,0 +1,74 @@
+package simnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ServeUDP answers ICMPv6-in-UDP probes on conn until ctx is cancelled:
+// each datagram is one raw IPv6+ICMPv6 packet, answered (or not) exactly
+// as the simulated Internet would. This is the backend for cmd/simnetd
+// and for the cross-socket integration tests — the prober exercises real
+// socket I/O against byte-exact wire format.
+//
+// timescale > 0 advances the virtual clock by timescale seconds per real
+// second while serving (0 keeps time frozen).
+func (w *World) ServeUDP(ctx context.Context, conn *net.UDPConn, timescale float64) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+
+	if timescale > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(100 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					w.clock.Advance(time.Duration(timescale * float64(100*time.Millisecond)))
+				}
+			}
+		}()
+	}
+
+	// Unblock the read loop on cancellation.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-ctx.Done()
+		_ = conn.SetReadDeadline(time.Now())
+	}()
+
+	buf := make([]byte, 64<<10)
+	out := make([]byte, 0, 2048)
+	for {
+		n, peer, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return fmt.Errorf("simnet: udp read: %w", err)
+		}
+		resp, ok := w.HandlePacket(buf[:n], out[:0])
+		if !ok {
+			continue
+		}
+		if _, err := conn.WriteToUDP(resp, peer); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("simnet: udp write: %w", err)
+		}
+	}
+}

@@ -1,0 +1,324 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"followscent/internal/ip6"
+)
+
+// AddressingMode is how a CPE forms the IID of its WAN address.
+type AddressingMode uint8
+
+const (
+	// ModeEUI64 is the legacy SLAAC mode: the IID embeds the MAC and is
+	// static across rotations — the vulnerability the paper measures.
+	ModeEUI64 AddressingMode = iota
+	// ModePrivacy is RFC 4941 done right: a fresh random IID at every
+	// prefix change. Invisible to EUI-based tracking.
+	ModePrivacy
+	// ModePrivacyStatic is the weak reading of RFC 4941's SHOULD (§8): a
+	// random IID generated once and kept across prefix changes. Still
+	// trackable by IID, just not attributable to a vendor.
+	ModePrivacyStatic
+)
+
+func (m AddressingMode) String() string {
+	switch m {
+	case ModeEUI64:
+		return "eui64"
+	case ModePrivacy:
+		return "privacy"
+	case ModePrivacyStatic:
+		return "privacy-static"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// RotationKind selects how a pool re-delegates customer prefixes.
+type RotationKind uint8
+
+const (
+	// RotateNone keeps every CPE in its home block forever.
+	RotateNone RotationKind = iota
+	// RotateIncrement advances every CPE by one block per interval,
+	// wrapping modulo the pool size — the AS8881 behaviour of Figure 9.
+	RotateIncrement
+	// RotateRandom assigns each CPE a pseudorandom block each interval
+	// via a keyed bijection (no collisions).
+	RotateRandom
+)
+
+func (k RotationKind) String() string {
+	switch k {
+	case RotateNone:
+		return "none"
+	case RotateIncrement:
+		return "increment"
+	case RotateRandom:
+		return "random"
+	}
+	return fmt.Sprintf("rotation(%d)", uint8(k))
+}
+
+// RotationPolicy describes a pool's re-delegation schedule.
+type RotationPolicy struct {
+	Kind RotationKind
+	// Interval is the epoch length (24h for daily rotators). Must be
+	// positive for rotating kinds.
+	Interval time.Duration
+	// ReassignHour is the UTC hour at which the reassignment window
+	// opens each interval (Figure 10: early morning).
+	ReassignHour int
+	// ReassignWindow spreads individual CPE reassignments across this
+	// duration after ReassignHour (per-CPE deterministic jitter).
+	ReassignWindow time.Duration
+	// Stride is how many allocation blocks a RotateIncrement pool
+	// advances per interval. It must be odd (coprime to the power-of-two
+	// pool size) so the walk is a full cycle; zero means 1. AS8881-style
+	// pools use a stride of about one /48 per day, which is what makes
+	// Figure 9's IIDs hop across /48s daily and wrap modulo the /46.
+	Stride uint64
+}
+
+// Daily returns the canonical daily-increment policy with reassignment
+// between 00:00 and 06:00, matching Figure 10.
+func Daily() RotationPolicy {
+	return RotationPolicy{
+		Kind:           RotateIncrement,
+		Interval:       24 * time.Hour,
+		ReassignHour:   0,
+		ReassignWindow: 6 * time.Hour,
+		Stride:         1,
+	}
+}
+
+// DailyStride is Daily with a custom block stride per day.
+func DailyStride(stride uint64) RotationPolicy {
+	p := Daily()
+	p.Stride = stride
+	return p
+}
+
+// Every returns a random-reassignment policy with the given interval.
+func Every(interval time.Duration) RotationPolicy {
+	return RotationPolicy{
+		Kind:           RotateRandom,
+		Interval:       interval,
+		ReassignHour:   1,
+		ReassignWindow: 4 * time.Hour,
+	}
+}
+
+// VendorShare weights a manufacturer within a pool's CPE population.
+type VendorShare struct {
+	Vendor string
+	Weight float64
+}
+
+// PoolSpec describes one rotation pool: a contiguous range of customer
+// allocation blocks that rotate (or not) together.
+type PoolSpec struct {
+	// Prefix is the pool's covering prefix (e.g. a /46), in CIDR form.
+	Prefix string
+	// AllocBits is the customer allocation size within the pool
+	// (e.g. 56 for /56 delegations). Must be > prefix length, <= 64.
+	AllocBits int
+	// Rotation is the pool's re-delegation schedule.
+	Rotation RotationPolicy
+	// Occupancy is the fraction of allocation blocks that host a CPE.
+	Occupancy float64
+	// EUIFrac is the fraction of CPE using legacy EUI-64 addressing;
+	// the rest use ModePrivacy (or ModePrivacyStatic per StaticPrivFrac).
+	EUIFrac float64
+	// StaticPrivFrac is the fraction of the *non-EUI* CPE that keep a
+	// static random IID instead of re-randomizing.
+	StaticPrivFrac float64
+	// SilentFrac is the fraction of CPE that never answer probes.
+	SilentFrac float64
+	// LossProb is the per-probe loss probability for responsive CPE.
+	LossProb float64
+	// RateLimitPerHour caps ICMPv6 errors per CPE per virtual hour;
+	// 0 means unlimited.
+	RateLimitPerHour int
+	// Vendors is the manufacturer mix; empty means a generic mix.
+	Vendors []VendorShare
+	// SharedMAC, when set, forces every EUI-64 CPE in the pool to embed
+	// this same MAC — the vendor-default-MAC pathology behind the
+	// Figure 8 tail (one IID in ~30k /64s).
+	SharedMAC string
+	// ChurnFrac is the fraction of CPE that appear or disappear partway
+	// through the campaign (uniform over days 1..40).
+	ChurnFrac float64
+	// ExtraCPE injects individually-specified devices on top of the
+	// occupancy-sampled population — the fixtures for the §5.5
+	// pathologies (all-zero MACs, cross-continent MAC reuse, provider
+	// switching) and for targeted-tracking tests.
+	ExtraCPE []ExtraCPESpec
+	// ClusterWeights places devices in contiguous runs ("clusters"), one
+	// at the base of each of len(ClusterWeights) equal pool segments,
+	// sized proportionally to the weights. Real DHCPv6-PD servers hand
+	// out delegations from the bottom of their ranges, and an increment
+	// rotation walking unequal clusters produces exactly the Figure 10
+	// density wave (one /48 holding most devices, one almost none,
+	// shifting daily). Mutually exclusive with ClusterSpan.
+	ClusterWeights []float64
+	// ClusterSpan, in (0,1], scatters devices uniformly over only the
+	// bottom fraction of the pool — the Figure 3c shape (a heavily
+	// pixelated lower region, an unallocated top). Zero means the whole
+	// pool. Mutually exclusive with ClusterWeights.
+	ClusterSpan float64
+}
+
+// ExtraCPESpec pins down one specific device.
+type ExtraCPESpec struct {
+	// MAC is the device's hardware address (required).
+	MAC string
+	// Mode is the addressing mode (default ModeEUI64).
+	Mode AddressingMode
+	// FromDay/UntilDay bound the device's lifetime in days since the
+	// campaign Epoch. FromDay 0 means "has always existed"; UntilDay 0
+	// means "never leaves".
+	FromDay, UntilDay int
+}
+
+// ProviderSpec describes one AS.
+type ProviderSpec struct {
+	ASN     uint32
+	Name    string
+	Country string
+	// Allocations are the BGP-advertised prefixes (usually one /32).
+	Allocations []string
+	// Pools are the provider's rotation pools. They must sit inside the
+	// allocations.
+	Pools []PoolSpec
+	// RouterHops is the number of static core-router hops between the
+	// vantage point and any CPE. Zero defaults to 3.
+	RouterHops int
+	// BorderRespProb is the probability that the border router answers
+	// "no route" for probes into unpooled or unoccupied space.
+	BorderRespProb float64
+}
+
+// WorldSpec is a complete simulated Internet.
+type WorldSpec struct {
+	Seed      uint64
+	Providers []ProviderSpec
+}
+
+// Validate checks internal consistency without building.
+func (ws *WorldSpec) Validate() error {
+	if len(ws.Providers) == 0 {
+		return fmt.Errorf("simnet: world has no providers")
+	}
+	seenASN := map[uint32]bool{}
+	var allAllocs []ip6.Prefix
+	for i := range ws.Providers {
+		ps := &ws.Providers[i]
+		if ps.ASN == 0 {
+			return fmt.Errorf("simnet: provider %d (%s) has ASN 0", i, ps.Name)
+		}
+		if seenASN[ps.ASN] {
+			return fmt.Errorf("simnet: duplicate ASN %d", ps.ASN)
+		}
+		seenASN[ps.ASN] = true
+		if len(ps.Allocations) == 0 {
+			return fmt.Errorf("simnet: AS%d has no allocations", ps.ASN)
+		}
+		var allocs []ip6.Prefix
+		for _, s := range ps.Allocations {
+			p, err := ip6.ParsePrefix(s)
+			if err != nil {
+				return fmt.Errorf("simnet: AS%d allocation: %w", ps.ASN, err)
+			}
+			allocs = append(allocs, p)
+		}
+		for _, a := range allocs {
+			for _, b := range allAllocs {
+				if a.Overlaps(b) {
+					return fmt.Errorf("simnet: allocation %s of AS%d overlaps another provider", a, ps.ASN)
+				}
+			}
+		}
+		allAllocs = append(allAllocs, allocs...)
+		for _, a := range allocs {
+			if a.Overlaps(TransitPrefix) {
+				return fmt.Errorf("simnet: allocation %s of AS%d overlaps the reserved transit prefix %s", a, ps.ASN, TransitPrefix)
+			}
+		}
+		for j := range ps.Pools {
+			pp := &ps.Pools[j]
+			pfx, err := ip6.ParsePrefix(pp.Prefix)
+			if err != nil {
+				return fmt.Errorf("simnet: AS%d pool %d: %w", ps.ASN, j, err)
+			}
+			inside := false
+			for _, a := range allocs {
+				if a.ContainsPrefix(pfx) {
+					inside = true
+					break
+				}
+			}
+			if !inside {
+				return fmt.Errorf("simnet: AS%d pool %s outside allocations", ps.ASN, pfx)
+			}
+			if pp.AllocBits <= pfx.Bits() || pp.AllocBits > 64 {
+				return fmt.Errorf("simnet: AS%d pool %s: alloc /%d invalid for pool /%d",
+					ps.ASN, pfx, pp.AllocBits, pfx.Bits())
+			}
+			if pp.Occupancy < 0 || pp.Occupancy > 1 || pp.EUIFrac < 0 || pp.EUIFrac > 1 ||
+				pp.SilentFrac < 0 || pp.SilentFrac > 1 || pp.LossProb < 0 || pp.LossProb >= 1 {
+				return fmt.Errorf("simnet: AS%d pool %s: fraction out of range", ps.ASN, pfx)
+			}
+			switch pp.Rotation.Kind {
+			case RotateNone:
+			case RotateIncrement, RotateRandom:
+				if pp.Rotation.Interval <= 0 {
+					return fmt.Errorf("simnet: AS%d pool %s: rotating without interval", ps.ASN, pfx)
+				}
+				if pp.Rotation.ReassignWindow < 0 || pp.Rotation.ReassignWindow >= pp.Rotation.Interval {
+					return fmt.Errorf("simnet: AS%d pool %s: reassign window >= interval", ps.ASN, pfx)
+				}
+				if pp.Rotation.Kind == RotateIncrement && pp.Rotation.Stride%2 == 0 && pp.Rotation.Stride != 0 {
+					return fmt.Errorf("simnet: AS%d pool %s: increment stride must be odd", ps.ASN, pfx)
+				}
+			default:
+				return fmt.Errorf("simnet: AS%d pool %s: unknown rotation kind", ps.ASN, pfx)
+			}
+			for k := j + 1; k < len(ps.Pools); k++ {
+				other, err := ip6.ParsePrefix(ps.Pools[k].Prefix)
+				if err == nil && pfx.Overlaps(other) {
+					return fmt.Errorf("simnet: AS%d pools %s and %s overlap", ps.ASN, pfx, other)
+				}
+			}
+			if pp.SharedMAC != "" {
+				if _, err := ip6.ParseMAC(pp.SharedMAC); err != nil {
+					return fmt.Errorf("simnet: AS%d pool %s: %w", ps.ASN, pfx, err)
+				}
+			}
+			for _, e := range pp.ExtraCPE {
+				if _, err := ip6.ParseMAC(e.MAC); err != nil {
+					return fmt.Errorf("simnet: AS%d pool %s extra CPE: %w", ps.ASN, pfx, err)
+				}
+			}
+			if len(pp.ClusterWeights) > 0 && pp.ClusterSpan != 0 {
+				return fmt.Errorf("simnet: AS%d pool %s: ClusterWeights and ClusterSpan are mutually exclusive", ps.ASN, pfx)
+			}
+			if pp.ClusterSpan < 0 || pp.ClusterSpan > 1 {
+				return fmt.Errorf("simnet: AS%d pool %s: ClusterSpan %v out of (0,1]", ps.ASN, pfx, pp.ClusterSpan)
+			}
+			for _, cw := range pp.ClusterWeights {
+				if cw < 0 {
+					return fmt.Errorf("simnet: AS%d pool %s: negative cluster weight", ps.ASN, pfx)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TransitPrefix is the reserved range from which core- and border-router
+// addresses are assigned (mirroring real traceroutes, where intermediate
+// hops commonly answer from IXP or transit space rather than the
+// destination AS). Provider allocations must not overlap it.
+var TransitPrefix = ip6.MustParsePrefix("2001:7f8::/32")

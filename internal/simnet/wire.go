@@ -1,0 +1,37 @@
+package simnet
+
+import (
+	"followscent/internal/icmp6"
+)
+
+// HandlePacket answers one raw IPv6+ICMPv6 probe packet with a raw
+// response packet appended to buf, exactly as the simulated Internet
+// would. It returns (nil-extended buf, false) when the probe is dropped
+// or malformed — silence, as on the real network.
+//
+// Only ICMPv6 Echo Requests are answered (the probing modality used
+// throughout the paper, §3.1/§7). The echo identifier and sequence number
+// salt the loss/response determinism so retransmissions are independent
+// trials.
+func (w *World) HandlePacket(req []byte, buf []byte) ([]byte, bool) {
+	var p icmp6.Packet
+	if err := p.Unmarshal(req); err != nil {
+		return buf, false
+	}
+	if p.Message.Type != icmp6.TypeEchoRequest {
+		return buf, false
+	}
+	id, seq, ok := p.Message.Echo()
+	if !ok {
+		return buf, false
+	}
+	salt := uint64(id)<<16 | uint64(seq)
+	resp, ok := w.Query(p.Header.Dst, int(p.Header.HopLimit), salt)
+	if !ok {
+		return buf, false
+	}
+	if resp.Echo {
+		return icmp6.AppendEchoReply(buf, resp.From, p.Header.Src, id, seq, p.Message.EchoPayload()), true
+	}
+	return icmp6.AppendError(buf, resp.Type, resp.Code, resp.From, p.Header.Src, req), true
+}

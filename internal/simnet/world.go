@@ -1,0 +1,821 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"followscent/internal/bgp"
+	"followscent/internal/icmp6"
+	"followscent/internal/ip6"
+	"followscent/internal/oui"
+)
+
+// World is a built, probe-answerable simulated IPv6 Internet.
+// All methods are safe for concurrent use.
+type World struct {
+	seed  uint64
+	clock *Clock
+
+	providers []*Provider
+	// ranges is sorted by allocation base address for O(log n) routing.
+	ranges []allocRange
+	rib    *bgp.Table
+
+	// rateMu guards the ICMPv6 rate-limit counters.
+	rateMu    sync.Mutex
+	rateHour  int64
+	rateCount map[rateKey]int
+
+	// Counters (atomic-ish, guarded by rateMu for simplicity; probing
+	// workloads touch them rarely relative to work done).
+	statMu     sync.Mutex
+	statProbes uint64
+	statResps  uint64
+}
+
+type allocRange struct {
+	prefix   ip6.Prefix
+	provider *Provider
+}
+
+type rateKey struct {
+	pool *Pool
+	cpe  int32
+}
+
+// Provider is a built AS.
+type Provider struct {
+	ASN     uint32
+	Name    string
+	Country string
+
+	Allocations []ip6.Prefix
+	Pools       []*Pool
+
+	routerHops     int
+	borderRespProb float64
+	routers        []ip6.Addr // static transit/core router addresses
+	world          *World
+}
+
+// Pool is a built rotation pool.
+type Pool struct {
+	Provider *Provider
+	Prefix   ip6.Prefix
+	// AllocBits is the true customer allocation size (ground truth for
+	// Algorithm 1's inference).
+	AllocBits int
+	Rotation  RotationPolicy
+
+	blocks    uint64 // number of allocation blocks in the pool
+	blockBits uint   // log2(blocks)
+	spanLimit uint64 // blocks actually used for delegation (<= blocks)
+	key       uint64 // derived deterministic seed
+
+	cpes   []CPE
+	byBase map[uint64]int32
+
+	lossProb  float64
+	rateLimit int
+}
+
+// CPE is one customer-premises router.
+type CPE struct {
+	MAC    ip6.MAC
+	Mode   AddressingMode
+	Vendor string
+
+	// RespType/RespCode is the ICMPv6 error this device originates for
+	// probes to unreachable destinations inside its delegation.
+	RespType, RespCode uint8
+	Silent             bool
+
+	// base is the home block index; the rotation policy maps it to the
+	// current block.
+	base uint64
+	// activeFrom/activeUntil bound the device's lifetime in days since
+	// Epoch; activeUntil < 0 means forever.
+	activeFrom  int32
+	activeUntil int32
+
+	privSeed uint64
+}
+
+// Build constructs a World from a spec. The spec is validated first.
+func Build(ws WorldSpec) (*World, error) {
+	if err := ws.Validate(); err != nil {
+		return nil, err
+	}
+	w := &World{
+		seed:      ws.Seed,
+		clock:     NewClock(),
+		rib:       bgp.New(),
+		rateCount: make(map[rateKey]int),
+	}
+	reg := oui.Builtin()
+	macs := newMACAllocator(ws.Seed)
+	for pi := range ws.Providers {
+		ps := &ws.Providers[pi]
+		p := &Provider{
+			ASN:            ps.ASN,
+			Name:           ps.Name,
+			Country:        ps.Country,
+			routerHops:     ps.RouterHops,
+			borderRespProb: ps.BorderRespProb,
+			world:          w,
+		}
+		if p.routerHops == 0 {
+			p.routerHops = 3
+		}
+		for _, s := range ps.Allocations {
+			pfx := ip6.MustParsePrefix(s) // validated above
+			p.Allocations = append(p.Allocations, pfx)
+			w.ranges = append(w.ranges, allocRange{pfx, p})
+			w.rib.Insert(bgp.Route{Prefix: pfx, ASN: p.ASN, Country: p.Country})
+		}
+		// Core/border routers answer from transit space, deterministically
+		// derived from the ASN: statically addressed, never EUI-64.
+		for h := 0; h < p.routerHops; h++ {
+			sub := TransitPrefix.Subprefix(uint64(p.ASN)&0xffff, 48)
+			r := sub.Subprefix(uint64(h), 64).Addr().WithIID(uint64(h) + 1)
+			p.routers = append(p.routers, r)
+		}
+		for qi := range ps.Pools {
+			pool, err := buildPool(w, p, &ps.Pools[qi], pi, qi, reg, macs)
+			if err != nil {
+				return nil, err
+			}
+			p.Pools = append(p.Pools, pool)
+		}
+		// Sort pools by base address for lookup.
+		sort.Slice(p.Pools, func(i, j int) bool {
+			return p.Pools[i].Prefix.Addr().Less(p.Pools[j].Prefix.Addr())
+		})
+		w.providers = append(w.providers, p)
+	}
+	sort.Slice(w.ranges, func(i, j int) bool {
+		return w.ranges[i].prefix.Addr().Less(w.ranges[j].prefix.Addr())
+	})
+	return w, nil
+}
+
+// MustBuild is Build that panics on error, for tests and fixed specs.
+func MustBuild(ws WorldSpec) *World {
+	w, err := Build(ws)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func buildPool(w *World, p *Provider, spec *PoolSpec, pi, qi int, reg *oui.Registry, macs *macAllocator) (*Pool, error) {
+	pfx := ip6.MustParsePrefix(spec.Prefix)
+	blockBits := uint(spec.AllocBits - pfx.Bits())
+	if blockBits > 32 {
+		return nil, fmt.Errorf("simnet: AS%d pool %s: %d block bits is too many to simulate", p.ASN, pfx, blockBits)
+	}
+	pool := &Pool{
+		Provider:  p,
+		Prefix:    pfx,
+		AllocBits: spec.AllocBits,
+		Rotation:  spec.Rotation,
+		blocks:    uint64(1) << blockBits,
+		blockBits: blockBits,
+		key:       mix(w.seed, uint64(p.ASN), uint64(pi)<<16|uint64(qi)),
+		byBase:    make(map[uint64]int32),
+		lossProb:  spec.LossProb,
+		rateLimit: spec.RateLimitPerHour,
+	}
+	pool.spanLimit = pool.blocks
+	if spec.ClusterSpan > 0 && spec.ClusterSpan < 1 {
+		// Random rotation must stay inside the delegated span, as a real
+		// DHCPv6-PD range would (Figure 3c's unallocated top quarter must
+		// stay empty across rotations).
+		pool.spanLimit = uint64(float64(pool.blocks) * spec.ClusterSpan)
+		if pool.spanLimit == 0 {
+			pool.spanLimit = 1
+		}
+	}
+	n := uint64(float64(pool.blocks) * spec.Occupancy)
+	if n > pool.blocks {
+		n = pool.blocks
+	}
+	if n > 1<<22 {
+		return nil, fmt.Errorf("simnet: AS%d pool %s: %d CPE exceeds simulation budget", p.ASN, pfx, n)
+	}
+
+	// Home-block placement: contiguous clusters, a restricted scatter
+	// span, or a full uniform scatter via a keyed bijection.
+	scatter := newPerm(mix(pool.key, 0xb10c), blockBits)
+	baseFor, err := homePlacer(spec, pool, scatter, n)
+	if err != nil {
+		return nil, err
+	}
+
+	vendors := spec.Vendors
+	if len(vendors) == 0 {
+		vendors = defaultVendorMix
+	}
+	var totalW float64
+	for _, v := range vendors {
+		totalW += v.Weight
+	}
+
+	var sharedMAC ip6.MAC
+	if spec.SharedMAC != "" {
+		sharedMAC = ip6.MustParseMAC(spec.SharedMAC)
+	}
+
+	pool.cpes = make([]CPE, 0, n)
+	for i := uint64(0); i < n; i++ {
+		base := baseFor(i)
+		h := mix(pool.key, 0xcafe, i)
+
+		// Devices exist long before the campaign starts unless churn says
+		// otherwise; the year-old seed campaign must be able to see them.
+		c := CPE{base: base, activeFrom: math.MinInt32, activeUntil: -1}
+
+		// Addressing mode.
+		switch {
+		case unitFloat(mix(h, 1)) < spec.EUIFrac:
+			c.Mode = ModeEUI64
+		case unitFloat(mix(h, 2)) < spec.StaticPrivFrac:
+			c.Mode = ModePrivacyStatic
+		default:
+			c.Mode = ModePrivacy
+		}
+		c.privSeed = mix(h, 3)
+
+		// Vendor and MAC.
+		c.Vendor = pickVendor(vendors, totalW, unitFloat(mix(h, 4)))
+		if spec.SharedMAC != "" && c.Mode == ModeEUI64 {
+			c.MAC = sharedMAC
+		} else {
+			c.MAC = macs.next(reg, c.Vendor, mix(h, 5))
+		}
+
+		// Response behaviour: mix of unreachable codes observed in §3.1.
+		switch mix(h, 6) % 10 {
+		case 0, 1, 2, 3:
+			c.RespType, c.RespCode = icmp6.TypeDestinationUnreachable, icmp6.CodeAdminProhibited
+		case 4, 5, 6:
+			c.RespType, c.RespCode = icmp6.TypeDestinationUnreachable, icmp6.CodeNoRoute
+		case 7, 8:
+			c.RespType, c.RespCode = icmp6.TypeDestinationUnreachable, icmp6.CodeAddrUnreachable
+		default:
+			c.RespType, c.RespCode = icmp6.TypeTimeExceeded, icmp6.CodeHopLimitExceeded
+		}
+		c.Silent = unitFloat(mix(h, 7)) < spec.SilentFrac
+
+		// Churn: appear or disappear mid-campaign.
+		if unitFloat(mix(h, 8)) < spec.ChurnFrac {
+			day := int32(1 + mix(h, 9)%40)
+			if mix(h, 10)&1 == 0 {
+				c.activeFrom = day
+			} else {
+				c.activeUntil = day
+			}
+		}
+
+		pool.byBase[base] = int32(len(pool.cpes))
+		pool.cpes = append(pool.cpes, c)
+	}
+
+	// Pathology fixtures and pinned tracking targets. On clustered or
+	// span-restricted pools they take the topmost blocks (free by
+	// construction); on scattered pools they continue the bijection.
+	for k, e := range spec.ExtraCPE {
+		if n+uint64(k) >= pool.blocks {
+			return nil, fmt.Errorf("simnet: AS%d pool %s: no room for extra CPE %d", p.ASN, pfx, k)
+		}
+		var base uint64
+		if len(spec.ClusterWeights) > 0 || spec.ClusterSpan > 0 {
+			base = pool.blocks - 1 - uint64(k)
+		} else {
+			base = scatter.apply(n + uint64(k))
+		}
+		if _, taken := pool.byBase[base]; taken {
+			return nil, fmt.Errorf("simnet: AS%d pool %s: extra CPE %d collides at block %d", p.ASN, pfx, k, base)
+		}
+		c := CPE{
+			base:        base,
+			activeFrom:  math.MinInt32,
+			activeUntil: -1,
+			Mode:        e.Mode,
+			MAC:         ip6.MustParseMAC(e.MAC),
+			RespType:    icmp6.TypeDestinationUnreachable,
+			RespCode:    icmp6.CodeAdminProhibited,
+			privSeed:    mix(pool.key, 0xec9e, uint64(k)),
+		}
+		if v, ok := reg.Lookup(c.MAC); ok {
+			c.Vendor = v
+		}
+		if e.FromDay != 0 {
+			c.activeFrom = int32(e.FromDay)
+		}
+		if e.UntilDay != 0 {
+			c.activeUntil = int32(e.UntilDay)
+		}
+		pool.byBase[base] = int32(len(pool.cpes))
+		pool.cpes = append(pool.cpes, c)
+	}
+	return pool, nil
+}
+
+// homePlacer returns the device-index -> home-block mapping for a pool.
+func homePlacer(spec *PoolSpec, pool *Pool, scatter perm, n uint64) (func(uint64) uint64, error) {
+	switch {
+	case len(spec.ClusterWeights) > 0:
+		k := uint64(len(spec.ClusterWeights))
+		segment := pool.blocks / k
+		if segment == 0 {
+			return nil, fmt.Errorf("simnet: pool %s: %d clusters exceed %d blocks", pool.Prefix, k, pool.blocks)
+		}
+		var total float64
+		for _, w := range spec.ClusterWeights {
+			total += w
+		}
+		if total == 0 {
+			return nil, fmt.Errorf("simnet: pool %s: zero total cluster weight", pool.Prefix)
+		}
+		// Cluster c holds sizes[c] devices starting at c*segment.
+		sizes := make([]uint64, k)
+		var assigned uint64
+		for c := range sizes {
+			sizes[c] = uint64(spec.ClusterWeights[c] / total * float64(n))
+			if sizes[c] > segment {
+				return nil, fmt.Errorf("simnet: pool %s: cluster %d (%d devices) overflows its segment (%d blocks)",
+					pool.Prefix, c, sizes[c], segment)
+			}
+			assigned += sizes[c]
+		}
+		// Distribute rounding leftovers to the first clusters with room.
+		for c := 0; assigned < n && c < int(k); c++ {
+			for assigned < n && sizes[c] < segment {
+				sizes[c]++
+				assigned++
+			}
+		}
+		if assigned < n {
+			return nil, fmt.Errorf("simnet: pool %s: %d devices do not fit the clusters", pool.Prefix, n)
+		}
+		// Prefix-sum lookup.
+		starts := make([]uint64, k+1)
+		for c := uint64(0); c < k; c++ {
+			starts[c+1] = starts[c] + sizes[c]
+		}
+		return func(i uint64) uint64 {
+			// Find the cluster containing the i-th device.
+			c := uint64(0)
+			for starts[c+1] <= i {
+				c++
+			}
+			return c*segment + (i - starts[c])
+		}, nil
+
+	case spec.ClusterSpan > 0 && spec.ClusterSpan < 1:
+		limit := uint64(float64(pool.blocks) * spec.ClusterSpan)
+		if n > limit {
+			return nil, fmt.Errorf("simnet: pool %s: %d devices exceed span of %d blocks", pool.Prefix, n, limit)
+		}
+		// Cycle-walk the bijection, keeping only bases under the limit:
+		// still collision-free and deterministic.
+		bases := make([]uint64, 0, n)
+		for j := uint64(0); j < pool.blocks && uint64(len(bases)) < n; j++ {
+			if b := scatter.apply(j); b < limit {
+				bases = append(bases, b)
+			}
+		}
+		if uint64(len(bases)) < n {
+			return nil, fmt.Errorf("simnet: pool %s: span scatter underflow", pool.Prefix)
+		}
+		return func(i uint64) uint64 { return bases[i] }, nil
+
+	default:
+		return func(i uint64) uint64 { return scatter.apply(i) }, nil
+	}
+}
+
+var defaultVendorMix = []VendorShare{
+	{oui.VendorAVM, 3},
+	{oui.VendorZTE, 3},
+	{oui.VendorHuawei, 2},
+	{oui.VendorSagemcom, 2},
+	{oui.VendorTechnicolor, 1},
+	{oui.VendorZyxel, 1},
+	{oui.VendorTPLink, 1},
+	{oui.VendorArris, 1},
+}
+
+func pickVendor(vendors []VendorShare, totalW, u float64) string {
+	x := u * totalW
+	for _, v := range vendors {
+		if x < v.Weight {
+			return v.Vendor
+		}
+		x -= v.Weight
+	}
+	return vendors[len(vendors)-1].Vendor
+}
+
+// macAllocator hands out world-unique MACs: real manufacturers never
+// collide within an OUI (barring the deliberate §5.5 reuse fixtures), so
+// accidental collisions must not pollute the multi-AS analyses. Each OUI
+// gets a seed-scrambled sequential suffix.
+type macAllocator struct {
+	next3 map[ip6.OUI]uint32
+	mixer perm // scrambles the 24-bit suffix space so MACs look natural
+}
+
+func newMACAllocator(seed uint64) *macAllocator {
+	return &macAllocator{
+		next3: make(map[ip6.OUI]uint32),
+		mixer: newPerm(mix(seed, 0x3ac5), 24),
+	}
+}
+
+// next draws the vendor's next MAC. Unknown vendors get a
+// locally-administered OUI derived from the hash.
+func (m *macAllocator) next(reg *oui.Registry, vendor string, h uint64) ip6.MAC {
+	ouis := reg.OUIs(vendor)
+	if len(ouis) == 0 {
+		return ip6.MAC{0x06, byte(h >> 32), byte(h >> 24), byte(h >> 16), byte(h >> 8), byte(h)}
+	}
+	o := ouis[h%uint64(len(ouis))]
+	suffix := uint32(m.mixer.apply(uint64(m.next3[o])))
+	m.next3[o]++
+	return ip6.MAC{o[0], o[1], o[2], byte(suffix >> 16), byte(suffix >> 8), byte(suffix)}
+}
+
+// Accessors -----------------------------------------------------------------
+
+// Clock returns the world's virtual clock.
+func (w *World) Clock() *Clock { return w.clock }
+
+// Seed returns the world seed.
+func (w *World) Seed() uint64 { return w.seed }
+
+// RIB returns the BGP table holding every provider advertisement.
+func (w *World) RIB() *bgp.Table { return w.rib }
+
+// Providers returns the built providers (shared slice; do not modify).
+func (w *World) Providers() []*Provider { return w.providers }
+
+// ProviderByASN returns the provider originating the given AS number.
+func (w *World) ProviderByASN(asn uint32) (*Provider, bool) {
+	for _, p := range w.providers {
+		if p.ASN == asn {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// Stats returns the total probes answered and responses generated.
+func (w *World) Stats() (probes, responses uint64) {
+	w.statMu.Lock()
+	defer w.statMu.Unlock()
+	return w.statProbes, w.statResps
+}
+
+// CPEs returns the pool's devices (shared slice; do not modify).
+func (p *Pool) CPEs() []CPE { return p.cpes }
+
+// Blocks returns the number of customer allocation blocks in the pool.
+func (p *Pool) Blocks() uint64 { return p.blocks }
+
+// providerFor routes an address to its provider.
+func (w *World) providerFor(a ip6.Addr) *Provider {
+	// Binary search for the last range whose base <= a.
+	i := sort.Search(len(w.ranges), func(i int) bool {
+		return a.Less(w.ranges[i].prefix.Addr())
+	})
+	for j := i - 1; j >= 0; j-- {
+		if w.ranges[j].prefix.Contains(a) {
+			return w.ranges[j].provider
+		}
+		// Ranges are non-overlapping and sorted; one step back suffices
+		// unless bases are equal, so a short scan is enough.
+		if j < i-2 {
+			break
+		}
+	}
+	return nil
+}
+
+// poolFor returns the pool containing a, or nil.
+func (p *Provider) poolFor(a ip6.Addr) *Pool {
+	for _, pool := range p.Pools {
+		if pool.Prefix.Contains(a) {
+			return pool
+		}
+	}
+	return nil
+}
+
+// Rotation mechanics --------------------------------------------------------
+
+// reassignShift is the per-CPE offset of its reassignment instant within
+// each interval: the pool's base hour plus deterministic jitter.
+func (p *Pool) reassignShift(c *CPE) time.Duration {
+	shift := time.Duration(p.Rotation.ReassignHour) * time.Hour
+	if p.Rotation.ReassignWindow > 0 {
+		jitter := mix(p.key, 0x317, c.base) % uint64(p.Rotation.ReassignWindow)
+		shift += time.Duration(jitter)
+	}
+	return shift
+}
+
+// epochOf returns how many complete rotation intervals this CPE has been
+// through at time t (0 before its first reassignment).
+func (p *Pool) epochOf(c *CPE, t time.Time) int64 {
+	if p.Rotation.Kind == RotateNone {
+		return 0
+	}
+	elapsed := t.Sub(Epoch) - p.reassignShift(c)
+	if elapsed < 0 {
+		// Before the first reassignment after Epoch: epoch counts may go
+		// negative for t before Epoch; floor division handles it.
+		return -int64((-elapsed-1)/p.Rotation.Interval) - 1
+	}
+	return int64(elapsed / p.Rotation.Interval)
+}
+
+// blockAt returns the block index c occupies at time t.
+func (p *Pool) blockAt(c *CPE, t time.Time) uint64 {
+	switch p.Rotation.Kind {
+	case RotateIncrement:
+		n := p.epochOf(c, t)
+		return (c.base + uint64(n)*p.stride()) & (p.blocks - 1) // blocks is a power of two
+	case RotateRandom:
+		n := p.epochOf(c, t)
+		pm := newPerm(mix(p.key, 0xe60c, uint64(n)), p.blockBits)
+		// Cycle-walk to stay within the delegated span: repeatedly apply
+		// the permutation until the image lands inside. This is a
+		// bijection on [0, spanLimit) because the walk follows a single
+		// permutation cycle.
+		x := pm.apply(c.base)
+		for x >= p.spanLimit {
+			x = pm.apply(x)
+		}
+		return x
+	default:
+		return c.base
+	}
+}
+
+// occupantAt returns the CPE occupying block j at time t, or nil.
+// During a reassignment window two devices can transiently claim the same
+// block (one has rotated, one has not); the rotated one wins, mirroring a
+// DHCPv6 server that reassigns a released prefix immediately.
+func (p *Pool) occupantAt(j uint64, t time.Time) *CPE {
+	day := dayOf(t)
+	try := func(base uint64) *CPE {
+		idx, ok := p.byBase[base]
+		if !ok {
+			return nil
+		}
+		c := &p.cpes[idx]
+		if !c.activeAt(day) || p.blockAt(c, t) != j {
+			return nil
+		}
+		return c
+	}
+	switch p.Rotation.Kind {
+	case RotateNone:
+		return try(j)
+	case RotateIncrement:
+		// A CPE's epoch at t is either nMax (already reassigned today) or
+		// nMax-1 (its window jitter hasn't fired yet).
+		nMax := int64(t.Sub(Epoch)-time.Duration(p.Rotation.ReassignHour)*time.Hour) / int64(p.Rotation.Interval)
+		for dn := int64(0); dn <= 1; dn++ {
+			n := nMax - dn
+			base := (j - uint64(n)*p.stride()) & (p.blocks - 1)
+			if c := try(base); c != nil {
+				return c
+			}
+		}
+		return nil
+	case RotateRandom:
+		if j >= p.spanLimit {
+			// Blocks above the delegated span are never assigned, and the
+			// inverse cycle walk below would not terminate for them
+			// (their permutation cycle may avoid the span entirely).
+			return nil
+		}
+		nMax := int64(t.Sub(Epoch)-time.Duration(p.Rotation.ReassignHour)*time.Hour) / int64(p.Rotation.Interval)
+		for dn := int64(0); dn <= 1; dn++ {
+			n := nMax - dn
+			pm := newPerm(mix(p.key, 0xe60c, uint64(n)), p.blockBits)
+			base := pm.invert(j)
+			for base >= p.spanLimit {
+				base = pm.invert(base)
+			}
+			if c := try(base); c != nil {
+				return c
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+func dayOf(t time.Time) int32 {
+	d := t.Sub(Epoch) / (24 * time.Hour)
+	if t.Before(Epoch) {
+		d--
+	}
+	return int32(d)
+}
+
+func (c *CPE) activeAt(day int32) bool {
+	return day >= c.activeFrom && (c.activeUntil < 0 || day < c.activeUntil)
+}
+
+// stride returns the effective increment stride (default 1).
+func (p *Pool) stride() uint64 {
+	if p.Rotation.Stride == 0 {
+		return 1
+	}
+	return p.Rotation.Stride
+}
+
+// Block returns the pool's j-th allocation block as a prefix.
+func (p *Pool) Block(j uint64) ip6.Prefix {
+	return p.Prefix.Subprefix(j, p.AllocBits)
+}
+
+// blockIndex returns which allocation block contains a.
+func (p *Pool) blockIndex(a ip6.Addr) uint64 {
+	return p.Prefix.SubprefixIndex(a, p.AllocBits)
+}
+
+// wanAddr is the CPE's provider-facing address at time t, given its
+// current block: the first /64 of the delegation plus the device IID.
+func (p *Pool) wanAddr(c *CPE, j uint64, t time.Time) ip6.Addr {
+	w64 := p.Block(j).Subprefix(0, 64)
+	var iid uint64
+	switch c.Mode {
+	case ModeEUI64:
+		iid = ip6.EUI64FromMAC(c.MAC)
+	case ModePrivacyStatic:
+		iid = c.privSeed
+	default: // ModePrivacy: fresh IID every epoch
+		iid = mix(c.privSeed, uint64(p.epochOf(c, t)))
+	}
+	return w64.Addr().WithIID(iid)
+}
+
+// WANAddrNow returns c's current WAN address (ground truth for tests and
+// tracker validation).
+func (p *Pool) WANAddrNow(c *CPE) ip6.Addr {
+	t := p.Provider.world.clock.Now()
+	return p.wanAddr(c, p.blockAt(c, t), t)
+}
+
+// LocateMAC returns the current WAN addresses of every active CPE in the
+// world embedding the given MAC (several, for the reuse pathologies).
+func (w *World) LocateMAC(m ip6.MAC) []ip6.Addr {
+	t := w.clock.Now()
+	day := dayOf(t)
+	var out []ip6.Addr
+	for _, p := range w.providers {
+		for _, pool := range p.Pools {
+			for i := range pool.cpes {
+				c := &pool.cpes[i]
+				if c.MAC == m && c.activeAt(day) {
+					out = append(out, pool.wanAddr(c, pool.blockAt(c, t), t))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Probe answering -----------------------------------------------------------
+
+// Response is the structured result of one probe.
+type Response struct {
+	From ip6.Addr // source address of the ICMPv6 message
+	Type uint8
+	Code uint8
+	// Hops is how many hops the probe traversed before the response was
+	// generated (used to derive simulated RTTs).
+	Hops int
+	// Echo reports whether the response is an Echo Reply rather than an
+	// error.
+	Echo bool
+}
+
+// Query answers a single probe sent to target with the given hop limit.
+// salt distinguishes retransmissions so that loss is not perfectly
+// correlated across retries. ok=false means the probe was dropped
+// (no route, silent device, loss, or rate limiting).
+func (w *World) Query(target ip6.Addr, hopLimit int, salt uint64) (Response, bool) {
+	w.statMu.Lock()
+	w.statProbes++
+	w.statMu.Unlock()
+
+	r, ok := w.query(target, hopLimit, salt)
+	if ok {
+		w.statMu.Lock()
+		w.statResps++
+		w.statMu.Unlock()
+	}
+	return r, ok
+}
+
+func (w *World) query(target ip6.Addr, hopLimit int, salt uint64) (Response, bool) {
+	if hopLimit <= 0 {
+		return Response{}, false
+	}
+	p := w.providerFor(target)
+	if p == nil {
+		return Response{}, false // unrouted space: silence
+	}
+	t := w.clock.Now()
+
+	// Core routers: hop-limited probes expire in transit.
+	if hopLimit <= len(p.routers) {
+		// Routers respond with high, deterministic probability.
+		if unitFloat(mix(w.seed, target.High64(), uint64(hopLimit), salt)) < 0.05 {
+			return Response{}, false
+		}
+		return Response{
+			From: p.routers[hopLimit-1],
+			Type: icmp6.TypeTimeExceeded,
+			Code: icmp6.CodeHopLimitExceeded,
+			Hops: hopLimit,
+		}, true
+	}
+
+	pool := p.poolFor(target)
+	borderNoRoute := func() (Response, bool) {
+		if unitFloat(mix(w.seed, 0xb0de, target.High64(), salt)) >= p.borderRespProb {
+			return Response{}, false
+		}
+		return Response{
+			From: p.routers[len(p.routers)-1],
+			Type: icmp6.TypeDestinationUnreachable,
+			Code: icmp6.CodeNoRoute,
+			Hops: len(p.routers),
+		}, true
+	}
+	if pool == nil {
+		return borderNoRoute()
+	}
+	j := pool.blockIndex(target)
+	c := pool.occupantAt(j, t)
+	if c == nil {
+		return borderNoRoute()
+	}
+	if c.Silent {
+		return Response{}, false
+	}
+	// Per-probe loss.
+	if pool.lossProb > 0 &&
+		unitFloat(mix(w.seed, 0x1055, target.Uint128().Hi, target.Uint128().Lo, salt)) < pool.lossProb {
+		return Response{}, false
+	}
+	// ICMPv6 error rate limiting per device per virtual hour.
+	if pool.rateLimit > 0 && !w.allowRate(pool, pool.byBase[c.base], t) {
+		return Response{}, false
+	}
+
+	wan := pool.wanAddr(c, j, t)
+	hops := len(p.routers) + 1
+	if target == wan {
+		return Response{From: wan, Hops: hops, Type: icmp6.TypeEchoReply, Echo: true}, true
+	}
+	if hopLimit == len(p.routers)+1 {
+		// The probe reaches the CPE with hop limit expiring as it would
+		// forward into the LAN: yarrp-style last-hop discovery.
+		return Response{
+			From: wan,
+			Type: icmp6.TypeTimeExceeded,
+			Code: icmp6.CodeHopLimitExceeded,
+			Hops: hops,
+		}, true
+	}
+	return Response{From: wan, Type: c.RespType, Code: c.RespCode, Hops: hops}, true
+}
+
+// allowRate implements the per-CPE hourly token count.
+func (w *World) allowRate(pool *Pool, cpeIdx int32, t time.Time) bool {
+	hour := t.Sub(Epoch) / time.Hour
+	w.rateMu.Lock()
+	defer w.rateMu.Unlock()
+	if int64(hour) != w.rateHour {
+		w.rateHour = int64(hour)
+		w.rateCount = make(map[rateKey]int)
+	}
+	k := rateKey{pool, cpeIdx}
+	if w.rateCount[k] >= pool.rateLimit {
+		return false
+	}
+	w.rateCount[k]++
+	return true
+}

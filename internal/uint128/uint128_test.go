@@ -1,0 +1,259 @@
+package uint128
+
+import (
+	"math/big"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func big128(u Uint128) *big.Int {
+	b := new(big.Int).SetUint64(u.Hi)
+	b.Lsh(b, 64)
+	return b.Or(b, new(big.Int).SetUint64(u.Lo))
+}
+
+func fromBig(b *big.Int) Uint128 {
+	mask := new(big.Int).SetUint64(^uint64(0))
+	lo := new(big.Int).And(b, mask)
+	hi := new(big.Int).Rsh(b, 64)
+	hi.And(hi, mask)
+	return Uint128{Hi: hi.Uint64(), Lo: lo.Uint64()}
+}
+
+// Generate makes Uint128 generation bias toward interesting values for
+// testing/quick: small, large, and bit-sparse numbers.
+func (Uint128) Generate(r *rand.Rand, size int) reflect.Value {
+	var u Uint128
+	switch r.Intn(4) {
+	case 0:
+		u = Uint128{Lo: r.Uint64() & 0xff}
+	case 1:
+		u = Uint128{Hi: ^uint64(0), Lo: r.Uint64()}
+	case 2:
+		u = One.Lsh(uint(r.Intn(128)))
+	default:
+		u = Uint128{Hi: r.Uint64(), Lo: r.Uint64()}
+	}
+	return reflect.ValueOf(u)
+}
+
+func TestAddSubRoundTrip(t *testing.T) {
+	f := func(a, b Uint128) bool {
+		return a.Add(b).Sub(b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddMatchesBig(t *testing.T) {
+	mod := new(big.Int).Lsh(big.NewInt(1), 128)
+	f := func(a, b Uint128) bool {
+		want := new(big.Int).Add(big128(a), big128(b))
+		want.Mod(want, mod)
+		return a.Add(b) == fromBig(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubMatchesBig(t *testing.T) {
+	mod := new(big.Int).Lsh(big.NewInt(1), 128)
+	f := func(a, b Uint128) bool {
+		want := new(big.Int).Sub(big128(a), big128(b))
+		want.Mod(want, mod) // Go big.Mod returns non-negative for positive modulus
+		return a.Sub(b) == fromBig(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulMatchesBig(t *testing.T) {
+	mod := new(big.Int).Lsh(big.NewInt(1), 128)
+	f := func(a, b Uint128) bool {
+		want := new(big.Int).Mul(big128(a), big128(b))
+		want.Mod(want, mod)
+		return a.Mul(b) == fromBig(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	f := func(a Uint128, nRaw uint8) bool {
+		n := uint(nRaw) % 130
+		wantL := new(big.Int).Lsh(big128(a), n)
+		wantL.Mod(wantL, new(big.Int).Lsh(big.NewInt(1), 128))
+		wantR := new(big.Int).Rsh(big128(a), n)
+		return a.Lsh(n) == fromBig(wantL) && a.Rsh(n) == fromBig(wantR)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmpMatchesBig(t *testing.T) {
+	f := func(a, b Uint128) bool {
+		return a.Cmp(b) == big128(a).Cmp(big128(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	f := func(a Uint128) bool {
+		b := a.Bytes()
+		return FromBytes(b[:]) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesBigEndian(t *testing.T) {
+	u := New(0x0102030405060708, 0x090a0b0c0d0e0f10)
+	b := u.Bytes()
+	for i, want := range []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16} {
+		if b[i] != want {
+			t.Fatalf("byte %d = %#x, want %#x", i, b[i], want)
+		}
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	cases := []struct {
+		u    Uint128
+		want int
+	}{
+		{Zero, 0},
+		{One, 1},
+		{From64(0xff), 8},
+		{New(1, 0), 65},
+		{Max, 128},
+	}
+	for _, c := range cases {
+		if got := c.u.BitLen(); got != c.want {
+			t.Errorf("BitLen(%s) = %d, want %d", c.u.Hex(), got, c.want)
+		}
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := []struct {
+		u    Uint128
+		want int
+	}{
+		{Zero, 0},
+		{One, 0},
+		{From64(2), 1},
+		{From64(3), 2},
+		{From64(4), 2},
+		{From64(5), 3},
+		{From64(1 << 18), 18},        // a /46 pool span within /64s
+		{From64(1<<18 + 1), 19},      // just over
+		{One.Lsh(127), 127},          // largest power of two
+		{One.Lsh(127).Add64(1), 128}, // just over
+		{From64(256), 8},             // /56 allocation span
+		{From64(255), 8},             // nearly-full /56 span rounds up
+	}
+	for _, c := range cases {
+		if got := c.u.Log2Ceil(); got != c.want {
+			t.Errorf("Log2Ceil(%s) = %d, want %d", c.u.String(), got, c.want)
+		}
+	}
+}
+
+func TestTrailingZeros(t *testing.T) {
+	if got := Zero.TrailingZeros(); got != 128 {
+		t.Errorf("TrailingZeros(0) = %d, want 128", got)
+	}
+	for n := 0; n < 128; n++ {
+		if got := One.Lsh(uint(n)).TrailingZeros(); got != n {
+			t.Errorf("TrailingZeros(1<<%d) = %d", n, got)
+		}
+	}
+}
+
+func TestDivMod64(t *testing.T) {
+	f := func(a Uint128, vRaw uint64) bool {
+		v := vRaw
+		if v == 0 {
+			v = 1
+		}
+		q, r := a.Div64(v)
+		wantQ, wantR := new(big.Int), new(big.Int)
+		wantQ.DivMod(big128(a), new(big.Int).SetUint64(v), wantR)
+		return q == fromBig(wantQ) && r == wantR.Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div64(0) did not panic")
+		}
+	}()
+	One.Div64(0)
+}
+
+func TestStringMatchesBig(t *testing.T) {
+	f := func(a Uint128) bool {
+		return a.String() == big128(a).String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringEdge(t *testing.T) {
+	if got := Zero.String(); got != "0" {
+		t.Errorf("Zero.String() = %q", got)
+	}
+	if got := Max.String(); got != "340282366920938463463374607431768211455" {
+		t.Errorf("Max.String() = %q", got)
+	}
+}
+
+func TestBitwise(t *testing.T) {
+	a := New(0xf0f0, 0x1234)
+	b := New(0x0ff0, 0x00ff)
+	if got := a.And(b); got != New(0x00f0, 0x0034) {
+		t.Errorf("And = %s", got.Hex())
+	}
+	if got := a.Or(b); got != New(0xfff0, 0x12ff) {
+		t.Errorf("Or = %s", got.Hex())
+	}
+	if got := a.Xor(b); got != New(0xff00, 0x12cb) {
+		t.Errorf("Xor = %s", got.Hex())
+	}
+	if got := Zero.Not(); got != Max {
+		t.Errorf("Not(0) = %s", got.Hex())
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	x, y := New(1, ^uint64(0)), New(2, 3)
+	var sink Uint128
+	for i := 0; i < b.N; i++ {
+		sink = x.Add(y)
+	}
+	_ = sink
+}
+
+func BenchmarkMul(b *testing.B) {
+	x, y := New(0x9e3779b97f4a7c15, 0xbf58476d1ce4e5b9), New(2, 3)
+	var sink Uint128
+	for i := 0; i < b.N; i++ {
+		sink = x.Mul(y)
+	}
+	_ = sink
+}

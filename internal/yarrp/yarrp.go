@@ -1,0 +1,263 @@
+// Package yarrp implements a yarrp-style randomized traceroute prober:
+// the baseline the paper compares its zmap-based method against (§3.1).
+//
+// yarrp (Beverly 2016) probes the (target × TTL) space in a random order,
+// reconstructing full forwarding paths without per-flow state. That is
+// ideal for topology mapping but wasteful for periphery discovery: it
+// spends MaxTTL probes per target and elicits Hop Limit Exceeded errors
+// from every intermediate router, where the paper's method needs exactly
+// one full-hop-limit probe per customer prefix and hears only from the
+// CPE. The benchmark harness quantifies that gap (Figure 2's ablation).
+package yarrp
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"followscent/internal/icmp6"
+	"followscent/internal/ip6"
+	"followscent/internal/zmap"
+)
+
+// Hop is one discovered (target, ttl) observation.
+type Hop struct {
+	Target ip6.Addr
+	TTL    int
+	From   ip6.Addr
+	Type   uint8
+	Code   uint8
+}
+
+// Config tunes a trace sweep.
+type Config struct {
+	// Source is the vantage address.
+	Source ip6.Addr
+	// MaxTTL bounds the hop-limit sweep (default 16).
+	MaxTTL int
+	// Seed randomizes probe order and validation.
+	Seed uint64
+}
+
+// Stats summarizes a sweep.
+type Stats struct {
+	Sent     uint64
+	Received uint64
+	Matched  uint64
+	Invalid  uint64
+}
+
+// Handler consumes hops from the single receiver goroutine.
+type Handler func(Hop)
+
+// Trace probes every (target, ttl) pair in pseudorandom order.
+func Trace(ctx context.Context, tr zmap.Transport, ts zmap.TargetSet, cfg Config, h Handler) (Stats, error) {
+	if cfg.MaxTTL == 0 {
+		cfg.MaxTTL = 16
+	}
+	if cfg.MaxTTL < 1 || cfg.MaxTTL > 255 {
+		return Stats{}, fmt.Errorf("yarrp: MaxTTL %d out of range", cfg.MaxTTL)
+	}
+	n := ts.Len()
+	if n == 0 {
+		return Stats{}, fmt.Errorf("yarrp: empty target set")
+	}
+	domain := n * uint64(cfg.MaxTTL)
+	cyc, err := zmap.NewCycle(domain, cfg.Seed)
+	if err != nil {
+		return Stats{}, err
+	}
+
+	var (
+		stats   Stats
+		statsMu sync.Mutex
+		wg      sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 64<<10)
+		var pkt icmp6.Packet
+		for {
+			m, err := tr.Recv(buf)
+			if err != nil {
+				if err != io.EOF {
+					statsMu.Lock()
+					stats.Invalid++
+					statsMu.Unlock()
+				}
+				return
+			}
+			statsMu.Lock()
+			stats.Received++
+			statsMu.Unlock()
+			hop, ok := validate(&pkt, buf[:m], cfg.Seed)
+			statsMu.Lock()
+			if ok {
+				stats.Matched++
+			} else {
+				stats.Invalid++
+			}
+			statsMu.Unlock()
+			if ok && h != nil {
+				h(hop)
+			}
+		}
+	}()
+
+	sendBuf := make([]byte, 0, 128)
+	var sendErr error
+	for {
+		select {
+		case <-ctx.Done():
+			sendErr = ctx.Err()
+		default:
+		}
+		if sendErr != nil {
+			break
+		}
+		i, ok := cyc.Next()
+		if !ok {
+			break
+		}
+		target := ts.At(i / uint64(cfg.MaxTTL))
+		ttl := int(i%uint64(cfg.MaxTTL)) + 1
+		id := validationID(cfg.Seed, target)
+		// The TTL rides in the sequence field, yarrp's trick for
+		// recovering the probed hop from the quoted packet without
+		// per-probe state.
+		sendBuf = appendProbe(sendBuf[:0], cfg.Source, target, id, uint16(ttl), uint8(ttl))
+		if err := tr.Send(sendBuf); err != nil {
+			sendErr = err
+			break
+		}
+		statsMu.Lock()
+		stats.Sent++
+		statsMu.Unlock()
+	}
+	if err := tr.Close(); err != nil && sendErr == nil {
+		sendErr = err
+	}
+	wg.Wait()
+	statsMu.Lock()
+	out := stats
+	statsMu.Unlock()
+	return out, sendErr
+}
+
+// appendProbe crafts an echo request with an explicit hop limit.
+func appendProbe(dst []byte, src, target ip6.Addr, id, seq uint16, hopLimit uint8) []byte {
+	pkt := icmp6.AppendEchoRequest(dst, src, target, id, seq, nil)
+	pkt[7] = hopLimit // IPv6 header hop-limit byte
+	return pkt
+}
+
+func validationID(seed uint64, target ip6.Addr) uint16 {
+	return uint16(seed>>32) ^ uint16(seed) ^ uint16(target.High64()>>48) ^
+		uint16(target.High64()) ^ uint16(target.IID()>>32) ^ uint16(target.IID())
+}
+
+func validate(pkt *icmp6.Packet, b []byte, seed uint64) (Hop, bool) {
+	if err := pkt.Unmarshal(b); err != nil {
+		return Hop{}, false
+	}
+	switch pkt.Message.Type {
+	case icmp6.TypeEchoReply:
+		id, seq, ok := pkt.Message.Echo()
+		if !ok || id != validationID(seed, pkt.Header.Src) {
+			return Hop{}, false
+		}
+		return Hop{
+			Target: pkt.Header.Src,
+			TTL:    int(seq),
+			From:   pkt.Header.Src,
+			Type:   pkt.Message.Type,
+			Code:   pkt.Message.Code,
+		}, true
+	case icmp6.TypeDestinationUnreachable, icmp6.TypeTimeExceeded:
+		quoted, ok := pkt.Message.InvokingPacket()
+		if !ok {
+			return Hop{}, false
+		}
+		var orig icmp6.Packet
+		if err := orig.UnmarshalNoVerify(quoted); err != nil {
+			return Hop{}, false
+		}
+		id, seq, ok := orig.Message.Echo()
+		if !ok || orig.Message.Type != icmp6.TypeEchoRequest {
+			return Hop{}, false
+		}
+		if id != validationID(seed, orig.Header.Dst) {
+			return Hop{}, false
+		}
+		return Hop{
+			Target: orig.Header.Dst,
+			TTL:    int(seq),
+			From:   pkt.Header.Src,
+			Type:   pkt.Message.Type,
+			Code:   pkt.Message.Code,
+		}, true
+	}
+	return Hop{}, false
+}
+
+// Path is a reconstructed forwarding path toward one target.
+type Path struct {
+	Target ip6.Addr
+	Hops   []Hop // sorted by TTL, one entry per responding TTL
+}
+
+// LastHop returns the final responding interface on the path — the CPE
+// for probes into customer space — preferring the lowest-TTL
+// non-time-exceeded response (the device that terminated the probe), and
+// otherwise the highest-TTL responder.
+func (p Path) LastHop() (Hop, bool) {
+	if len(p.Hops) == 0 {
+		return Hop{}, false
+	}
+	for _, h := range p.Hops {
+		if h.Type != icmp6.TypeTimeExceeded {
+			return h, true
+		}
+	}
+	return p.Hops[len(p.Hops)-1], true
+}
+
+// Collector accumulates hops into per-target paths.
+type Collector struct {
+	mu    sync.Mutex
+	paths map[ip6.Addr]*Path
+}
+
+// NewCollector returns an empty collector; its Add method is a Handler.
+func NewCollector() *Collector {
+	return &Collector{paths: make(map[ip6.Addr]*Path)}
+}
+
+// Add records one hop.
+func (c *Collector) Add(h Hop) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.paths[h.Target]
+	if !ok {
+		p = &Path{Target: h.Target}
+		c.paths[h.Target] = p
+	}
+	p.Hops = append(p.Hops, h)
+}
+
+// Paths returns the reconstructed paths, hops sorted by TTL, targets
+// sorted by address.
+func (c *Collector) Paths() []Path {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Path, 0, len(c.paths))
+	for _, p := range c.paths {
+		sort.Slice(p.Hops, func(i, j int) bool { return p.Hops[i].TTL < p.Hops[j].TTL })
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Target.Less(out[j].Target) })
+	return out
+}

@@ -1,0 +1,157 @@
+package yarrp
+
+import (
+	"context"
+	"testing"
+
+	"followscent/internal/icmp6"
+	"followscent/internal/ip6"
+	"followscent/internal/simnet"
+	"followscent/internal/zmap"
+)
+
+var vantage = ip6.MustParseAddr("2001:db8:ffff::53")
+
+func TestTraceDiscoversPathAndCPE(t *testing.T) {
+	w := simnet.TestWorld(31)
+	p, _ := w.ProviderByASN(65001) // 3 router hops
+	pool := p.Pools[0]
+	var c *simnet.CPE
+	for i := range pool.CPEs() {
+		if !pool.CPEs()[i].Silent && pool.CPEs()[i].Mode == simnet.ModeEUI64 {
+			c = &pool.CPEs()[i]
+			break
+		}
+	}
+	wan := pool.WANAddrNow(c)
+	// Probe a random (nonexistent) host inside the CPE's delegation.
+	block := wan.TruncateTo(56)
+	target := block.RandomAddr(0xaaaa, 0xbbbb)
+	if target == wan {
+		target = block.RandomAddr(0xaaaa, 0xbbbc)
+	}
+
+	col := NewCollector()
+	stats, err := Trace(context.Background(), zmap.NewLoopback(w, 0), zmap.AddrTargets{target},
+		Config{Source: vantage, MaxTTL: 8, Seed: 77}, col.Add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sent != 8 {
+		t.Fatalf("sent %d probes, want 8 (MaxTTL)", stats.Sent)
+	}
+	paths := col.Paths()
+	if len(paths) != 1 {
+		t.Fatalf("%d paths", len(paths))
+	}
+	path := paths[0]
+	// Hops 1..3 are core routers (time exceeded, transit space).
+	seenRouters := 0
+	for _, h := range path.Hops {
+		if h.TTL <= 3 {
+			if h.Type != icmp6.TypeTimeExceeded {
+				t.Errorf("ttl %d type %d", h.TTL, h.Type)
+			}
+			if !simnet.TransitPrefix.Contains(h.From) {
+				t.Errorf("ttl %d from %s, want transit space", h.TTL, h.From)
+			}
+			seenRouters++
+		}
+	}
+	if seenRouters == 0 {
+		t.Fatal("no core routers discovered")
+	}
+	// The last hop is the CPE WAN address.
+	last, ok := path.LastHop()
+	if !ok {
+		t.Fatal("no last hop")
+	}
+	if last.From != wan {
+		t.Fatalf("last hop %s, want CPE WAN %s", last.From, wan)
+	}
+	if !ip6.AddrIsEUI64(last.From) {
+		t.Fatal("CPE last hop is not EUI-64")
+	}
+}
+
+func TestTraceTTLEncoding(t *testing.T) {
+	w := simnet.TestWorld(32)
+	p, _ := w.ProviderByASN(65002) // 4 router hops
+	pool := p.Pools[0]
+	target := pool.Prefix.RandomAddr(1, 2)
+	hops := map[int]Hop{}
+	_, err := Trace(context.Background(), zmap.NewLoopback(w, 0), zmap.AddrTargets{target},
+		Config{Source: vantage, MaxTTL: 6, Seed: 5}, func(h Hop) { hops[h.TTL] = h })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TTLs 1..4 hit routers; each reported TTL matches a distinct hop.
+	for ttl := 1; ttl <= 4; ttl++ {
+		h, ok := hops[ttl]
+		if !ok {
+			continue // routers drop ~5% of probes
+		}
+		if h.Target != target {
+			t.Errorf("ttl %d target %s", ttl, h.Target)
+		}
+		if h.TTL != ttl {
+			t.Errorf("hop reports ttl %d, want %d", h.TTL, ttl)
+		}
+	}
+	if len(hops) < 3 {
+		t.Fatalf("only %d hops discovered", len(hops))
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	w := simnet.TestWorld(33)
+	if _, err := Trace(context.Background(), zmap.NewLoopback(w, 0), zmap.AddrTargets{}, Config{}, nil); err == nil {
+		t.Error("empty targets accepted")
+	}
+	if _, err := Trace(context.Background(), zmap.NewLoopback(w, 0), zmap.AddrTargets{vantage}, Config{MaxTTL: 999}, nil); err == nil {
+		t.Error("bad MaxTTL accepted")
+	}
+}
+
+func TestProbeCostVsZmap(t *testing.T) {
+	// The efficiency claim of §3.1: enumerating the CPE in a /48 of /56
+	// delegations costs yarrp MaxTTL probes per /56, zmap exactly one.
+	w := simnet.TestWorld(34)
+	p, _ := w.ProviderByASN(65001)
+	pool := p.Pools[0]
+	ts, _ := zmap.NewSubnetTargets([]ip6.Prefix{pool.Prefix}, 56, 9)
+
+	zStats, err := zmap.Scan(context.Background(), zmap.NewLoopback(w, 0), ts,
+		zmap.Config{Source: vantage, Seed: 9}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yStats, err := Trace(context.Background(), zmap.NewLoopback(w, 0), ts,
+		Config{Source: vantage, MaxTTL: 16, Seed: 9}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yStats.Sent != 16*zStats.Sent {
+		t.Fatalf("yarrp sent %d, zmap %d: want 16x", yStats.Sent, zStats.Sent)
+	}
+	// yarrp also hears from core infrastructure, zmap does not: the
+	// response volume ratio must exceed the CPE-only baseline.
+	if yStats.Matched <= zStats.Matched {
+		t.Fatalf("yarrp matched %d <= zmap %d", yStats.Matched, zStats.Matched)
+	}
+}
+
+func BenchmarkTrace(b *testing.B) {
+	w := simnet.TestWorld(35)
+	p, _ := w.ProviderByASN(65001)
+	pool := p.Pools[0]
+	targets := zmap.AddrTargets{pool.Prefix.RandomAddr(1, 2)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := Trace(context.Background(), zmap.NewLoopback(w, 0), targets,
+			Config{Source: vantage, MaxTTL: 16, Seed: uint64(i)}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

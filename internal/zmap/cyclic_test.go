@@ -1,0 +1,198 @@
+package zmap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCycleVisitsAllOnce(t *testing.T) {
+	for _, n := range []uint64{1, 2, 3, 10, 100, 257, 1 << 12} {
+		c, err := NewCycle(n, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]bool, n)
+		count := uint64(0)
+		for {
+			i, ok := c.Next()
+			if !ok {
+				break
+			}
+			if i >= n {
+				t.Fatalf("n=%d: index %d out of range", n, i)
+			}
+			if seen[i] {
+				t.Fatalf("n=%d: index %d repeated", n, i)
+			}
+			seen[i] = true
+			count++
+		}
+		if count != n {
+			t.Fatalf("n=%d: visited %d", n, count)
+		}
+	}
+}
+
+func TestCycleSeedChangesOrder(t *testing.T) {
+	order := func(seed uint64) []uint64 {
+		c, _ := NewCycle(1000, seed)
+		var out []uint64
+		for {
+			i, ok := c.Next()
+			if !ok {
+				return out
+			}
+			out = append(out, i)
+		}
+	}
+	a, b := order(1), order(2)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > len(a)/10 {
+		t.Fatalf("orders agree on %d/%d positions", same, len(a))
+	}
+	// Same seed, same order.
+	c := order(1)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatal("same seed produced different order")
+		}
+	}
+}
+
+func TestCycleReset(t *testing.T) {
+	c, _ := NewCycle(50, 7)
+	var first []uint64
+	for {
+		i, ok := c.Next()
+		if !ok {
+			break
+		}
+		first = append(first, i)
+	}
+	c.Reset()
+	for k := range first {
+		i, ok := c.Next()
+		if !ok || i != first[k] {
+			t.Fatalf("after Reset position %d: %d/%v, want %d", k, i, ok, first[k])
+		}
+	}
+}
+
+func TestCycleRandomness(t *testing.T) {
+	// The permutation should not be close to the identity: count fixed
+	// points and monotone adjacent pairs.
+	c, _ := NewCycle(10000, 99)
+	prev := uint64(0)
+	ascending, pos := 0, 0
+	for {
+		i, ok := c.Next()
+		if !ok {
+			break
+		}
+		if pos > 0 && i == prev+1 {
+			ascending++
+		}
+		prev = i
+		pos++
+	}
+	if ascending > 100 {
+		t.Fatalf("%d sequential adjacent emissions in 10k: not shuffled", ascending)
+	}
+}
+
+func TestCycleErrors(t *testing.T) {
+	if _, err := NewCycle(0, 1); err == nil {
+		t.Error("NewCycle(0) succeeded")
+	}
+	if _, err := NewCycle(maxCycleDomain+1, 1); err == nil {
+		t.Error("NewCycle(too big) succeeded")
+	}
+}
+
+func TestIsPrime(t *testing.T) {
+	primes := []uint64{2, 3, 5, 7, 11, 13, 104729, 4294967291, 2147483647}
+	for _, p := range primes {
+		if !isPrime(p) {
+			t.Errorf("isPrime(%d) = false", p)
+		}
+	}
+	composites := []uint64{0, 1, 4, 9, 104730, 4294967295, 3215031751} // last is a strong pseudoprime to bases 2,3,5,7
+	for _, c := range composites {
+		if isPrime(c) {
+			t.Errorf("isPrime(%d) = true", c)
+		}
+	}
+}
+
+func TestNextPrime(t *testing.T) {
+	cases := map[uint64]uint64{0: 2, 2: 2, 3: 3, 4: 5, 14: 17, 100: 101, 65536: 65537}
+	for in, want := range cases {
+		if got := nextPrime(in); got != want {
+			t.Errorf("nextPrime(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestPrimeFactors(t *testing.T) {
+	fs := primeFactors(65536)
+	if len(fs) != 1 || fs[0] != 2 {
+		t.Errorf("primeFactors(65536) = %v", fs)
+	}
+	fs = primeFactors(2 * 3 * 5 * 7 * 11)
+	want := []uint64{2, 3, 5, 7, 11}
+	if len(fs) != len(want) {
+		t.Fatalf("primeFactors = %v", fs)
+	}
+	for i := range fs {
+		if fs[i] != want[i] {
+			t.Fatalf("primeFactors = %v", fs)
+		}
+	}
+}
+
+func TestGeneratorGeneratesGroup(t *testing.T) {
+	for _, p := range []uint64{3, 5, 7, 101, 65537} {
+		g, err := findGenerator(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[uint64]bool{}
+		x := g
+		for i := uint64(0); i < p-1; i++ {
+			seen[x] = true
+			x = mulMod(x, g, p)
+		}
+		if uint64(len(seen)) != p-1 {
+			t.Errorf("p=%d g=%d generates only %d elements", p, g, len(seen))
+		}
+	}
+}
+
+func TestPowModAgainstNaive(t *testing.T) {
+	f := func(a, e uint16, mRaw uint16) bool {
+		m := uint64(mRaw)%1000 + 2
+		want := uint64(1)
+		for i := uint16(0); i < e%50; i++ {
+			want = want * (uint64(a) % m) % m
+		}
+		return powMod(uint64(a), uint64(e%50), m) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCycleNext(b *testing.B) {
+	c, _ := NewCycle(1<<20, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Next(); !ok {
+			c.Reset()
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package zmap
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"followscent/internal/icmp6"
+	"followscent/internal/ip6"
+)
+
+// Result is one validated probe response.
+type Result struct {
+	Target ip6.Addr // the address we probed
+	From   ip6.Addr // the source of the ICMPv6 response (e.g. the CPE WAN)
+	Type   uint8
+	Code   uint8
+	Seq    uint16 // attempt number for multi-probe configurations
+}
+
+// IsEcho reports whether the response was an Echo Reply (the target
+// itself exists) rather than an error from an intermediate device.
+func (r Result) IsEcho() bool { return r.Type == icmp6.TypeEchoReply }
+
+// Handler consumes results. It is called from the single receiver
+// goroutine, so calls are serialized.
+type Handler func(Result)
+
+// Config tunes a scan.
+type Config struct {
+	// Source is the vantage point's address, used as the probe source.
+	Source ip6.Addr
+	// Rate is the probe rate in packets per second; 0 disables pacing
+	// (full speed, the right choice against the in-process simulator).
+	Rate int
+	// HopLimit for probe packets; 0 means 64.
+	HopLimit int
+	// ProbesPerTarget re-probes each target this many times (default 1).
+	ProbesPerTarget int
+	// Shard/Shards split the scan zmap-style: this instance sends only
+	// the positions congruent to Shard modulo Shards. Defaults to 0/1.
+	Shard, Shards int
+	// Seed randomizes the scan order and the per-target validation
+	// field. Scans with equal seeds probe in identical order.
+	Seed uint64
+	// Cooldown is how long to keep receiving after the last probe
+	// (needed on asynchronous transports; the loopback needs none).
+	Cooldown time.Duration
+}
+
+func (c *Config) fill() {
+	if c.HopLimit == 0 {
+		c.HopLimit = 64
+	}
+	if c.ProbesPerTarget == 0 {
+		c.ProbesPerTarget = 1
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+}
+
+// Stats summarizes a completed scan.
+type Stats struct {
+	Sent     uint64 // probes transmitted
+	Received uint64 // packets seen by the receiver
+	Matched  uint64 // packets that validated and produced a Result
+	Invalid  uint64 // packets that failed parsing or validation
+}
+
+// Scan probes every target in ts through tr, invoking h for each
+// validated response. It returns when all probes are sent and the
+// cooldown has elapsed, or when ctx is cancelled.
+func Scan(ctx context.Context, tr Transport, ts TargetSet, cfg Config, h Handler) (Stats, error) {
+	cfg.fill()
+	if cfg.Shard < 0 || cfg.Shard >= cfg.Shards {
+		return Stats{}, fmt.Errorf("zmap: shard %d of %d out of range", cfg.Shard, cfg.Shards)
+	}
+	n := ts.Len()
+	if n == 0 {
+		return Stats{}, fmt.Errorf("zmap: empty target set")
+	}
+	cyc, err := NewCycle(n, cfg.Seed)
+	if err != nil {
+		return Stats{}, err
+	}
+
+	var (
+		sent, received, matched, invalid atomic.Uint64
+		wg                               sync.WaitGroup
+	)
+
+	// Receiver: parse, validate, hand off.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 64<<10)
+		var pkt icmp6.Packet
+		for {
+			m, err := tr.Recv(buf)
+			if err != nil {
+				if err != io.EOF {
+					// Transport failure: surface through stats only; the
+					// sender side will also fail if it matters.
+					invalid.Add(1)
+				}
+				return
+			}
+			received.Add(1)
+			res, ok := validate(&pkt, buf[:m], cfg.Seed)
+			if !ok {
+				invalid.Add(1)
+				continue
+			}
+			matched.Add(1)
+			if h != nil {
+				h(res)
+			}
+		}
+	}()
+
+	// Sender: permuted order, shard filter, pacing.
+	pacer := newPacer(cfg.Rate)
+	sendBuf := make([]byte, 0, 128)
+	pos := 0
+	var sendErr error
+send:
+	for attempt := 0; attempt < cfg.ProbesPerTarget; attempt++ {
+		cyc.Reset()
+		for {
+			select {
+			case <-ctx.Done():
+				sendErr = ctx.Err()
+				break send
+			default:
+			}
+			i, ok := cyc.Next()
+			if !ok {
+				break
+			}
+			if pos%cfg.Shards != cfg.Shard {
+				pos++
+				continue
+			}
+			pos++
+			target := ts.At(i)
+			id := validationID(cfg.Seed, target)
+			sendBuf = icmp6.AppendEchoRequest(sendBuf[:0], cfg.Source, target, id, uint16(attempt), nil)
+			if err := tr.Send(sendBuf); err != nil {
+				sendErr = err
+				break send
+			}
+			sent.Add(1)
+			pacer.wait()
+		}
+	}
+
+	if cfg.Cooldown > 0 && sendErr == nil {
+		select {
+		case <-time.After(cfg.Cooldown):
+		case <-ctx.Done():
+		}
+	}
+	if err := tr.Close(); err != nil && sendErr == nil {
+		sendErr = err
+	}
+	wg.Wait()
+
+	return Stats{
+		Sent:     sent.Load(),
+		Received: received.Load(),
+		Matched:  matched.Load(),
+		Invalid:  invalid.Load(),
+	}, sendErr
+}
+
+// validationID derives the 16-bit echo identifier a probe to target must
+// carry — zmap's trick for rejecting spoofed or mismatched responses
+// without keeping per-probe state.
+func validationID(seed uint64, target ip6.Addr) uint16 {
+	return uint16(hash2(seed, target.High64(), target.IID()))
+}
+
+// validate parses an inbound packet and checks it against the validation
+// scheme, recovering the original probed target.
+func validate(pkt *icmp6.Packet, b []byte, seed uint64) (Result, bool) {
+	if err := pkt.Unmarshal(b); err != nil {
+		return Result{}, false
+	}
+	switch pkt.Message.Type {
+	case icmp6.TypeEchoReply:
+		id, seq, ok := pkt.Message.Echo()
+		if !ok {
+			return Result{}, false
+		}
+		target := pkt.Header.Src // a reply comes from the probed address
+		if id != validationID(seed, target) {
+			return Result{}, false
+		}
+		return Result{
+			Target: target,
+			From:   pkt.Header.Src,
+			Type:   pkt.Message.Type,
+			Code:   pkt.Message.Code,
+			Seq:    seq,
+		}, true
+
+	case icmp6.TypeDestinationUnreachable, icmp6.TypeTimeExceeded,
+		icmp6.TypePacketTooBig, icmp6.TypeParameterProblem:
+		quoted, ok := pkt.Message.InvokingPacket()
+		if !ok {
+			return Result{}, false
+		}
+		var orig icmp6.Packet
+		// The quote is authenticated by the validation id below, not by
+		// its (our own) checksum.
+		if err := orig.UnmarshalNoVerify(quoted); err != nil {
+			return Result{}, false
+		}
+		if orig.Message.Type != icmp6.TypeEchoRequest {
+			return Result{}, false
+		}
+		id, seq, ok := orig.Message.Echo()
+		if !ok {
+			return Result{}, false
+		}
+		target := orig.Header.Dst
+		if id != validationID(seed, target) {
+			return Result{}, false
+		}
+		return Result{
+			Target: target,
+			From:   pkt.Header.Src,
+			Type:   pkt.Message.Type,
+			Code:   pkt.Message.Code,
+			Seq:    seq,
+		}, true
+	}
+	return Result{}, false
+}
+
+// pacer is a simple token-bucket rate limiter over real time.
+type pacer struct {
+	interval time.Duration
+	next     time.Time
+}
+
+func newPacer(rate int) *pacer {
+	if rate <= 0 {
+		return &pacer{}
+	}
+	return &pacer{interval: time.Second / time.Duration(rate), next: time.Now()}
+}
+
+func (p *pacer) wait() {
+	if p.interval == 0 {
+		return
+	}
+	now := time.Now()
+	if p.next.After(now) {
+		time.Sleep(p.next.Sub(now))
+	}
+	p.next = p.next.Add(p.interval)
+}

@@ -1,0 +1,31 @@
+package zmap
+
+import (
+	"context"
+)
+
+// Scanner is a reusable scan runner: a transport factory plus a base
+// configuration. Transports are single-use (Scan closes them), so
+// repeated scanning needs a factory. The measurement pipeline in
+// internal/core depends only on this type and TargetSet — never on the
+// simulator — so it would drive a raw-socket transport unchanged.
+type Scanner struct {
+	// NewTransport returns a fresh transport for one scan pass.
+	NewTransport func() (Transport, error)
+	// Config is the base configuration; Seed is re-derived per scan via
+	// the Salt argument so repeated passes can reuse or change probe
+	// order deliberately.
+	Config Config
+}
+
+// Scan runs one pass over ts. salt perturbs the scan-order seed;
+// passing the same salt reproduces the same probe order and target IIDs.
+func (s *Scanner) Scan(ctx context.Context, ts TargetSet, salt uint64, h Handler) (Stats, error) {
+	tr, err := s.NewTransport()
+	if err != nil {
+		return Stats{}, err
+	}
+	cfg := s.Config
+	cfg.Seed = hash2(cfg.Seed, salt)
+	return Scan(ctx, tr, ts, cfg, h)
+}

@@ -1,0 +1,172 @@
+package zmap
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Transport carries raw IPv6+ICMPv6 packets between the prober and a
+// network (simulated or real).
+type Transport interface {
+	// Send transmits one probe packet.
+	Send(pkt []byte) error
+	// Recv copies the next inbound packet into buf and returns its
+	// length. It blocks until a packet arrives or the transport is
+	// closed, returning io.EOF once closed and drained.
+	Recv(buf []byte) (int, error)
+	// Close stops the transport; pending Recv calls drain buffered
+	// packets and then fail with io.EOF.
+	Close() error
+}
+
+// Responder answers probe packets — satisfied by *simnet.World.
+type Responder interface {
+	HandlePacket(req []byte, buf []byte) ([]byte, bool)
+}
+
+// Loopback is the in-process transport: Send answers synchronously
+// through a Responder and queues the reply for Recv. It is the
+// laptop-scale path used by tests, examples and the figure harness.
+type Loopback struct {
+	responder Responder
+
+	mu     sync.Mutex
+	closed bool
+	ch     chan []byte
+	// free recycles response buffers between Recv (producer of free
+	// buffers) and Send (consumer); both ends live in this type, so
+	// ownership is sound: a buffer handed to ch is not touched by Send
+	// again until Recv returns it.
+	free sync.Pool
+}
+
+// NewLoopback returns a loopback transport with the given queue depth.
+func NewLoopback(r Responder, depth int) *Loopback {
+	if depth <= 0 {
+		depth = 4096
+	}
+	l := &Loopback{responder: r, ch: make(chan []byte, depth)}
+	l.free.New = func() any { b := make([]byte, 0, 2048); return &b }
+	return l
+}
+
+// Send implements Transport. If the response queue is full, Send blocks
+// until the receiver catches up: the loopback favours deterministic
+// completeness over realism (packet loss is the simulator's job, where it
+// is seeded and reproducible). Send must not be called concurrently with
+// or after Close — the Scan engine guarantees that ordering.
+func (l *Loopback) Send(pkt []byte) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return errors.New("zmap: loopback closed")
+	}
+	l.mu.Unlock()
+
+	bufp := l.free.Get().(*[]byte)
+	resp, ok := l.responder.HandlePacket(pkt, (*bufp)[:0])
+	if !ok {
+		l.free.Put(bufp)
+		return nil
+	}
+	*bufp = resp
+	l.ch <- resp
+	return nil
+}
+
+// Recv implements Transport.
+func (l *Loopback) Recv(buf []byte) (int, error) {
+	pkt, ok := <-l.ch
+	if !ok {
+		return 0, io.EOF
+	}
+	if len(pkt) > len(buf) {
+		return 0, fmt.Errorf("zmap: packet of %d bytes exceeds buffer", len(pkt))
+	}
+	n := copy(buf, pkt)
+	pkt = pkt[:0]
+	l.free.Put(&pkt)
+	return n, nil
+}
+
+// Close implements Transport.
+func (l *Loopback) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed {
+		l.closed = true
+		close(l.ch)
+	}
+	return nil
+}
+
+// UDP is the wire transport: byte-exact ICMPv6 packets encapsulated in
+// UDP datagrams to a simnetd server. Raw ICMPv6 sockets need privileges
+// and a real vantage point; the UDP path exercises identical packet
+// craft/parse/checksum and socket I/O code.
+type UDP struct {
+	conn *net.UDPConn
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// DialUDP connects to a simnetd at addr (host:port).
+func DialUDP(addr string) (*UDP, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("zmap: resolving %q: %w", addr, err)
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, fmt.Errorf("zmap: dialing %q: %w", addr, err)
+	}
+	// A large receive buffer matters at high probe rates; best-effort.
+	_ = conn.SetReadBuffer(4 << 20)
+	return &UDP{conn: conn}, nil
+}
+
+// Send implements Transport.
+func (u *UDP) Send(pkt []byte) error {
+	_, err := u.conn.Write(pkt)
+	if err != nil {
+		return fmt.Errorf("zmap: udp send: %w", err)
+	}
+	return nil
+}
+
+// Recv implements Transport.
+func (u *UDP) Recv(buf []byte) (int, error) {
+	n, err := u.conn.Read(buf)
+	if err != nil {
+		u.mu.Lock()
+		closed := u.closed
+		u.mu.Unlock()
+		if closed {
+			return 0, io.EOF
+		}
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return 0, io.EOF
+		}
+		return 0, fmt.Errorf("zmap: udp recv: %w", err)
+	}
+	return n, nil
+}
+
+// Close implements Transport.
+func (u *UDP) Close() error {
+	u.mu.Lock()
+	u.closed = true
+	u.mu.Unlock()
+	return u.conn.Close()
+}
+
+// SetRecvDeadline bounds how long Recv may block (used for cooldown).
+func (u *UDP) SetRecvDeadline(t time.Time) error {
+	return u.conn.SetReadDeadline(t)
+}
