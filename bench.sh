@@ -1,0 +1,17 @@
+#!/bin/sh
+# bench.sh [output.json] — run the full benchmark suite and emit
+# machine-readable `go test -json` output for BENCH_*.json trajectory
+# tracking. Human-readable results still stream to stderr via the JSON
+# "Output" lines; pass a path to capture the raw JSON.
+set -eu
+
+out=${1:-}
+benchtime=${BENCHTIME:-1x}
+
+if [ -n "$out" ]; then
+	mkdir -p "$(dirname "$out")"
+	go test -run '^$' -bench . -benchtime "$benchtime" -benchmem -json . >"$out"
+	echo "wrote $out" >&2
+else
+	go test -run '^$' -bench . -benchtime "$benchtime" -benchmem -json .
+fi

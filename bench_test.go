@@ -10,13 +10,16 @@ package followscent_test
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"followscent/internal/core"
 	"followscent/internal/experiments"
+	"followscent/internal/icmp6"
 	"followscent/internal/ip6"
 	"followscent/internal/oui"
 	"followscent/internal/simnet"
@@ -90,7 +93,22 @@ func mini(b *testing.B) *experiments.Study {
 // --- Table 1 & pipeline stage counts (§4) ---
 
 func BenchmarkTable1_RotatingPrefixDiscovery(b *testing.B) {
+	benchTable1(b, 0) // Workers = GOMAXPROCS
+}
+
+// BenchmarkTable1_Workers pins the worker count, quantifying the
+// parallel engine's scaling against the one-worker baseline.
+func BenchmarkTable1_Workers(b *testing.B) {
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchTable1(b, workers)
+		})
+	}
+}
+
+func benchTable1(b *testing.B, workers int) {
 	env := experiments.NewSmallEnv(103)
+	env.Scanner.Config.Workers = workers
 	seeds := []ip6.Prefix{
 		ip6.MustParsePrefix("2001:db8:10::/48"),
 		ip6.MustParsePrefix("2001:db9:30::/48"),
@@ -292,6 +310,75 @@ func BenchmarkFig12_ProviderSwitch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		switches := s.Corpus.ProviderSwitches()
 		_ = switches
+	}
+}
+
+// --- Engine microbenchmarks (BENCH_*.json trajectory points) ---
+
+// BenchmarkICMP6_MarshalEchoRequest times probe packet crafting, both
+// through the general builder and the scan engine's template fast path.
+func BenchmarkICMP6_MarshalEchoRequest(b *testing.B) {
+	src := ip6.MustParseAddr("2620:11f:7000::53")
+	dst := ip6.MustParseAddr("2001:db8:10:20::42")
+	b.Run("append", func(b *testing.B) {
+		buf := make([]byte, 0, 128)
+		for i := 0; i < b.N; i++ {
+			buf = icmp6.AppendEchoRequest(buf[:0], src, dst, uint16(i), 1, nil)
+		}
+	})
+	b.Run("template", func(b *testing.B) {
+		tmpl := icmp6.NewEchoTemplate(src)
+		for i := 0; i < b.N; i++ {
+			_ = tmpl.Packet(dst, uint16(i), 1)
+		}
+	})
+}
+
+// BenchmarkICMP6_UnmarshalValidate times the receive side: parsing and
+// checksum-verifying an echo reply.
+func BenchmarkICMP6_UnmarshalValidate(b *testing.B) {
+	src := ip6.MustParseAddr("2620:11f:7000::53")
+	dst := ip6.MustParseAddr("2001:db8:10:20::42")
+	reply := icmp6.AppendEchoReply(nil, dst, src, 7, 1, nil)
+	var pkt icmp6.Packet
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pkt.Unmarshal(reply); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoopbackRoundTrip times one full probe round trip against the
+// simulator: craft, answer, parse — the unit cost every scan pays.
+func BenchmarkLoopbackRoundTrip(b *testing.B) {
+	w := simnet.TestWorld(27)
+	p, _ := w.ProviderByASN(65001)
+	pool := p.Pools[0]
+	var c *simnet.CPE
+	for i := range pool.CPEs() {
+		if !pool.CPEs()[i].Silent {
+			c = &pool.CPEs()[i]
+			break
+		}
+	}
+	target := pool.WANAddrNow(c)
+	src := ip6.MustParseAddr("2620:11f:7000::53")
+	lb := zmap.NewLoopback(w, 0)
+	tmpl := icmp6.NewEchoTemplate(src)
+	respBuf := make([]byte, 0, 2048)
+	var pkt icmp6.Packet
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := tmpl.Packet(target, uint16(i), 0)
+		resp, ok := lb.Exchange(req, respBuf[:0])
+		if !ok {
+			b.Fatal("no response from occupied WAN")
+		}
+		respBuf = resp
+		if err := pkt.Unmarshal(resp); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -42,15 +42,16 @@ func main() {
 	hours := flag.Int("hours", 168, "Figure 10 hourly scans (paper: one week)")
 	trackDays := flag.Int("track-days", 7, "Table 2 / Figure 13 tracking days")
 	only := flag.String("only", "", "comma-separated artifact ids (default: all)")
+	workers := flag.Int("workers", 0, "scan workers per pass (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "progress logging")
 	flag.Parse()
 
-	if err := run(*outDir, *seedVal, *days, *hours, *trackDays, *only, *verbose); err != nil {
+	if err := run(*outDir, *seedVal, *days, *hours, *trackDays, *only, *workers, *verbose); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(outDir string, seedVal uint64, days, hours, trackDays int, only string, verbose bool) error {
+func run(outDir string, seedVal uint64, days, hours, trackDays int, only string, workers int, verbose bool) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
@@ -70,6 +71,7 @@ func run(outDir string, seedVal uint64, days, hours, trackDays int, only string,
 		Env: experiments.NewEnv(seedVal),
 		Cfg: experiments.StudyConfig{CampaignDays: days, Logf: logf},
 	}
+	s.Env.Scanner.Config.Workers = workers
 	ctx := context.Background()
 	start := time.Now()
 

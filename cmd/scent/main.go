@@ -36,7 +36,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: scent [-seed N] [-world default|test] [-server host:port] <command> [args]
+	fmt.Fprintf(os.Stderr, `usage: scent [-seed N] [-world default|test] [-server host:port] [-workers N] <command> [args]
 
 commands:
   seed                      run the stale traceroute seed campaign
@@ -55,6 +55,7 @@ func main() {
 	worldSeed := flag.Uint64("seed", 42, "simulated world seed")
 	worldKind := flag.String("world", "default", "in-process world: default or test")
 	server := flag.String("server", "", "probe a simnetd at host:port instead of in-process")
+	workers := flag.Int("workers", 0, "scan workers per pass (0 = GOMAXPROCS); each owns its own transport")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -65,6 +66,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	env.Scanner.Config.Workers = *workers
 	ctx := context.Background()
 
 	var cmdErr error

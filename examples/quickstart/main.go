@@ -55,7 +55,14 @@ func main() {
 	fmt.Printf("scanned %s: %d probes, %d EUI-64 routers found\n", target48, stats.Sent, len(euiAddrs))
 
 	// Step 2: the embedded MACs identify the hardware vendor (§5.1).
+	// Responses arrive in worker-scheduling order; pick the numerically
+	// lowest address so the output is stable across runs.
 	first := euiAddrs[0]
+	for _, a := range euiAddrs[1:] {
+		if a.Less(first) {
+			first = a
+		}
+	}
 	mac, _ := ip6.MACFromAddr(first)
 	vendor, _ := oui.Builtin().Lookup(mac)
 	fmt.Printf("example router: %s\n  embedded MAC %s (%s)\n", first, mac, vendor)

@@ -1,0 +1,3 @@
+module followscent
+
+go 1.24

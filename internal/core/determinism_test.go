@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"followscent/internal/core"
+	"followscent/internal/ip6"
+	"followscent/internal/simnet"
+	"followscent/internal/zmap"
+)
+
+// runDiscovery builds a fresh world (fresh clock, fresh rate state) and
+// runs the full §4 pipeline with the given worker count.
+func runDiscovery(t *testing.T, workers int) *core.DiscoveryResult {
+	t.Helper()
+	w := simnet.TestWorld(103)
+	scanner := &zmap.Scanner{
+		NewTransport: func() (zmap.Transport, error) { return zmap.NewLoopback(w, 0), nil },
+		Config:       zmap.Config{Source: vantage, Seed: 0xfee1, Workers: workers},
+	}
+	p := &core.Pipeline{
+		Scanner:     scanner,
+		RIB:         w.RIB(),
+		Wait:        w.Clock().Advance,
+		Salt:        5,
+		ProbesPer48: 16,
+	}
+	seeds := []ip6.Prefix{
+		ip6.MustParsePrefix("2001:db8:10::/48"),
+		ip6.MustParsePrefix("2001:db9:30::/48"),
+	}
+	res, err := p.Run(context.Background(), seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestPipelineWorkerCountInvariance is the end-to-end determinism proof
+// the parallel engine promises: the same seed produces an identical
+// DiscoveryResult whether the scans run on one worker or eight.
+func TestPipelineWorkerCountInvariance(t *testing.T) {
+	base := runDiscovery(t, 1)
+	if len(base.Rotating48s) == 0 {
+		t.Fatal("baseline pipeline found no rotating /48s; the comparison would be vacuous")
+	}
+	for _, workers := range []int{2, 8} {
+		got := runDiscovery(t, workers)
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("workers=%d: DiscoveryResult differs from workers=1:\nbase %+v\n got %+v", workers, base, got)
+		}
+	}
+}

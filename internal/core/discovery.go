@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"sync"
 	"time"
 
 	"followscent/internal/bgp"
@@ -77,7 +76,7 @@ func (p *Pipeline) Run(ctx context.Context, seeds []ip6.Prefix) (*DiscoveryResul
 		return nil, fmt.Errorf("core: pipeline needs a Wait hook")
 	}
 	res := &DiscoveryResult{}
-	track := newAddrTracker()
+	track := newAddrTracker(p.Scanner.Config.NumWorkers())
 
 	if err := p.expandSeeds(ctx, seeds, res, track); err != nil {
 		return nil, fmt.Errorf("core: seed expansion: %w", err)
@@ -98,36 +97,71 @@ func (p *Pipeline) Run(ctx context.Context, seeds []ip6.Prefix) (*DiscoveryResul
 	return res, nil
 }
 
-// addrTracker accumulates the §4 address-discovery totals.
+// addrTracker accumulates the §4 address-discovery totals. It is
+// sharded by scan worker: each worker writes its own shard lock-free
+// (handler calls within one worker are serialized), and totals() merges
+// the shards.
 type addrTracker struct {
-	mu    sync.Mutex
+	shards []addrShard
+}
+
+type addrShard struct {
 	total map[ip6.Addr]struct{}
 	eui   map[ip6.Addr]struct{}
 	iids  map[uint64]struct{}
 }
 
-func newAddrTracker() *addrTracker {
-	return &addrTracker{
-		total: make(map[ip6.Addr]struct{}),
-		eui:   make(map[ip6.Addr]struct{}),
-		iids:  make(map[uint64]struct{}),
+func newAddrTracker(workers int) *addrTracker {
+	t := &addrTracker{shards: make([]addrShard, workers)}
+	for i := range t.shards {
+		t.shards[i] = addrShard{
+			total: make(map[ip6.Addr]struct{}),
+			eui:   make(map[ip6.Addr]struct{}),
+			iids:  make(map[uint64]struct{}),
+		}
 	}
+	return t
 }
 
-func (t *addrTracker) see(from ip6.Addr) {
-	t.mu.Lock()
-	t.total[from] = struct{}{}
+func (t *addrTracker) see(worker int, from ip6.Addr) {
+	s := &t.shards[worker]
+	s.total[from] = struct{}{}
 	if ip6.AddrIsEUI64(from) {
-		t.eui[from] = struct{}{}
-		t.iids[from.IID()] = struct{}{}
+		s.eui[from] = struct{}{}
+		s.iids[from.IID()] = struct{}{}
 	}
-	t.mu.Unlock()
 }
 
 func (t *addrTracker) totals() (total, eui, iids int) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.total), len(t.eui), len(t.iids)
+	if len(t.shards) == 1 {
+		s := &t.shards[0]
+		return len(s.total), len(s.eui), len(s.iids)
+	}
+	allTotal := make(map[ip6.Addr]struct{})
+	allEUI := make(map[ip6.Addr]struct{})
+	allIIDs := make(map[uint64]struct{})
+	for i := range t.shards {
+		s := &t.shards[i]
+		for a := range s.total {
+			allTotal[a] = struct{}{}
+		}
+		for a := range s.eui {
+			allEUI[a] = struct{}{}
+		}
+		for id := range s.iids {
+			allIIDs[id] = struct{}{}
+		}
+	}
+	return len(allTotal), len(allEUI), len(allIIDs)
+}
+
+// scan runs one worker-parallel scan pass with handler calls delivered
+// concurrently: each stage below shards its accumulators by
+// Result.Worker, so no lock is taken per response.
+func (p *Pipeline) scan(ctx context.Context, ts zmap.TargetSet, salt uint64, h zmap.Handler) (zmap.Stats, error) {
+	sc := *p.Scanner
+	sc.Config.ConcurrentHandlers = true
+	return sc.Scan(ctx, ts, salt, h)
 }
 
 // expandSeeds is §4.1.
@@ -157,24 +191,39 @@ func (p *Pipeline) expandSeeds(ctx context.Context, seeds []ip6.Prefix, res *Dis
 	}
 	// A /48 is validated when it produced an EUI-64 response that no
 	// other /48 produced (a *unique* responsive EUI last hop, §4).
-	per48 := map[ip6.Prefix][]ip6.Addr{}
-	owner := map[ip6.Addr]int{} // EUI addr -> number of /48s it answered for
-	var mu sync.Mutex
-	stats, err := p.Scanner.Scan(ctx, ts, p.Salt^0xa1, func(r zmap.Result) {
-		track.see(r.From)
+	// Accumulation is per worker, merged after the scan.
+	type s1acc struct {
+		per48 map[ip6.Prefix][]ip6.Addr
+		owner map[ip6.Addr]int // EUI addr -> responses it accounted for
+	}
+	accs := make([]s1acc, len(track.shards))
+	for w := range accs {
+		accs[w] = s1acc{per48: map[ip6.Prefix][]ip6.Addr{}, owner: map[ip6.Addr]int{}}
+	}
+	stats, err := p.scan(ctx, ts, p.Salt^0xa1, func(r zmap.Result) {
+		track.see(r.Worker, r.From)
 		if !ip6.AddrIsEUI64(r.From) {
 			return
 		}
+		a := &accs[r.Worker]
 		p48 := r.Target.TruncateTo(48)
-		mu.Lock()
-		per48[p48] = append(per48[p48], r.From)
-		owner[r.From]++
-		mu.Unlock()
+		a.per48[p48] = append(a.per48[p48], r.From)
+		a.owner[r.From]++
 	})
 	if err != nil {
 		return err
 	}
 	res.ProbesSent += stats.Sent
+	per48 := accs[0].per48
+	owner := accs[0].owner
+	for _, a := range accs[1:] {
+		for p48, addrs := range a.per48 {
+			per48[p48] = append(per48[p48], addrs...)
+		}
+		for addr, n := range a.owner {
+			owner[addr] += n
+		}
+	}
 	for p48, addrs := range per48 {
 		for _, a := range addrs {
 			if owner[a] == 1 {
@@ -196,27 +245,41 @@ func (p *Pipeline) classifyDensity(ctx context.Context, res *DiscoveryResult, tr
 	if err != nil {
 		return err
 	}
-	uniq := map[ip6.Prefix]map[ip6.Addr]struct{}{}
-	var mu sync.Mutex
-	stats, err := p.Scanner.Scan(ctx, ts, p.Salt^0xd2, func(r zmap.Result) {
-		track.see(r.From)
+	uniqs := make([]map[ip6.Prefix]map[ip6.Addr]struct{}, len(track.shards))
+	for w := range uniqs {
+		uniqs[w] = map[ip6.Prefix]map[ip6.Addr]struct{}{}
+	}
+	stats, err := p.scan(ctx, ts, p.Salt^0xd2, func(r zmap.Result) {
+		track.see(r.Worker, r.From)
 		if !ip6.AddrIsEUI64(r.From) {
 			return
 		}
+		uniq := uniqs[r.Worker]
 		p48 := r.Target.TruncateTo(48)
-		mu.Lock()
 		set, ok := uniq[p48]
 		if !ok {
 			set = make(map[ip6.Addr]struct{})
 			uniq[p48] = set
 		}
 		set[r.From] = struct{}{}
-		mu.Unlock()
 	})
 	if err != nil {
 		return err
 	}
 	res.ProbesSent += stats.Sent
+	uniq := uniqs[0]
+	for _, u := range uniqs[1:] {
+		for p48, set := range u {
+			dst, ok := uniq[p48]
+			if !ok {
+				uniq[p48] = set
+				continue
+			}
+			for a := range set {
+				dst[a] = struct{}{}
+			}
+		}
+	}
 	const probesPer48 = 256 // one per /56
 	for _, p48 := range res.Validated48s {
 		n := len(uniq[p48])
@@ -244,17 +307,23 @@ func (p *Pipeline) detectRotation(ctx context.Context, res *DiscoveryResult, tra
 		return err
 	}
 	snapshot := func() (map[ip6.Addr]ip6.Addr, error) {
-		pairs := map[ip6.Addr]ip6.Addr{}
-		var mu sync.Mutex
+		shards := make([]map[ip6.Addr]ip6.Addr, len(track.shards))
+		for w := range shards {
+			shards[w] = map[ip6.Addr]ip6.Addr{}
+		}
 		// Identical salt both passes: identical probe order and target
 		// IIDs, the paper's "same zmap random seed".
-		stats, err := p.Scanner.Scan(ctx, ts, p.Salt^0xc3, func(r zmap.Result) {
-			track.see(r.From)
-			mu.Lock()
-			pairs[r.Target] = r.From
-			mu.Unlock()
+		stats, err := p.scan(ctx, ts, p.Salt^0xc3, func(r zmap.Result) {
+			track.see(r.Worker, r.From)
+			shards[r.Worker][r.Target] = r.From
 		})
 		res.ProbesSent += stats.Sent
+		pairs := shards[0]
+		for _, s := range shards[1:] {
+			for t, from := range s {
+				pairs[t] = from
+			}
+		}
 		return pairs, err
 	}
 	s1, err := snapshot()

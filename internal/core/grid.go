@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"followscent/internal/analysis"
 	"followscent/internal/ip6"
@@ -33,18 +34,30 @@ func ScanGrid(ctx context.Context, sc *zmap.Scanner, slash48 ip6.Prefix, salt ui
 		return nil, err
 	}
 	g := &Grid{Prefix: slash48}
-	index := map[ip6.Addr]uint32{}
+	cells := map[[2]byte]ip6.Addr{}
 	_, err = sc.Scan(ctx, ts, salt, func(r zmap.Result) {
-		id, ok := index[r.From]
-		if !ok {
-			g.Responders = append(g.Responders, r.From)
-			id = uint32(len(g.Responders))
-			index[r.From] = id
-		}
-		g.Cells[r.Target.Byte(6)][r.Target.Byte(7)] = id
+		cells[[2]byte{r.Target.Byte(6), r.Target.Byte(7)}] = r.From
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: grid scan of %s: %w", slash48, err)
+	}
+	// Responder IDs are assigned in address order, not response-arrival
+	// order: arrival order depends on worker scheduling, and the grid
+	// artifacts must be byte-stable for a given seed.
+	seen := map[ip6.Addr]bool{}
+	for _, from := range cells {
+		if !seen[from] {
+			seen[from] = true
+			g.Responders = append(g.Responders, from)
+		}
+	}
+	sort.Slice(g.Responders, func(i, j int) bool { return g.Responders[i].Less(g.Responders[j]) })
+	index := make(map[ip6.Addr]uint32, len(g.Responders))
+	for i, from := range g.Responders {
+		index[from] = uint32(i + 1)
+	}
+	for cell, from := range cells {
+		g.Cells[cell[0]][cell[1]] = index[from]
 	}
 	return g, nil
 }

@@ -20,6 +20,7 @@ import (
 	"math/bits"
 
 	"followscent/internal/ip6"
+	"followscent/internal/uint128"
 )
 
 // ICMPv6 message types used in this study.
@@ -101,9 +102,11 @@ func (h *Header) MarshalTo(b []byte) {
 	binary.BigEndian.PutUint16(b[4:6], h.PayloadLen)
 	b[6] = h.NextHeader
 	b[7] = h.HopLimit
-	src, dst := h.Src.As16(), h.Dst.As16()
-	copy(b[8:24], src[:])
-	copy(b[24:40], dst[:])
+	su, du := h.Src.Uint128(), h.Dst.Uint128()
+	binary.BigEndian.PutUint64(b[8:16], su.Hi)
+	binary.BigEndian.PutUint64(b[16:24], su.Lo)
+	binary.BigEndian.PutUint64(b[24:32], du.Hi)
+	binary.BigEndian.PutUint64(b[32:40], du.Lo)
 }
 
 // Errors returned by the parsers.
@@ -127,8 +130,8 @@ func (h *Header) Unmarshal(b []byte) error {
 	h.PayloadLen = binary.BigEndian.Uint16(b[4:6])
 	h.NextHeader = b[6]
 	h.HopLimit = b[7]
-	h.Src = ip6.AddrFromBytes(b[8:24])
-	h.Dst = ip6.AddrFromBytes(b[24:40])
+	h.Src = ip6.AddrFrom128(uint128.New(binary.BigEndian.Uint64(b[8:16]), binary.BigEndian.Uint64(b[16:24])))
+	h.Dst = ip6.AddrFrom128(uint128.New(binary.BigEndian.Uint64(b[24:32]), binary.BigEndian.Uint64(b[32:40])))
 	return nil
 }
 
@@ -138,13 +141,13 @@ func (h *Header) Unmarshal(b []byte) error {
 // the caller (or the result interpreted as a verification sum).
 func Checksum(src, dst ip6.Addr, payload []byte) uint16 {
 	// Accumulate 64 bits at a time (the ones-complement sum is
-	// fold-invariant), then fold down to 16 bits.
-	var sum uint64
-	s, d := src.As16(), dst.As16()
-	for i := 0; i < 16; i += 8 {
-		sum = add64c(sum, binary.BigEndian.Uint64(s[i:]))
-		sum = add64c(sum, binary.BigEndian.Uint64(d[i:]))
-	}
+	// fold-invariant), then fold down to 16 bits. The address words come
+	// straight from the Uint128 halves: they already hold the big-endian
+	// byte order as native integers, so no byte conversion is needed.
+	su, du := src.Uint128(), dst.Uint128()
+	sum := add64c(su.Hi, su.Lo)
+	sum = add64c(sum, du.Hi)
+	sum = add64c(sum, du.Lo)
 	sum = add64c(sum, uint64(len(payload)))
 	sum = add64c(sum, ProtoICMPv6)
 	for len(payload) >= 8 {
@@ -156,11 +159,16 @@ func Checksum(src, dst ip6.Addr, payload []byte) uint16 {
 		copy(tail[:], payload)
 		sum = add64c(sum, binary.BigEndian.Uint64(tail[:]))
 	}
-	// Fold 64 -> 16 bits.
-	for sum>>16 != 0 {
-		sum = sum&0xffff + sum>>16
-	}
-	return ^uint16(sum)
+	return ^fold16(sum)
+}
+
+// fold16 reduces a ones-complement 64-bit accumulator to 16 bits with a
+// fixed, branch-light cascade (64 -> 32 -> 16 -> carry).
+func fold16(sum uint64) uint16 {
+	sum = sum&0xffffffff + sum>>32
+	sum = sum&0xffff + sum>>16
+	sum = sum&0xffff + sum>>16
+	return uint16(sum + sum>>16)
 }
 
 // add64c is ones-complement 64-bit addition (add with end-around carry).
@@ -261,6 +269,55 @@ func AppendEchoRequest(dst []byte, src, target ip6.Addr, id, seq uint16, data []
 	cs := Checksum(src, target, p)
 	binary.BigEndian.PutUint16(p[2:4], cs)
 	return dst
+}
+
+// EchoTemplate crafts minimal (no-data) Echo Request probes by patching
+// a prebuilt packet: only the destination address, echo identifier,
+// sequence number and checksum change between probes, so the fixed IPv6
+// header fields are marshalled once instead of per probe. This is the
+// scan engine's per-worker fast path; the produced bytes are identical
+// to AppendEchoRequest(nil, src, target, id, seq, nil).
+type EchoTemplate struct {
+	buf [HeaderLen + 4 + echoBodyLen]byte
+	// csBase is the ones-complement sum of everything that does not
+	// change between probes: the source address half of the
+	// pseudo-header, the upper-layer length and the next-header value.
+	csBase uint64
+}
+
+// NewEchoTemplate returns a template for probes originated by src.
+func NewEchoTemplate(src ip6.Addr) *EchoTemplate {
+	t := &EchoTemplate{}
+	h := Header{
+		PayloadLen: 4 + echoBodyLen,
+		NextHeader: ProtoICMPv6,
+		HopLimit:   DefaultHopLimit,
+		Src:        src,
+	}
+	h.MarshalTo(t.buf[:])
+	t.buf[HeaderLen] = TypeEchoRequest
+	su := src.Uint128()
+	t.csBase = add64c(add64c(su.Hi, su.Lo), uint64(4+echoBodyLen)+ProtoICMPv6)
+	return t
+}
+
+// Packet returns the full probe packet for one target. The returned
+// slice aliases the template's internal buffer: it is valid until the
+// next Packet call, and a template must not be shared across goroutines.
+func (t *EchoTemplate) Packet(target ip6.Addr, id, seq uint16) []byte {
+	b := t.buf[:]
+	du := target.Uint128()
+	binary.BigEndian.PutUint64(b[24:32], du.Hi)
+	binary.BigEndian.PutUint64(b[32:40], du.Lo)
+	p := b[HeaderLen:]
+	binary.BigEndian.PutUint16(p[4:6], id)
+	binary.BigEndian.PutUint16(p[6:8], seq)
+	// The 8-byte ICMPv6 payload with a zeroed checksum field is one
+	// big-endian word: type 128, code 0, checksum 0, id, seq.
+	payload := 1<<63 | uint64(id)<<16 | uint64(seq)
+	sum := add64c(add64c(t.csBase, du.Hi), add64c(du.Lo, payload))
+	binary.BigEndian.PutUint16(p[2:4], ^fold16(sum))
+	return b
 }
 
 // AppendEchoReply appends a full Echo Reply packet answering the given

@@ -130,7 +130,17 @@ func PrefixFrom(addr Addr, bits int) Prefix {
 	if bits < 0 || bits > 128 {
 		panic(fmt.Sprintf("ip6: invalid prefix length %d", bits))
 	}
-	mask := uint128.Max.Lsh(uint(128 - bits))
+	// Branchy mask construction instead of uint128.Max.Lsh: this runs
+	// once per response on the scan hot path (TruncateTo).
+	var mask uint128.Uint128
+	if bits <= 64 {
+		if bits > 0 {
+			mask.Hi = ^uint64(0) << (64 - bits)
+		}
+	} else {
+		mask.Hi = ^uint64(0)
+		mask.Lo = ^uint64(0) << (128 - bits)
+	}
 	return Prefix{addr: Addr{addr.u.And(mask)}, bits: bits}
 }
 

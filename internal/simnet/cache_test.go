@@ -1,0 +1,72 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestOccupancyCacheFollowsClock proves the per-pool occupancy snapshot
+// is invalidated when the virtual clock moves: a rotating device's WAN
+// address answers echo before a rotation and stops answering from the
+// old block after it, with the ground-truth WANAddrNow always agreeing
+// with the probe path.
+func TestOccupancyCacheFollowsClock(t *testing.T) {
+	w := TestWorld(9)
+	pool := testPool(t, w, 65001, 0) // DailyStride(3): rotates every day
+	var c *CPE
+	for i := range pool.cpes {
+		if !pool.cpes[i].Silent {
+			c = &pool.cpes[i]
+			break
+		}
+	}
+
+	for day := 0; day < 4; day++ {
+		wan := pool.WANAddrNow(c)
+		r, ok := w.Query(wan, 64, uint64(day))
+		if !ok || !r.Echo || r.From != wan {
+			t.Fatalf("day %d: probe to current WAN %s: ok=%v echo=%v from=%s", day, wan, ok, r.Echo, r.From)
+		}
+		w.Clock().Advance(24 * time.Hour)
+		if next := pool.WANAddrNow(c); next == wan {
+			t.Fatalf("day %d: device did not rotate", day)
+		}
+		// The stale address must no longer produce an echo: the cache
+		// rebuilt for the new instant.
+		if r, ok := w.Query(wan, 64, uint64(day)<<8); ok && r.Echo && r.From == wan {
+			t.Fatalf("day %d: stale WAN %s still answers echo after rotation", day, wan)
+		}
+	}
+}
+
+// TestOccupancyCacheMatchesSlowPath cross-checks the cached occupant
+// lookup against first-principles enumeration of every device's block.
+func TestOccupancyCacheMatchesSlowPath(t *testing.T) {
+	w := TestWorld(10)
+	for _, asn := range []uint32{65001, 65002, 65003} {
+		p, _ := w.ProviderByASN(asn)
+		for _, pool := range p.Pools {
+			for _, hours := range []int{0, 5, 29, 1003} {
+				at := Epoch.Add(time.Duration(hours) * time.Hour)
+				day := dayOf(at)
+				want := map[uint64]*CPE{}
+				for i := range pool.cpes {
+					c := &pool.cpes[i]
+					if !c.activeAt(day) {
+						continue
+					}
+					j := pool.blockAt(c, at)
+					if prev, ok := want[j]; !ok || pool.epochOf(c, at) > pool.epochOf(prev, at) {
+						want[j] = c
+					}
+				}
+				for j := uint64(0); j < pool.blocks; j++ {
+					if got := pool.occupantAt(j, at); got != want[j] {
+						t.Fatalf("AS%d pool %s t=+%dh block %d: occupant %v, want %v",
+							asn, pool.Prefix, hours, j, got, want[j])
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,7 +1,7 @@
 package simnet
 
 import (
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -11,34 +11,32 @@ var Epoch = time.Date(2020, time.July, 20, 0, 0, 0, 0, time.UTC)
 
 // Clock is the virtual clock the simulated Internet runs on. Experiments
 // advance it explicitly; nothing in the simulator sleeps. It is safe for
-// concurrent use.
+// concurrent use. The instant is stored as an atomic offset from Epoch so
+// the probe hot path reads it without taking a lock.
 type Clock struct {
-	mu  sync.RWMutex
-	now time.Time
+	nanos atomic.Int64 // offset from Epoch in nanoseconds
 }
 
 // NewClock returns a clock set to Epoch.
-func NewClock() *Clock { return &Clock{now: Epoch} }
+func NewClock() *Clock { return &Clock{} }
 
 // Now returns the current virtual time.
 func (c *Clock) Now() time.Time {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.now
+	return Epoch.Add(time.Duration(c.nanos.Load()))
 }
+
+// sinceEpoch returns the current virtual offset from Epoch in
+// nanoseconds: the lock-free form the probe path keys its caches on.
+func (c *Clock) sinceEpoch() int64 { return c.nanos.Load() }
 
 // Advance moves the clock forward by d (which may be negative in tests).
 func (c *Clock) Advance(d time.Duration) {
-	c.mu.Lock()
-	c.now = c.now.Add(d)
-	c.mu.Unlock()
+	c.nanos.Add(int64(d))
 }
 
 // Set moves the clock to an absolute instant.
 func (c *Clock) Set(t time.Time) {
-	c.mu.Lock()
-	c.now = t
-	c.mu.Unlock()
+	c.nanos.Store(int64(t.Sub(Epoch)))
 }
 
 // Day returns the number of whole virtual days since Epoch (negative

@@ -26,8 +26,8 @@ func (w *World) HandlePacket(req []byte, buf []byte) ([]byte, bool) {
 		return buf, false
 	}
 	salt := uint64(id)<<16 | uint64(seq)
-	resp, ok := w.Query(p.Header.Dst, int(p.Header.HopLimit), salt)
-	if !ok {
+	var resp Response
+	if !w.queryCounted(&resp, p.Header.Dst, int(p.Header.HopLimit), salt) {
 		return buf, false
 	}
 	if resp.Echo {

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"followscent/internal/bgp"
@@ -24,16 +25,33 @@ type World struct {
 	ranges []allocRange
 	rib    *bgp.Table
 
-	// rateMu guards the ICMPv6 rate-limit counters.
-	rateMu    sync.Mutex
-	rateHour  int64
-	rateCount map[rateKey]int
+	// rate holds the ICMPv6 rate-limit counters, striped so concurrent
+	// scan workers hitting different devices never contend on one lock.
+	rate [rateStripes]rateStripe
 
-	// Counters (atomic-ish, guarded by rateMu for simplicity; probing
-	// workloads touch them rarely relative to work done).
-	statMu     sync.Mutex
-	statProbes uint64
-	statResps  uint64
+	// Counters on the probe hot path: updated lock-free.
+	statProbes atomic.Uint64
+	statResps  atomic.Uint64
+
+	// hBorder/hLoss are the constant prefixes of the border-response and
+	// loss mix chains (mix folds words left to right, so a fixed word
+	// prefix has a fixed intermediate state), precomputed at build time
+	// to shave two mixer rounds off every probe that reaches them.
+	hBorder uint64
+	hLoss   uint64
+}
+
+// rateStripes is the number of independent rate-limit lock stripes; a
+// power of two so stripe selection is a mask.
+const rateStripes = 64
+
+// rateStripe is one shard of the rate-limit table. Each stripe tracks
+// the virtual hour independently: counters reset lazily when a probe
+// arrives in a newer hour.
+type rateStripe struct {
+	mu    sync.Mutex
+	hour  int64
+	count map[rateKey]int
 }
 
 type allocRange struct {
@@ -80,6 +98,39 @@ type Pool struct {
 
 	lossProb  float64
 	rateLimit int
+
+	// occ caches the pool's occupancy at one virtual instant (see
+	// occCache). Scans freeze the clock, so a whole scan pass hits one
+	// snapshot and per-probe occupant lookup is a single map read.
+	occ atomic.Pointer[occCache]
+}
+
+// occCache is a snapshot of a pool's block occupancy at one virtual
+// instant: which CPE (by index) holds each block, and that occupant's
+// WAN address. It replaces the per-probe inverse-permutation walk of
+// the rotation policy with an O(1) lookup; the snapshot is rebuilt the
+// first time the pool is probed after the virtual clock moves.
+type occCache struct {
+	at int64 // virtual offset from Epoch (ns) this snapshot is valid for
+	// dense is the block -> occupying CPE index table for pools small
+	// enough to afford one (-1 = empty); occ is the map fallback for
+	// pools with more than denseOccLimit blocks.
+	dense []int32
+	occ   map[uint64]int32
+	wan   []ip6.Addr // CPE index -> WAN address at 'at' (zero when not placed)
+}
+
+// denseOccLimit bounds the dense table at 4 MiB per pool snapshot.
+const denseOccLimit = 1 << 20
+
+// occupant returns the CPE index holding block j, if any.
+func (c *occCache) occupant(j uint64) (int32, bool) {
+	if c.dense != nil {
+		idx := c.dense[j]
+		return idx, idx >= 0
+	}
+	idx, ok := c.occ[j]
+	return idx, ok
 }
 
 // CPE is one customer-premises router.
@@ -110,10 +161,11 @@ func Build(ws WorldSpec) (*World, error) {
 		return nil, err
 	}
 	w := &World{
-		seed:      ws.Seed,
-		clock:     NewClock(),
-		rib:       bgp.New(),
-		rateCount: make(map[rateKey]int),
+		seed:    ws.Seed,
+		clock:   NewClock(),
+		rib:     bgp.New(),
+		hBorder: mix(ws.Seed, 0xb0de),
+		hLoss:   mix(ws.Seed, 0x1055),
 	}
 	reg := oui.Builtin()
 	macs := newMACAllocator(ws.Seed)
@@ -476,9 +528,7 @@ func (w *World) ProviderByASN(asn uint32) (*Provider, bool) {
 
 // Stats returns the total probes answered and responses generated.
 func (w *World) Stats() (probes, responses uint64) {
-	w.statMu.Lock()
-	defer w.statMu.Unlock()
-	return w.statProbes, w.statResps
+	return w.statProbes.Load(), w.statResps.Load()
 }
 
 // CPEs returns the pool's devices (shared slice; do not modify).
@@ -572,55 +622,74 @@ func (p *Pool) blockAt(c *CPE, t time.Time) uint64 {
 // block (one has rotated, one has not); the rotated one wins, mirroring a
 // DHCPv6 server that reassigns a released prefix immediately.
 func (p *Pool) occupantAt(j uint64, t time.Time) *CPE {
-	day := dayOf(t)
-	try := func(base uint64) *CPE {
-		idx, ok := p.byBase[base]
-		if !ok {
-			return nil
-		}
-		c := &p.cpes[idx]
-		if !c.activeAt(day) || p.blockAt(c, t) != j {
-			return nil
-		}
+	cache := p.cacheAt(int64(t.Sub(Epoch)))
+	idx, ok := cache.occupant(j)
+	if !ok {
+		return nil
+	}
+	return &p.cpes[idx]
+}
+
+// cacheAt returns the occupancy snapshot for the virtual instant at
+// (an offset from Epoch in nanoseconds), rebuilding it if the clock has
+// moved since the last probe. Concurrent rebuilds are benign: every
+// builder computes the same snapshot for the same instant, and a stale
+// pointer stored by a racing older build fails the `at` check and is
+// rebuilt on the next probe.
+func (p *Pool) cacheAt(at int64) *occCache {
+	if c := p.occ.Load(); c != nil && c.at == at {
 		return c
 	}
-	switch p.Rotation.Kind {
-	case RotateNone:
-		return try(j)
-	case RotateIncrement:
-		// A CPE's epoch at t is either nMax (already reassigned today) or
-		// nMax-1 (its window jitter hasn't fired yet).
-		nMax := int64(t.Sub(Epoch)-time.Duration(p.Rotation.ReassignHour)*time.Hour) / int64(p.Rotation.Interval)
-		for dn := int64(0); dn <= 1; dn++ {
-			n := nMax - dn
-			base := (j - uint64(n)*p.stride()) & (p.blocks - 1)
-			if c := try(base); c != nil {
-				return c
-			}
-		}
-		return nil
-	case RotateRandom:
-		if j >= p.spanLimit {
-			// Blocks above the delegated span are never assigned, and the
-			// inverse cycle walk below would not terminate for them
-			// (their permutation cycle may avoid the span entirely).
-			return nil
-		}
-		nMax := int64(t.Sub(Epoch)-time.Duration(p.Rotation.ReassignHour)*time.Hour) / int64(p.Rotation.Interval)
-		for dn := int64(0); dn <= 1; dn++ {
-			n := nMax - dn
-			pm := newPerm(mix(p.key, 0xe60c, uint64(n)), p.blockBits)
-			base := pm.invert(j)
-			for base >= p.spanLimit {
-				base = pm.invert(base)
-			}
-			if c := try(base); c != nil {
-				return c
-			}
-		}
-		return nil
+	c := p.buildCache(at)
+	p.occ.Store(c)
+	return c
+}
+
+// buildCache computes the full occupancy of the pool at one instant by
+// walking every CPE forward through its rotation policy — O(devices)
+// once per clock change, instead of O(permutation walk) per probe.
+func (p *Pool) buildCache(at int64) *occCache {
+	t := Epoch.Add(time.Duration(at))
+	day := dayOf(t)
+	c := &occCache{
+		at:  at,
+		wan: make([]ip6.Addr, len(p.cpes)),
 	}
-	return nil
+	if p.blocks <= denseOccLimit {
+		c.dense = make([]int32, p.blocks)
+		for j := range c.dense {
+			c.dense[j] = -1
+		}
+	} else {
+		c.occ = make(map[uint64]int32, len(p.cpes))
+	}
+	set := func(j uint64, i int32) {
+		if c.dense != nil {
+			c.dense[j] = i
+		} else {
+			c.occ[j] = i
+		}
+	}
+	for i := range p.cpes {
+		cpe := &p.cpes[i]
+		if !cpe.activeAt(day) {
+			continue
+		}
+		j := p.blockAt(cpe, t)
+		if prev, taken := c.occupant(j); taken {
+			// Transient double-claim during a reassignment window: the
+			// device that has already rotated (the higher epoch) wins,
+			// mirroring a DHCPv6 server that reassigns a released prefix
+			// immediately. Equal epochs cannot collide: each epoch's
+			// placement is a bijection.
+			if p.epochOf(cpe, t) <= p.epochOf(&p.cpes[prev], t) {
+				continue
+			}
+		}
+		set(j, int32(i))
+		c.wan[i] = p.wanAddr(cpe, j, t)
+	}
+	return c
 }
 
 func dayOf(t time.Time) int32 {
@@ -715,107 +784,125 @@ type Response struct {
 // correlated across retries. ok=false means the probe was dropped
 // (no route, silent device, loss, or rate limiting).
 func (w *World) Query(target ip6.Addr, hopLimit int, salt uint64) (Response, bool) {
-	w.statMu.Lock()
-	w.statProbes++
-	w.statMu.Unlock()
-
-	r, ok := w.query(target, hopLimit, salt)
-	if ok {
-		w.statMu.Lock()
-		w.statResps++
-		w.statMu.Unlock()
-	}
+	var r Response
+	ok := w.queryCounted(&r, target, hopLimit, salt)
 	return r, ok
 }
 
-func (w *World) query(target ip6.Addr, hopLimit int, salt uint64) (Response, bool) {
+// queryCounted is the accounting wrapper shared by Query and the wire
+// path: out-parameter form so the per-probe hot path moves one Response
+// instead of two.
+func (w *World) queryCounted(r *Response, target ip6.Addr, hopLimit int, salt uint64) bool {
+	w.statProbes.Add(1)
+	if !w.query(r, target, hopLimit, salt) {
+		return false
+	}
+	w.statResps.Add(1)
+	return true
+}
+
+// query answers into r (an out-parameter so the hot path moves one
+// Response instead of two) and reports whether a response exists.
+func (w *World) query(r *Response, target ip6.Addr, hopLimit int, salt uint64) bool {
 	if hopLimit <= 0 {
-		return Response{}, false
+		return false
 	}
 	p := w.providerFor(target)
 	if p == nil {
-		return Response{}, false // unrouted space: silence
+		return false // unrouted space: silence
 	}
-	t := w.clock.Now()
+	at := w.clock.sinceEpoch()
 
 	// Core routers: hop-limited probes expire in transit.
 	if hopLimit <= len(p.routers) {
 		// Routers respond with high, deterministic probability.
 		if unitFloat(mix(w.seed, target.High64(), uint64(hopLimit), salt)) < 0.05 {
-			return Response{}, false
+			return false
 		}
-		return Response{
+		*r = Response{
 			From: p.routers[hopLimit-1],
 			Type: icmp6.TypeTimeExceeded,
 			Code: icmp6.CodeHopLimitExceeded,
 			Hops: hopLimit,
-		}, true
+		}
+		return true
 	}
 
 	pool := p.poolFor(target)
-	borderNoRoute := func() (Response, bool) {
-		if unitFloat(mix(w.seed, 0xb0de, target.High64(), salt)) >= p.borderRespProb {
-			return Response{}, false
+	borderNoRoute := func() bool {
+		// Continues the precomputed mix(seed, 0xb0de, ...) chain.
+		if unitFloat(splitmix64(splitmix64(w.hBorder^target.High64())^salt)) >= p.borderRespProb {
+			return false
 		}
-		return Response{
+		*r = Response{
 			From: p.routers[len(p.routers)-1],
 			Type: icmp6.TypeDestinationUnreachable,
 			Code: icmp6.CodeNoRoute,
 			Hops: len(p.routers),
-		}, true
+		}
+		return true
 	}
 	if pool == nil {
 		return borderNoRoute()
 	}
 	j := pool.blockIndex(target)
-	c := pool.occupantAt(j, t)
-	if c == nil {
+	cache := pool.cacheAt(at)
+	idx, occupied := cache.occupant(j)
+	if !occupied {
 		return borderNoRoute()
 	}
+	c := &pool.cpes[idx]
 	if c.Silent {
-		return Response{}, false
+		return false
 	}
-	// Per-probe loss.
+	// Per-probe loss: continues the precomputed mix(seed, 0x1055, ...)
+	// chain.
 	if pool.lossProb > 0 &&
-		unitFloat(mix(w.seed, 0x1055, target.Uint128().Hi, target.Uint128().Lo, salt)) < pool.lossProb {
-		return Response{}, false
+		unitFloat(splitmix64(splitmix64(splitmix64(w.hLoss^target.Uint128().Hi)^target.Uint128().Lo)^salt)) < pool.lossProb {
+		return false
 	}
 	// ICMPv6 error rate limiting per device per virtual hour.
-	if pool.rateLimit > 0 && !w.allowRate(pool, pool.byBase[c.base], t) {
-		return Response{}, false
+	if pool.rateLimit > 0 && !w.allowRate(pool, idx, at) {
+		return false
 	}
 
-	wan := pool.wanAddr(c, j, t)
+	wan := cache.wan[idx]
 	hops := len(p.routers) + 1
 	if target == wan {
-		return Response{From: wan, Hops: hops, Type: icmp6.TypeEchoReply, Echo: true}, true
+		*r = Response{From: wan, Hops: hops, Type: icmp6.TypeEchoReply, Echo: true}
+		return true
 	}
 	if hopLimit == len(p.routers)+1 {
 		// The probe reaches the CPE with hop limit expiring as it would
 		// forward into the LAN: yarrp-style last-hop discovery.
-		return Response{
+		*r = Response{
 			From: wan,
 			Type: icmp6.TypeTimeExceeded,
 			Code: icmp6.CodeHopLimitExceeded,
 			Hops: hops,
-		}, true
+		}
+		return true
 	}
-	return Response{From: wan, Type: c.RespType, Code: c.RespCode, Hops: hops}, true
+	*r = Response{From: wan, Type: c.RespType, Code: c.RespCode, Hops: hops}
+	return true
 }
 
-// allowRate implements the per-CPE hourly token count.
-func (w *World) allowRate(pool *Pool, cpeIdx int32, t time.Time) bool {
-	hour := t.Sub(Epoch) / time.Hour
-	w.rateMu.Lock()
-	defer w.rateMu.Unlock()
-	if int64(hour) != w.rateHour {
-		w.rateHour = int64(hour)
-		w.rateCount = make(map[rateKey]int)
+// allowRate implements the per-CPE hourly token count. The table is
+// striped by (pool, device) so concurrent scan workers rate-limiting
+// different devices take different locks.
+func (w *World) allowRate(pool *Pool, cpeIdx int32, at int64) bool {
+	hour := at / int64(time.Hour)
+	s := &w.rate[(pool.key^splitmix64(uint64(cpeIdx)))&(rateStripes-1)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == nil || hour != s.hour {
+		s.hour = hour
+		s.count = make(map[rateKey]int)
 	}
 	k := rateKey{pool, cpeIdx}
-	if w.rateCount[k] >= pool.rateLimit {
+	if s.count[k] >= pool.rateLimit {
 		return false
 	}
-	w.rateCount[k]++
+	s.count[k]++
 	return true
 }

@@ -29,6 +29,9 @@ type Cycle struct {
 	start uint64 // first element emitted (g^seed)
 	cur   uint64
 	done  bool
+	// pinv = floor(2^64 / p): the Barrett constant that turns the hot
+	// loop's reduction mod p into two multiplies instead of a DIV.
+	pinv uint64
 }
 
 // maxCycleDomain bounds the domain so p fits in 32 bits and products fit
@@ -52,7 +55,9 @@ func NewCycle(n uint64, seed uint64) (*Cycle, error) {
 	// predecessor pattern): g^(seed mod (p-1)) with exponent >= 1.
 	e := seed%(p-1) + 1
 	start := powMod(g, e, p)
-	return &Cycle{n: n, p: p, g: g, start: start, cur: start}, nil
+	c := &Cycle{n: n, p: p, g: g, start: start, cur: start}
+	c.pinv, _ = bits.Div64(1, 0, p) // floor(2^64 / p); p >= 2
+	return c, nil
 }
 
 // Len returns the domain size.
@@ -66,7 +71,15 @@ func (c *Cycle) Next() (uint64, bool) {
 			return 0, false
 		}
 		v := c.cur
-		c.cur = mulMod(c.cur, c.g, c.p)
+		// Barrett reduction of cur*g mod p: q estimates the quotient to
+		// within one, so at most one correcting subtraction is needed.
+		prod := c.cur * c.g
+		q, _ := bits.Mul64(prod, c.pinv)
+		r := prod - q*c.p
+		if r >= c.p {
+			r -= c.p
+		}
+		c.cur = r
 		if c.cur == c.start {
 			c.done = true
 		}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,22 +20,32 @@ type Result struct {
 	Type   uint8
 	Code   uint8
 	Seq    uint16 // attempt number for multi-probe configurations
+	// Worker identifies which scan worker produced the result,
+	// 0 <= Worker < Config.NumWorkers(). Handlers that opt into
+	// Config.ConcurrentHandlers use it to index worker-local
+	// accumulators without locking.
+	Worker int
 }
 
 // IsEcho reports whether the response was an Echo Reply (the target
 // itself exists) rather than an error from an intermediate device.
 func (r Result) IsEcho() bool { return r.Type == icmp6.TypeEchoReply }
 
-// Handler consumes results. It is called from the single receiver
-// goroutine, so calls are serialized.
+// Handler consumes results. By default calls are serialized across all
+// scan workers (a merge stage funnels every worker's results through one
+// mutex), so existing single-threaded handlers stay correct. Setting
+// Config.ConcurrentHandlers waives that: the handler is then invoked
+// concurrently from each worker and must synchronize itself (typically
+// by sharding state on Result.Worker).
 type Handler func(Result)
 
 // Config tunes a scan.
 type Config struct {
 	// Source is the vantage point's address, used as the probe source.
 	Source ip6.Addr
-	// Rate is the probe rate in packets per second; 0 disables pacing
-	// (full speed, the right choice against the in-process simulator).
+	// Rate is the probe rate in packets per second, divided evenly
+	// among the workers; 0 disables pacing (full speed, the right
+	// choice against the in-process simulator).
 	Rate int
 	// HopLimit for probe packets; 0 means 64.
 	HopLimit int
@@ -43,6 +54,23 @@ type Config struct {
 	// Shard/Shards split the scan zmap-style: this instance sends only
 	// the positions congruent to Shard modulo Shards. Defaults to 0/1.
 	Shard, Shards int
+	// Workers is the number of concurrent sender/receiver pairs this
+	// instance runs; 0 means GOMAXPROCS (except in plain Scan, which
+	// keeps its historical single-worker contract for the one transport
+	// it is handed). The instance's shard is partitioned into Workers
+	// sub-shards by position, so the probed target set is identical for
+	// every worker count and each worker sends its subsequence in the
+	// sequential engine's order. Scan results are worker-count-invariant
+	// as long as the simulated world's ICMPv6 rate limits are not
+	// saturated: token consumption is arrival-ordered, so which probes a
+	// saturated device drops depends on worker scheduling (exactly as on
+	// a real network — the paper's randomized scan order exists to stay
+	// below those limits).
+	Workers int
+	// ConcurrentHandlers invokes the Handler concurrently from every
+	// worker instead of serializing calls through the merge mutex. The
+	// handler must then be safe for concurrent use (see Result.Worker).
+	ConcurrentHandlers bool
 	// Seed randomizes the scan order and the per-target validation
 	// field. Scans with equal seeds probe in identical order.
 	Seed uint64
@@ -61,6 +89,17 @@ func (c *Config) fill() {
 	if c.Shards == 0 {
 		c.Shards = 1
 	}
+	c.Workers = c.NumWorkers()
+}
+
+// NumWorkers resolves the effective worker count: Workers when
+// positive, GOMAXPROCS otherwise. fill() delegates here so the engine
+// and callers sizing worker-indexed state always agree.
+func (c Config) NumWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Stats summarizes a completed scan.
@@ -71,10 +110,32 @@ type Stats struct {
 	Invalid  uint64 // packets that failed parsing or validation
 }
 
+// TransportFactory builds the transport a scan worker owns for one scan
+// pass. It is called once per worker, so each worker gets its own
+// sender+receiver pair (its own socket, against a wire transport).
+type TransportFactory func(worker int) (Transport, error)
+
 // Scan probes every target in ts through tr, invoking h for each
 // validated response. It returns when all probes are sent and the
-// cooldown has elapsed, or when ctx is cancelled.
+// cooldown has elapsed, or when ctx is cancelled. With Workers unset it
+// keeps the historical contract — one sender and one receiver on the
+// caller's transport; setting Workers > 1 shares tr across workers,
+// which the transport must then tolerate (Loopback and UDP do).
+// ScanWorkers gives each worker its own transport instead.
 func Scan(ctx context.Context, tr Transport, ts TargetSet, cfg Config, h Handler) (Stats, error) {
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+	shared := &sharedTransport{tr: tr}
+	return ScanWorkers(ctx, func(int) (Transport, error) { return shared.ref(), nil }, ts, cfg, h)
+}
+
+// ScanWorkers runs a multi-worker scan: cfg.Workers workers, each with
+// its own transport from the factory, partition this instance's shard of
+// the cyclic permutation. The union of the workers' probe sets is
+// byte-identical to a sequential scan with the same seed, and each
+// worker's probe order is a subsequence of the sequential order.
+func ScanWorkers(ctx context.Context, factory TransportFactory, ts TargetSet, cfg Config, h Handler) (Stats, error) {
 	cfg.fill()
 	if cfg.Shard < 0 || cfg.Shard >= cfg.Shards {
 		return Stats{}, fmt.Errorf("zmap: shard %d of %d out of range", cfg.Shard, cfg.Shards)
@@ -83,105 +144,281 @@ func Scan(ctx context.Context, tr Transport, ts TargetSet, cfg Config, h Handler
 	if n == 0 {
 		return Stats{}, fmt.Errorf("zmap: empty target set")
 	}
-	cyc, err := NewCycle(n, cfg.Seed)
-	if err != nil {
-		return Stats{}, err
-	}
 
-	var (
-		sent, received, matched, invalid atomic.Uint64
-		wg                               sync.WaitGroup
-	)
+	// A worker hitting a transport error aborts the whole scan promptly
+	// through this derived context, rather than letting the surviving
+	// workers finish their sub-shards before the error surfaces.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
-	// Receiver: parse, validate, hand off.
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		buf := make([]byte, 64<<10)
-		var pkt icmp6.Packet
-		for {
-			m, err := tr.Recv(buf)
-			if err != nil {
-				if err != io.EOF {
-					// Transport failure: surface through stats only; the
-					// sender side will also fail if it matters.
-					invalid.Add(1)
-				}
-				return
-			}
-			received.Add(1)
-			res, ok := validate(&pkt, buf[:m], cfg.Seed)
-			if !ok {
-				invalid.Add(1)
-				continue
-			}
-			matched.Add(1)
-			if h != nil {
-				h(res)
-			}
-		}
-	}()
-
-	// Sender: permuted order, shard filter, pacing.
-	pacer := newPacer(cfg.Rate)
-	sendBuf := make([]byte, 0, 128)
-	pos := 0
-	var sendErr error
-send:
-	for attempt := 0; attempt < cfg.ProbesPerTarget; attempt++ {
-		cyc.Reset()
-		for {
-			select {
-			case <-ctx.Done():
-				sendErr = ctx.Err()
-				break send
-			default:
-			}
-			i, ok := cyc.Next()
-			if !ok {
-				break
-			}
-			if pos%cfg.Shards != cfg.Shard {
-				pos++
-				continue
-			}
-			pos++
-			target := ts.At(i)
-			id := validationID(cfg.Seed, target)
-			sendBuf = icmp6.AppendEchoRequest(sendBuf[:0], cfg.Source, target, id, uint16(attempt), nil)
-			if err := tr.Send(sendBuf); err != nil {
-				sendErr = err
-				break send
-			}
-			sent.Add(1)
-			pacer.wait()
+	e := &engine{cfg: cfg, ts: ts, n: n, handler: h, abort: cancel}
+	if h != nil && cfg.Workers > 1 && !cfg.ConcurrentHandlers {
+		// Merge stage: funnel every worker's results through one lock so
+		// the Handler sees serialized calls, as with a single worker.
+		var mu sync.Mutex
+		e.handler = func(r Result) {
+			mu.Lock()
+			h(r)
+			mu.Unlock()
 		}
 	}
 
-	if cfg.Cooldown > 0 && sendErr == nil {
+	trs := make([]Transport, cfg.Workers)
+	for w := range trs {
+		tr, err := factory(w)
+		if err != nil {
+			for _, open := range trs[:w] {
+				open.Close()
+			}
+			return Stats{}, err
+		}
+		trs[w] = tr
+	}
+
+	var sendWG, recvWG sync.WaitGroup
+	for w, tr := range trs {
+		if ex, ok := tr.(Exchanger); ok {
+			// Synchronous transport: probe and response handled inline in
+			// the sender loop — no receiver goroutine, queue or buffer
+			// recycling on the hot path.
+			sendWG.Add(1)
+			go func(w int, ex Exchanger) {
+				defer sendWG.Done()
+				e.send(ctx, w, nil, ex)
+			}(w, ex)
+			continue
+		}
+		recvWG.Add(1)
+		go func(w int, tr Transport) {
+			defer recvWG.Done()
+			e.receive(w, tr)
+		}(w, tr)
+		sendWG.Add(1)
+		go func(w int, tr Transport) {
+			defer sendWG.Done()
+			e.send(ctx, w, tr, nil)
+		}(w, tr)
+	}
+	sendWG.Wait()
+
+	if cfg.Cooldown > 0 && e.firstErr() == nil {
 		select {
 		case <-time.After(cfg.Cooldown):
 		case <-ctx.Done():
 		}
 	}
-	if err := tr.Close(); err != nil && sendErr == nil {
-		sendErr = err
+	for _, tr := range trs {
+		if err := tr.Close(); err != nil {
+			e.setErr(err)
+		}
 	}
-	wg.Wait()
+	recvWG.Wait()
 
 	return Stats{
-		Sent:     sent.Load(),
-		Received: received.Load(),
-		Matched:  matched.Load(),
-		Invalid:  invalid.Load(),
-	}, sendErr
+		Sent:     e.sent.Load(),
+		Received: e.received.Load(),
+		Matched:  e.matched.Load(),
+		Invalid:  e.invalid.Load(),
+	}, e.firstErr()
+}
+
+// engine is the shared state of one scan's worker pool.
+type engine struct {
+	cfg     Config
+	ts      TargetSet
+	n       uint64
+	handler Handler
+	abort   context.CancelFunc
+
+	sent, received, matched, invalid atomic.Uint64
+
+	errMu sync.Mutex
+	err   error
+}
+
+func (e *engine) setErr(err error) {
+	e.errMu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.errMu.Unlock()
+}
+
+// fail records the first error and cancels the other workers.
+func (e *engine) fail(err error) {
+	e.setErr(err)
+	e.abort()
+}
+
+func (e *engine) firstErr() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.err
+}
+
+// send is worker w's probe loop: permuted order, two-level shard filter
+// (instance shard, then worker sub-shard), pacing. Exactly one of tr
+// (asynchronous transport) and ex (synchronous fast path) is non-nil.
+func (e *engine) send(ctx context.Context, w int, tr Transport, ex Exchanger) {
+	cfg := &e.cfg
+	cyc, err := NewCycle(e.n, cfg.Seed)
+	if err != nil {
+		e.fail(err)
+		return
+	}
+	// Each worker paces at Rate/Workers, expressed as a stretched
+	// interval so the aggregate rate honours the cap exactly even when
+	// Rate does not divide by Workers (or is smaller than Workers).
+	var pacer *pacer
+	if cfg.Rate > 0 {
+		pacer = newPacerInterval(time.Second * time.Duration(cfg.Workers) / time.Duration(cfg.Rate))
+	} else {
+		pacer = newPacer(0)
+	}
+	tmpl := icmp6.NewEchoTemplate(cfg.Source)
+	respBuf := make([]byte, 0, 2048)
+	var pkt icmp6.Packet
+	done := ctx.Done()
+	for attempt := 0; attempt < cfg.ProbesPerTarget; attempt++ {
+		// The position counters reset every attempt so each re-probe pass
+		// covers the same sub-shard of targets as the first. shardCnt and
+		// workerCnt are the wrapped position counters of the two-level
+		// filter (position mod Shards selects the instance's shard;
+		// in-shard position mod Workers selects this worker's sub-shard),
+		// kept as counters so the hot loop divides nothing.
+		cyc.Reset()
+		shardCnt, workerCnt, poll := 0, 0, 0
+		for {
+			i, ok := cyc.Next()
+			if !ok {
+				break
+			}
+			mine := shardCnt == cfg.Shard
+			if shardCnt++; shardCnt == cfg.Shards {
+				shardCnt = 0
+			}
+			if !mine {
+				continue
+			}
+			mine = workerCnt == w
+			if workerCnt++; workerCnt == cfg.Workers {
+				workerCnt = 0
+			}
+			if !mine {
+				continue
+			}
+			if poll--; poll < 0 {
+				// Cancellation is polled every 64 probes: cheap enough to
+				// never matter, frequent enough to stop promptly.
+				poll = 63
+				select {
+				case <-done:
+					e.setErr(ctx.Err())
+					return
+				default:
+				}
+			}
+			target := e.ts.At(i)
+			id := validationID(cfg.Seed, target)
+			sendBuf := tmpl.Packet(target, id, uint16(attempt))
+			if ex != nil {
+				resp, ok := ex.Exchange(sendBuf, respBuf[:0])
+				e.sent.Add(1)
+				if ok {
+					respBuf = resp
+					e.received.Add(1)
+					e.deliver(w, &pkt, resp)
+				}
+			} else {
+				if err := tr.Send(sendBuf); err != nil {
+					e.fail(err)
+					return
+				}
+				e.sent.Add(1)
+			}
+			pacer.wait()
+		}
+	}
+}
+
+// receive drains worker w's transport until it is closed, validating
+// each packet and handing results to the merge stage.
+func (e *engine) receive(w int, tr Transport) {
+	buf := make([]byte, 64<<10)
+	var pkt icmp6.Packet
+	for {
+		m, err := tr.Recv(buf)
+		if err != nil {
+			if err != io.EOF {
+				// Transport failure: surface through stats only; the
+				// sender side will also fail if it matters.
+				e.invalid.Add(1)
+			}
+			return
+		}
+		e.received.Add(1)
+		e.deliver(w, &pkt, buf[:m])
+	}
+}
+
+// deliver validates one inbound packet and invokes the handler.
+func (e *engine) deliver(w int, pkt *icmp6.Packet, b []byte) {
+	res, ok := validate(pkt, b, e.cfg.Seed)
+	if !ok {
+		e.invalid.Add(1)
+		return
+	}
+	e.matched.Add(1)
+	if e.handler != nil {
+		res.Worker = w
+		e.handler(res)
+	}
+}
+
+// sharedTransport adapts one caller-owned transport to the per-worker
+// factory shape: every worker gets a handle on the same transport, and
+// the underlying Close runs once, after the last handle closes.
+type sharedTransport struct {
+	tr   Transport
+	refs atomic.Int32
+}
+
+func (s *sharedTransport) ref() Transport {
+	s.refs.Add(1)
+	// Only advertise the synchronous fast path when the underlying
+	// transport actually has one.
+	if ex, ok := s.tr.(Exchanger); ok {
+		return &sharedExchRef{sharedRef{s}, ex}
+	}
+	return &sharedRef{s}
+}
+
+type sharedRef struct{ s *sharedTransport }
+
+func (r *sharedRef) Send(pkt []byte) error        { return r.s.tr.Send(pkt) }
+func (r *sharedRef) Recv(buf []byte) (int, error) { return r.s.tr.Recv(buf) }
+
+func (r *sharedRef) Close() error {
+	if r.s.refs.Add(-1) == 0 {
+		return r.s.tr.Close()
+	}
+	return nil
+}
+
+type sharedExchRef struct {
+	sharedRef
+	ex Exchanger
+}
+
+func (r *sharedExchRef) Exchange(pkt, buf []byte) ([]byte, bool) {
+	return r.ex.Exchange(pkt, buf)
 }
 
 // validationID derives the 16-bit echo identifier a probe to target must
 // carry — zmap's trick for rejecting spoofed or mismatched responses
 // without keeping per-probe state.
 func validationID(seed uint64, target ip6.Addr) uint16 {
-	return uint16(hash2(seed, target.High64(), target.IID()))
+	return uint16(hashWord(hashWord(seed, target.High64()), target.IID()))
 }
 
 // validate parses an inbound packet and checks it against the validation
@@ -252,7 +489,11 @@ func newPacer(rate int) *pacer {
 	if rate <= 0 {
 		return &pacer{}
 	}
-	return &pacer{interval: time.Second / time.Duration(rate), next: time.Now()}
+	return newPacerInterval(time.Second / time.Duration(rate))
+}
+
+func newPacerInterval(interval time.Duration) *pacer {
+	return &pacer{interval: interval, next: time.Now()}
 }
 
 func (p *pacer) wait() {

@@ -10,7 +10,10 @@ import (
 // internal/core depends only on this type and TargetSet — never on the
 // simulator — so it would drive a raw-socket transport unchanged.
 type Scanner struct {
-	// NewTransport returns a fresh transport for one scan pass.
+	// NewTransport returns a fresh transport. It is invoked once per
+	// worker per scan pass, so with Config.Workers > 1 every worker
+	// owns its own sender+receiver pair (its own socket, on a wire
+	// transport).
 	NewTransport func() (Transport, error)
 	// Config is the base configuration; Seed is re-derived per scan via
 	// the Salt argument so repeated passes can reuse or change probe
@@ -21,11 +24,7 @@ type Scanner struct {
 // Scan runs one pass over ts. salt perturbs the scan-order seed;
 // passing the same salt reproduces the same probe order and target IIDs.
 func (s *Scanner) Scan(ctx context.Context, ts TargetSet, salt uint64, h Handler) (Stats, error) {
-	tr, err := s.NewTransport()
-	if err != nil {
-		return Stats{}, err
-	}
 	cfg := s.Config
 	cfg.Seed = hash2(cfg.Seed, salt)
-	return Scan(ctx, tr, ts, cfg, h)
+	return ScanWorkers(ctx, func(int) (Transport, error) { return s.NewTransport() }, ts, cfg, h)
 }

@@ -85,9 +85,12 @@ func (st *SubnetTargets) At(i uint64) ip6.Addr {
 	}
 	p := st.prefixes[lo]
 	sub := p.Subprefix(i-st.cum[lo], st.subBits)
-	// Random-but-deterministic IID within the sub-prefix.
-	h1 := hash2(st.seed, sub.Addr().High64(), sub.Addr().IID(), rep)
-	h2 := hash2(h1, 0x1d1d, i)
+	// Random-but-deterministic IID within the sub-prefix: a three-round
+	// chain over (seed, repetition, sub-prefix base, index). This runs
+	// once per probe, so the chain is kept as short as mixing quality
+	// allows.
+	h1 := hashWord(hashWord(st.seed^rep*hashSeed, sub.Addr().High64()), sub.Addr().IID())
+	h2 := hashWord(h1, i^0x1d1d)
 	return sub.RandomAddr(h1, h2)
 }
 
@@ -101,16 +104,26 @@ func (a AddrTargets) Len() uint64 { return uint64(len(a)) }
 // At implements TargetSet.
 func (a AddrTargets) At(i uint64) ip6.Addr { return a[i] }
 
-// hash2 mixes words with SplitMix64 (kept local so the package has no
-// dependency on the simulator's RNG).
+// hashSeed is the initial state of the word-chain hash below.
+const hashSeed = uint64(0x9e3779b97f4a7c15)
+
+// hashWord folds one word into the hash state with SplitMix64. The
+// probe hot paths chain it directly with fixed arity; hash2 is the
+// variadic convenience form. (Kept local so the package has no
+// dependency on the simulator's RNG.)
+func hashWord(h, w uint64) uint64 {
+	h ^= w
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ h>>30) * 0xbf58476d1ce4e5b9
+	h = (h ^ h>>27) * 0x94d049bb133111eb
+	return h ^ h>>31
+}
+
+// hash2 mixes words with SplitMix64.
 func hash2(words ...uint64) uint64 {
-	h := uint64(0x9e3779b97f4a7c15)
+	h := hashSeed
 	for _, w := range words {
-		h ^= w
-		h += 0x9e3779b97f4a7c15
-		h = (h ^ h>>30) * 0xbf58476d1ce4e5b9
-		h = (h ^ h>>27) * 0x94d049bb133111eb
-		h ^= h >> 31
+		h = hashWord(h, w)
 	}
 	return h
 }

@@ -28,6 +28,18 @@ type Responder interface {
 	HandlePacket(req []byte, buf []byte) ([]byte, bool)
 }
 
+// Exchanger is an optional Transport extension for in-process
+// transports that produce at most one response synchronously per probe.
+// The scan engine collapses Send+Recv into one Exchange call on such
+// transports: no response queue, no receiver goroutine, no buffer
+// recycling — the contention-free simulator hot path.
+type Exchanger interface {
+	// Exchange answers pkt, appending the response to buf, and reports
+	// whether a response was produced. The returned slice may use buf's
+	// backing array; the caller owns it until the next call.
+	Exchange(pkt, buf []byte) ([]byte, bool)
+}
+
 // Loopback is the in-process transport: Send answers synchronously
 // through a Responder and queues the reply for Recv. It is the
 // laptop-scale path used by tests, examples and the figure harness.
@@ -76,6 +88,13 @@ func (l *Loopback) Send(pkt []byte) error {
 	*bufp = resp
 	l.ch <- resp
 	return nil
+}
+
+// Exchange implements Exchanger: the probe is answered synchronously
+// through the Responder without touching the queue, so concurrent scan
+// workers sharing one loopback never contend.
+func (l *Loopback) Exchange(pkt, buf []byte) ([]byte, bool) {
+	return l.responder.HandlePacket(pkt, buf)
 }
 
 // Recv implements Transport.
