@@ -413,6 +413,18 @@ func BenchmarkAblation_ZmapVsYarrp(b *testing.B) {
 			b.ReportMetric(float64(st.Sent), "probes")
 		}
 	})
+	// The UDP-to-closed-port module: same single-probe cost as the echo
+	// scan, reaching echo-filtering edges.
+	b.Run("zmap-udp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st, err := zmap.Scan(context.Background(), zmap.NewLoopback(w, 0), ts,
+				zmap.Config{Source: src, Seed: uint64(i), Module: zmap.UDPModule{}}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(st.Sent), "probes")
+		}
+	})
 }
 
 // BenchmarkAblation_SearchSpaceKnowledge measures tracking cost with and

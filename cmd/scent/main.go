@@ -18,6 +18,7 @@
 //	grid      scan one /48's allocation grid (Figure 3)
 //	campaign  run the §5 daily campaign and print the headline analyses
 //	track     track one EUI-64 address for a week (§6)
+//	trace     yarrp-style hop-limit sweep of a prefix (§3.1 baseline)
 package main
 
 import (
@@ -30,8 +31,10 @@ import (
 
 	"followscent/internal/core"
 	"followscent/internal/experiments"
+	"followscent/internal/icmp6"
 	"followscent/internal/ip6"
 	"followscent/internal/seed"
+	"followscent/internal/yarrp"
 	"followscent/internal/zmap"
 )
 
@@ -44,6 +47,9 @@ commands:
   grid -prefix P            allocation grid of a /48 (ASCII)
   campaign [-days N]        run the daily campaign, print analyses
   track -addr A [-days N]   track an EUI-64 address across rotations
+  trace -prefix P [-max-ttl N] [-sub B]
+                            hop-limit sweep of one random target per /B
+                            sub-prefix (the paper's §3.1 yarrp baseline)
 `)
 	os.Exit(2)
 }
@@ -81,6 +87,8 @@ func main() {
 		cmdErr = runCampaign(ctx, env, flag.Args()[1:])
 	case "track":
 		cmdErr = runTrack(ctx, env, flag.Args()[1:])
+	case "trace":
+		cmdErr = runTraceSweep(ctx, env, flag.Args()[1:])
 	default:
 		log.Printf("unknown command %q", cmd)
 		usage()
@@ -200,6 +208,59 @@ func runCampaign(ctx context.Context, env *experiments.Env, args []string) error
 		return err
 	}
 	return s.Fig4Render(100, os.Stdout)
+}
+
+// runTraceSweep exposes the hop-limit-sweep probe module from the CLI:
+// the §3.1 yarrp baseline over one prefix, with the same -workers
+// parallelism as every other subcommand. Comparing its probe count
+// against `discover` (one echo per sub-prefix) is the paper's
+// probing-cost ablation, runnable without the benchmark harness.
+func runTraceSweep(ctx context.Context, env *experiments.Env, args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	prefix := fs.String("prefix", "", "prefix to sweep (required)")
+	subBits := fs.Int("sub", 56, "probe one random target per sub-prefix of this length")
+	maxTTL := fs.Int("max-ttl", 16, "hop-limit sweep depth")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *prefix == "" {
+		return fmt.Errorf("trace: -prefix is required")
+	}
+	p, err := ip6.ParsePrefix(*prefix)
+	if err != nil {
+		return err
+	}
+	ts, err := zmap.NewSubnetTargets([]ip6.Prefix{p}, *subBits, env.Scanner.Config.Seed)
+	if err != nil {
+		return err
+	}
+	col := yarrp.NewCollector()
+	cfg := yarrp.Config{
+		Source:   env.Scanner.Config.Source,
+		MaxTTL:   *maxTTL,
+		Seed:     env.Scanner.Config.Seed,
+		Workers:  env.Scanner.Config.Workers,
+		Rate:     env.Scanner.Config.Rate,
+		Cooldown: env.Scanner.Config.Cooldown,
+	}
+	st, err := yarrp.TraceWorkers(ctx, func(int) (zmap.Transport, error) {
+		return env.Scanner.NewTransport()
+	}, ts, cfg, col.Add)
+	if err != nil {
+		return err
+	}
+	paths := col.Paths()
+	for _, path := range paths {
+		last, ok := path.LastHop()
+		if !ok {
+			continue
+		}
+		fmt.Printf("%s  hops=%d  last=%s ttl=%d (%s)\n",
+			path.Target, len(path.Hops), last.From, last.TTL, icmp6.TypeName(last.Type, last.Code))
+	}
+	fmt.Printf("swept %d targets x %d TTLs: sent %d, matched %d, %d paths\n",
+		ts.Len(), *maxTTL, st.Sent, st.Matched, len(paths))
+	return nil
 }
 
 func runTrack(ctx context.Context, env *experiments.Env, args []string) error {

@@ -45,6 +45,23 @@ func TestRunGrid(t *testing.T) {
 	}
 }
 
+func TestRunTraceSweep(t *testing.T) {
+	env, _ := buildEnv(7, "test", "")
+	env.Scanner.Config.Workers = 2
+	if err := runTraceSweep(context.Background(), env, []string{"-prefix", "2001:db8:10::/48", "-max-ttl", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runTraceSweep(context.Background(), env, nil); err == nil {
+		t.Fatal("missing -prefix accepted")
+	}
+	if err := runTraceSweep(context.Background(), env, []string{"-prefix", "bogus"}); err == nil {
+		t.Fatal("bad prefix accepted")
+	}
+	if err := runTraceSweep(context.Background(), env, []string{"-prefix", "2001:db8:10::/48", "-max-ttl", "999"}); err == nil {
+		t.Fatal("bad -max-ttl accepted")
+	}
+}
+
 func TestRunTrack(t *testing.T) {
 	env, _ := buildEnv(7, "test", "")
 	// Ground truth: a live EUI device in the daily /56 pool.

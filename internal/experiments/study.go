@@ -81,6 +81,9 @@ func (s *Study) RunSeed(ctx context.Context) error {
 			MaxTTL:       8,
 			Seed:         s.Cfg.Salt,
 			TargetsPer48: s.Cfg.SeedTargetsPer48,
+			Workers:      s.Env.Scanner.Config.Workers,
+			Rate:         s.Env.Scanner.Config.Rate,
+			Cooldown:     s.Env.Scanner.Config.Cooldown,
 		})
 		s.SeedRecords = records
 		return err

@@ -140,6 +140,12 @@ func (h *Header) Unmarshal(b []byte) error {
 // and next-header 58. The checksum field inside payload must be zeroed by
 // the caller (or the result interpreted as a verification sum).
 func Checksum(src, dst ip6.Addr, payload []byte) uint16 {
+	return checksumProto(src, dst, ProtoICMPv6, payload)
+}
+
+// checksumProto is the upper-layer checksum under the IPv6 pseudo-header
+// for any next-header value (58 for ICMPv6, 17 for UDP probes).
+func checksumProto(src, dst ip6.Addr, proto uint64, payload []byte) uint16 {
 	// Accumulate 64 bits at a time (the ones-complement sum is
 	// fold-invariant), then fold down to 16 bits. The address words come
 	// straight from the Uint128 halves: they already hold the big-endian
@@ -149,7 +155,7 @@ func Checksum(src, dst ip6.Addr, payload []byte) uint16 {
 	sum = add64c(sum, du.Hi)
 	sum = add64c(sum, du.Lo)
 	sum = add64c(sum, uint64(len(payload)))
-	sum = add64c(sum, ProtoICMPv6)
+	sum = add64c(sum, proto)
 	for len(payload) >= 8 {
 		sum = add64c(sum, binary.BigEndian.Uint64(payload))
 		payload = payload[8:]

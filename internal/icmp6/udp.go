@@ -1,0 +1,71 @@
+package icmp6
+
+import (
+	"encoding/binary"
+
+	"followscent/internal/ip6"
+)
+
+// This file carries the minimal UDP-over-IPv6 wire format used by the
+// UDP-to-closed-port probe module: a fixed 8-byte UDP header under the
+// same fixed IPv6 header as the ICMPv6 probes. Responses to UDP probes
+// are ordinary ICMPv6 errors (Destination Unreachable and friends), so
+// everything else in this package applies unchanged.
+
+// ProtoUDP is the IPv6 Next Header value for UDP.
+const ProtoUDP = 17
+
+// UDPHeaderLen is the length of the fixed UDP header.
+const UDPHeaderLen = 8
+
+// UDPChecksum computes the UDP checksum of payload (a UDP header plus
+// data, with the checksum field zeroed) under the IPv6 pseudo-header.
+// RFC 8200 §8.1 makes the checksum mandatory for UDP over IPv6.
+// Verifying over a buffer that includes the transmitted checksum yields
+// 0 exactly when the checksum is valid, as with Checksum.
+func UDPChecksum(src, dst ip6.Addr, payload []byte) uint16 {
+	return checksumProto(src, dst, ProtoUDP, payload)
+}
+
+// AppendUDPProbe appends a full IPv6+UDP datagram to dst and returns
+// the extended slice. With a sufficiently large dst capacity the call
+// does not allocate — this is the UDP probe module's hot path. A
+// computed checksum of zero is transmitted as 0xffff (RFC 768: zero on
+// the wire means "no checksum", which IPv6 forbids); the substitution
+// is still verified by UDPChecksum because 0xffff is the ones-complement
+// identity.
+func AppendUDPProbe(dst []byte, src, target ip6.Addr, sport, dport uint16, payload []byte) []byte {
+	udpLen := UDPHeaderLen + len(payload)
+	h := Header{
+		PayloadLen: uint16(udpLen),
+		NextHeader: ProtoUDP,
+		HopLimit:   DefaultHopLimit,
+		Src:        src,
+		Dst:        target,
+	}
+	off := len(dst)
+	dst = append(dst, make([]byte, HeaderLen+udpLen)...)
+	h.MarshalTo(dst[off:])
+	p := dst[off+HeaderLen:]
+	binary.BigEndian.PutUint16(p[0:2], sport)
+	binary.BigEndian.PutUint16(p[2:4], dport)
+	binary.BigEndian.PutUint16(p[4:6], uint16(udpLen))
+	copy(p[UDPHeaderLen:], payload)
+	cs := UDPChecksum(src, target, p)
+	if cs == 0 {
+		cs = 0xffff
+	}
+	binary.BigEndian.PutUint16(p[6:8], cs)
+	return dst
+}
+
+// ParseUDP extracts the ports and data from a UDP header (no IPv6
+// header). It is deliberately tolerant of short data: the quoted
+// invoking packet inside an ICMPv6 error may truncate the payload, and
+// validation needs only the ports.
+func ParseUDP(b []byte) (sport, dport uint16, data []byte, err error) {
+	if len(b) < UDPHeaderLen {
+		return 0, 0, nil, ErrTruncated
+	}
+	return binary.BigEndian.Uint16(b[0:2]), binary.BigEndian.Uint16(b[2:4]), b[UDPHeaderLen:], nil
+}

@@ -1,0 +1,56 @@
+package icmp6
+
+import (
+	"testing"
+
+	"followscent/internal/ip6"
+)
+
+func TestUDPProbeRoundTrip(t *testing.T) {
+	src := ip6.MustParseAddr("2620:11f:7000::53")
+	dst := ip6.MustParseAddr("2001:db8:1:2::3")
+	pkt := AppendUDPProbe(nil, src, dst, 0xbeef, 33437, []byte{1, 2, 3})
+
+	var h Header
+	if err := h.Unmarshal(pkt); err != nil {
+		t.Fatal(err)
+	}
+	if h.NextHeader != ProtoUDP || h.Src != src || h.Dst != dst {
+		t.Fatalf("header = %+v", h)
+	}
+	if int(h.PayloadLen) != UDPHeaderLen+3 || len(pkt) != HeaderLen+UDPHeaderLen+3 {
+		t.Fatalf("lengths: payload %d, packet %d", h.PayloadLen, len(pkt))
+	}
+	if UDPChecksum(src, dst, pkt[HeaderLen:]) != 0 {
+		t.Fatal("transmitted checksum does not verify")
+	}
+	sport, dport, data, err := ParseUDP(pkt[HeaderLen:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sport != 0xbeef || dport != 33437 || len(data) != 3 || data[0] != 1 {
+		t.Fatalf("ParseUDP = %#x %d %v", sport, dport, data)
+	}
+
+	// Corruption breaks verification.
+	pkt[HeaderLen+UDPHeaderLen] ^= 0x01
+	if UDPChecksum(src, dst, pkt[HeaderLen:]) == 0 {
+		t.Fatal("corrupted datagram still verifies")
+	}
+}
+
+func TestUDPProbeAppendsInPlace(t *testing.T) {
+	src := ip6.MustParseAddr("2620:11f:7000::53")
+	dst := ip6.MustParseAddr("2001:db8::1")
+	buf := make([]byte, 0, 128)
+	out := AppendUDPProbe(buf, src, dst, 1, 2, nil)
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("append with sufficient capacity reallocated")
+	}
+}
+
+func TestParseUDPTruncated(t *testing.T) {
+	if _, _, _, err := ParseUDP(make([]byte, UDPHeaderLen-1)); err != ErrTruncated {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"followscent/internal/bgp"
 	"followscent/internal/ip6"
@@ -51,11 +52,22 @@ type Config struct {
 	// a few more to keep per-/48 hit statistics comparable; see
 	// DESIGN.md's scaling notes.
 	TargetsPer48 int
+	// Workers is the number of concurrent trace workers (zmap engine
+	// semantics: 0 means GOMAXPROCS), each drawing its own transport
+	// from the factory handed to Generate. The traced (target, ttl) set
+	// — and so the seed records — is identical for every worker count.
+	Workers int
+	// Rate and Cooldown pace the sweep and hold the receive window open
+	// after the last probe — needed on wire transports.
+	Rate     int
+	Cooldown time.Duration
 }
 
 // Generate runs the traceroute campaign: one random target per /48 of
 // every routed prefix of length >= MaxPrefixBits (default 32), tracing
-// with yarrp semantics and keeping each /48's last responsive hop.
+// with yarrp's hop-limit module on the shared scan engine and keeping
+// each /48's last responsive hop. newTransport is invoked once per
+// worker, zmap.TransportFactory-style.
 func Generate(ctx context.Context, newTransport func() (zmap.Transport, error), rib *bgp.Table, cfg Config) ([]Record, error) {
 	if cfg.MaxTTL == 0 {
 		cfg.MaxTTL = 12
@@ -80,15 +92,14 @@ func Generate(ctx context.Context, newTransport func() (zmap.Transport, error), 
 	if err != nil {
 		return nil, err
 	}
-	tr, err := newTransport()
-	if err != nil {
-		return nil, err
-	}
 	col := yarrp.NewCollector()
-	if _, err := yarrp.Trace(ctx, tr, ts, yarrp.Config{
-		Source: cfg.Vantage,
-		MaxTTL: cfg.MaxTTL,
-		Seed:   cfg.Seed,
+	if _, err := yarrp.TraceWorkers(ctx, func(int) (zmap.Transport, error) { return newTransport() }, ts, yarrp.Config{
+		Source:   cfg.Vantage,
+		MaxTTL:   cfg.MaxTTL,
+		Seed:     cfg.Seed,
+		Workers:  cfg.Workers,
+		Rate:     cfg.Rate,
+		Cooldown: cfg.Cooldown,
 	}, col.Add); err != nil {
 		return nil, fmt.Errorf("seed: tracing: %w", err)
 	}

@@ -3,6 +3,8 @@ package simnet
 import (
 	"testing"
 	"time"
+
+	"followscent/internal/ip6"
 )
 
 // TestOccupancyCacheFollowsClock proves the per-pool occupancy snapshot
@@ -36,6 +38,64 @@ func TestOccupancyCacheFollowsClock(t *testing.T) {
 		if r, ok := w.Query(wan, 64, uint64(day)<<8); ok && r.Echo && r.From == wan {
 			t.Fatalf("day %d: stale WAN %s still answers echo after rotation", day, wan)
 		}
+	}
+}
+
+// TestOccupancyCacheAmortizesTimescaleTicks is the regression test for
+// the -timescale serving cost: clock ticks that change no occupancy
+// (the overwhelming majority — simnetd advances 100ms per tick against
+// daily rotation intervals) must not rebuild the pool snapshot. The
+// snapshot's validity window ends exactly at the next reassignment or
+// churn day boundary.
+func TestOccupancyCacheAmortizesTimescaleTicks(t *testing.T) {
+	w := TestWorld(12)
+	// Park the clock mid-day, past every pool's reassignment window
+	// (Daily-style policies reassign within the first hours of the day).
+	w.Clock().Set(Epoch.Add(10*24*time.Hour + 12*time.Hour))
+
+	probeOf := func(pool *Pool) ip6.Addr { return pool.Prefix.RandomAddr(5, 6) }
+	tick := func(n int, pool *Pool) {
+		for i := 0; i < n; i++ {
+			w.Clock().Advance(100 * time.Millisecond) // simnetd's -timescale cadence
+			w.Query(probeOf(pool), 64, uint64(i))
+		}
+	}
+
+	rotating := testPool(t, w, 65001, 0) // DailyStride(3)
+	static := testPool(t, w, 65003, 0)   // RotateNone with churn
+	for _, pool := range []*Pool{rotating, static} {
+		w.Query(probeOf(pool), 64, 0) // build the snapshot
+		before := pool.occBuilds.Load()
+		tick(50, pool) // 5 virtual seconds of timescale ticks
+		if got := pool.occBuilds.Load(); got != before {
+			t.Fatalf("pool %s: %d rebuilds across no-change ticks, want 0", pool.Prefix, got-before)
+		}
+	}
+
+	// Crossing a day boundary must invalidate both: the rotating pool
+	// rotates and the churn pool may gain or lose devices.
+	w.Clock().Advance(13 * time.Hour)
+	for _, pool := range []*Pool{rotating, static} {
+		before := pool.occBuilds.Load()
+		w.Query(probeOf(pool), 64, 1)
+		if got := pool.occBuilds.Load(); got != before+1 {
+			t.Fatalf("pool %s: %d rebuilds after day boundary, want 1", pool.Prefix, got-before)
+		}
+	}
+
+	// And the rebuilt snapshot must be correct: the rotating device
+	// answers echo at its new WAN, not the old one (the substance of
+	// TestOccupancyCacheFollowsClock, re-checked under window reuse).
+	var c *CPE
+	for i := range rotating.cpes {
+		if !rotating.cpes[i].Silent {
+			c = &rotating.cpes[i]
+			break
+		}
+	}
+	wan := rotating.WANAddrNow(c)
+	if r, ok := w.Query(wan, 64, 2); !ok || !r.Echo || r.From != wan {
+		t.Fatalf("probe to current WAN %s after window rebuild: ok=%v %+v", wan, ok, r)
 	}
 }
 

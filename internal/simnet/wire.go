@@ -4,34 +4,85 @@ import (
 	"followscent/internal/icmp6"
 )
 
-// HandlePacket answers one raw IPv6+ICMPv6 probe packet with a raw
-// response packet appended to buf, exactly as the simulated Internet
-// would. It returns (nil-extended buf, false) when the probe is dropped
-// or malformed — silence, as on the real network.
+// HandlePacket answers one raw IPv6 probe packet with a raw response
+// packet appended to buf, exactly as the simulated Internet would. It
+// returns (nil-extended buf, false) when the probe is dropped or
+// malformed — silence, as on the real network.
 //
-// Only ICMPv6 Echo Requests are answered (the probing modality used
-// throughout the paper, §3.1/§7). The echo identifier and sequence number
-// salt the loss/response determinism so retransmissions are independent
+// Two probe modalities are answered, matching the prober's probe
+// modules:
+//
+//   - ICMPv6 Echo Requests (§3.1/§7): answered with an Echo Reply from
+//     a live target, or an ICMPv6 error from the periphery.
+//   - UDP datagrams to closed ports: a live target answers Destination
+//     Unreachable / Port Unreachable from its own address (no UDP
+//     service exists anywhere in the simulated edge); vacant delegated
+//     space elicits the same periphery errors as an echo probe.
+//
+// The echo identifier/sequence (or UDP source/destination ports) salt
+// the loss/response determinism so retransmissions are independent
 // trials.
 func (w *World) HandlePacket(req []byte, buf []byte) ([]byte, bool) {
-	var p icmp6.Packet
-	if err := p.Unmarshal(req); err != nil {
+	// Dispatch on the raw next-header byte before any parsing: the
+	// ICMPv6 branch is the simulator hot path, and Packet.Unmarshal
+	// below parses the full header exactly once.
+	if len(req) < icmp6.HeaderLen || req[0]>>4 != 6 {
 		return buf, false
 	}
-	if p.Message.Type != icmp6.TypeEchoRequest {
-		return buf, false
+	switch req[6] {
+	case icmp6.ProtoICMPv6:
+		var p icmp6.Packet
+		if err := p.Unmarshal(req); err != nil {
+			return buf, false
+		}
+		if p.Message.Type != icmp6.TypeEchoRequest {
+			return buf, false
+		}
+		id, seq, ok := p.Message.Echo()
+		if !ok {
+			return buf, false
+		}
+		salt := uint64(id)<<16 | uint64(seq)
+		var resp Response
+		if !w.queryCounted(&resp, p.Header.Dst, int(p.Header.HopLimit), salt) {
+			return buf, false
+		}
+		if resp.Echo {
+			return icmp6.AppendEchoReply(buf, resp.From, p.Header.Src, id, seq, p.Message.EchoPayload()), true
+		}
+		return icmp6.AppendError(buf, resp.Type, resp.Code, resp.From, p.Header.Src, req), true
+
+	case icmp6.ProtoUDP:
+		var h icmp6.Header
+		if err := h.Unmarshal(req); err != nil {
+			return buf, false
+		}
+		payload := req[icmp6.HeaderLen:]
+		if len(payload) < int(h.PayloadLen) || len(payload) < icmp6.UDPHeaderLen {
+			return buf, false
+		}
+		payload = payload[:h.PayloadLen]
+		if icmp6.UDPChecksum(h.Src, h.Dst, payload) != 0 {
+			return buf, false
+		}
+		sport, dport, _, err := icmp6.ParseUDP(payload)
+		if err != nil {
+			return buf, false
+		}
+		salt := uint64(sport)<<16 | uint64(dport)
+		var resp Response
+		if !w.queryCounted(&resp, h.Dst, int(h.HopLimit), salt) {
+			return buf, false
+		}
+		if resp.Echo {
+			// The probed address exists and the datagram reached it: every
+			// port in the probed range is closed, so the target itself
+			// originates Port Unreachable — the second periphery-discovery
+			// observable.
+			return icmp6.AppendError(buf, icmp6.TypeDestinationUnreachable,
+				icmp6.CodePortUnreachable, resp.From, h.Src, req), true
+		}
+		return icmp6.AppendError(buf, resp.Type, resp.Code, resp.From, h.Src, req), true
 	}
-	id, seq, ok := p.Message.Echo()
-	if !ok {
-		return buf, false
-	}
-	salt := uint64(id)<<16 | uint64(seq)
-	var resp Response
-	if !w.queryCounted(&resp, p.Header.Dst, int(p.Header.HopLimit), salt) {
-		return buf, false
-	}
-	if resp.Echo {
-		return icmp6.AppendEchoReply(buf, resp.From, p.Header.Src, id, seq, p.Message.EchoPayload()), true
-	}
-	return icmp6.AppendError(buf, resp.Type, resp.Code, resp.From, p.Header.Src, req), true
+	return buf, false
 }

@@ -99,19 +99,28 @@ type Pool struct {
 	lossProb  float64
 	rateLimit int
 
-	// occ caches the pool's occupancy at one virtual instant (see
+	// occ caches the pool's occupancy over one validity window (see
 	// occCache). Scans freeze the clock, so a whole scan pass hits one
-	// snapshot and per-probe occupant lookup is a single map read.
+	// snapshot and per-probe occupant lookup is a single map read; under
+	// -timescale serving the clock moves every tick, and the window
+	// bound keeps ticks that change nothing from rebuilding anything.
 	occ atomic.Pointer[occCache]
+	// occBuilds counts snapshot rebuilds (amortization regression tests
+	// and capacity planning).
+	occBuilds atomic.Uint64
 }
 
-// occCache is a snapshot of a pool's block occupancy at one virtual
-// instant: which CPE (by index) holds each block, and that occupant's
-// WAN address. It replaces the per-probe inverse-permutation walk of
-// the rotation policy with an O(1) lookup; the snapshot is rebuilt the
-// first time the pool is probed after the virtual clock moves.
+// occCache is a snapshot of a pool's block occupancy over one validity
+// window of virtual time: which CPE (by index) holds each block, and
+// that occupant's WAN address. It replaces the per-probe
+// inverse-permutation walk of the rotation policy with an O(1) lookup;
+// the snapshot is rebuilt the first time the pool is probed at an
+// instant outside [at, until) — the window ends at the earliest
+// reassignment or churn day boundary, so -timescale clock ticks that
+// change nothing cost O(1) per pool instead of an O(devices) rebuild.
 type occCache struct {
-	at int64 // virtual offset from Epoch (ns) this snapshot is valid for
+	at    int64 // virtual offset from Epoch (ns) the snapshot was built at
+	until int64 // exclusive end of the validity window (ns from Epoch)
 	// dense is the block -> occupying CPE index table for pools small
 	// enough to afford one (-1 = empty); occ is the map fallback for
 	// pools with more than denseOccLimit blocks.
@@ -630,14 +639,14 @@ func (p *Pool) occupantAt(j uint64, t time.Time) *CPE {
 	return &p.cpes[idx]
 }
 
-// cacheAt returns the occupancy snapshot for the virtual instant at
-// (an offset from Epoch in nanoseconds), rebuilding it if the clock has
-// moved since the last probe. Concurrent rebuilds are benign: every
-// builder computes the same snapshot for the same instant, and a stale
-// pointer stored by a racing older build fails the `at` check and is
-// rebuilt on the next probe.
+// cacheAt returns the occupancy snapshot covering the virtual instant
+// at (an offset from Epoch in nanoseconds), rebuilding it only when at
+// falls outside the stored snapshot's validity window. Concurrent
+// rebuilds are benign: every builder computes the same snapshot for the
+// same instant, and a stale pointer stored by a racing older build
+// fails the window check and is rebuilt on the next probe.
 func (p *Pool) cacheAt(at int64) *occCache {
-	if c := p.occ.Load(); c != nil && c.at == at {
+	if c := p.occ.Load(); c != nil && at >= c.at && at < c.until {
 		return c
 	}
 	c := p.buildCache(at)
@@ -647,13 +656,15 @@ func (p *Pool) cacheAt(at int64) *occCache {
 
 // buildCache computes the full occupancy of the pool at one instant by
 // walking every CPE forward through its rotation policy — O(devices)
-// once per clock change, instead of O(permutation walk) per probe.
+// once per occupancy change, instead of O(permutation walk) per probe.
 func (p *Pool) buildCache(at int64) *occCache {
+	p.occBuilds.Add(1)
 	t := Epoch.Add(time.Duration(at))
 	day := dayOf(t)
 	c := &occCache{
-		at:  at,
-		wan: make([]ip6.Addr, len(p.cpes)),
+		at:    at,
+		until: p.nextChange(t, at),
+		wan:   make([]ip6.Addr, len(p.cpes)),
 	}
 	if p.blocks <= denseOccLimit {
 		c.dense = make([]int32, p.blocks)
@@ -690,6 +701,49 @@ func (p *Pool) buildCache(at int64) *occCache {
 		c.wan[i] = p.wanAddr(cpe, j, t)
 	}
 	return c
+}
+
+// nextChange returns the earliest virtual instant after at (exclusive
+// bound, ns from Epoch) at which the pool's occupancy or any occupant's
+// WAN address may differ from the snapshot at t: the next rotation
+// reassignment of any device, or — when any device churns — the next
+// day boundary. Non-rotating pools without churn never change, so a
+// -timescale server rebuilds their snapshots exactly once.
+func (p *Pool) nextChange(t time.Time, at int64) int64 {
+	next := int64(math.MaxInt64)
+	churn := false
+	rotates := p.Rotation.Kind != RotateNone
+	for i := range p.cpes {
+		c := &p.cpes[i]
+		if c.activeFrom != math.MinInt32 || c.activeUntil >= 0 {
+			churn = true
+		}
+		if !rotates {
+			if churn {
+				break // nothing else can tighten the bound
+			}
+			continue
+		}
+		// The device's next reassignment instant. epochOf floors, so for
+		// any t' before this boundary the epoch — and with it the block
+		// and a privacy-mode IID — is unchanged.
+		b := int64(p.reassignShift(c)) + (p.epochOf(c, t)+1)*int64(p.Rotation.Interval)
+		if b < next {
+			next = b
+		}
+	}
+	if churn {
+		if d := (int64(dayOf(t)) + 1) * int64(24*time.Hour); d < next {
+			next = d
+		}
+	}
+	if next <= at {
+		// Defensive: a boundary computation landing at or before the
+		// snapshot instant degrades to the old rebuild-per-instant
+		// behaviour rather than serving a stale window.
+		next = at + 1
+	}
+	return next
 }
 
 func dayOf(t time.Time) int32 {

@@ -423,6 +423,82 @@ func TestHandlePacketWire(t *testing.T) {
 	}
 }
 
+// TestHandlePacketUDPWire covers the second probe modality: UDP
+// datagrams to closed ports. A vacant address elicits the CPE's
+// periphery error, a live WAN address answers Port Unreachable itself,
+// and corrupted datagrams are dropped.
+func TestHandlePacketUDPWire(t *testing.T) {
+	w := TestWorld(11)
+	pool := testPool(t, w, 65001, 0)
+	var c *CPE
+	for i := range pool.cpes {
+		if !pool.cpes[i].Silent {
+			c = &pool.cpes[i]
+			break
+		}
+	}
+	now := w.Clock().Now()
+	j := pool.blockAt(c, now)
+	wan := pool.wanAddr(c, j, now)
+	target := pool.Block(j).RandomAddr(3, 4)
+	if target == wan {
+		target = pool.Block(j).RandomAddr(3, 5)
+	}
+	src := ip6.MustParseAddr("2620:11f:7000::53")
+
+	// Vacant address inside the delegation: the CPE answers with its
+	// configured error, quoting the UDP datagram.
+	probe := icmp6.AppendUDPProbe(nil, src, target, 4321, 33434, nil)
+	resp, ok := w.HandlePacket(probe, nil)
+	if !ok {
+		t.Fatal("no response to UDP probe")
+	}
+	var p icmp6.Packet
+	if err := p.Unmarshal(resp); err != nil {
+		t.Fatal(err)
+	}
+	if p.Header.Src != wan || p.Message.Type != c.RespType || p.Message.Code != c.RespCode {
+		t.Fatalf("UDP probe answered %d/%d from %s, want %d/%d from %s",
+			p.Message.Type, p.Message.Code, p.Header.Src, c.RespType, c.RespCode, wan)
+	}
+	quoted, ok := p.Message.InvokingPacket()
+	if !ok {
+		t.Fatal("no invoking packet quoted")
+	}
+	var qh icmp6.Header
+	if err := qh.Unmarshal(quoted); err != nil || qh.NextHeader != icmp6.ProtoUDP || qh.Dst != target {
+		t.Fatalf("quoted packet does not carry the original UDP probe (err=%v)", err)
+	}
+
+	// Live WAN address: the closed port itself answers.
+	probe = icmp6.AppendUDPProbe(nil, src, wan, 4321, 33434, nil)
+	resp, ok = w.HandlePacket(probe, nil)
+	if !ok {
+		t.Fatal("no response to UDP probe at live WAN")
+	}
+	if err := p.Unmarshal(resp); err != nil {
+		t.Fatal(err)
+	}
+	if p.Header.Src != wan || p.Message.Type != icmp6.TypeDestinationUnreachable ||
+		p.Message.Code != icmp6.CodePortUnreachable {
+		t.Fatalf("live WAN answered %d/%d from %s, want port-unreachable from itself",
+			p.Message.Type, p.Message.Code, p.Header.Src)
+	}
+
+	// A corrupted checksum is silence, as on a real network.
+	bad := icmp6.AppendUDPProbe(nil, src, target, 4321, 33434, nil)
+	bad[icmp6.HeaderLen] ^= 0xff
+	if _, ok := w.HandlePacket(bad, nil); ok {
+		t.Fatal("corrupted UDP datagram got a response")
+	}
+	// A truncated UDP header is silence.
+	short := append([]byte(nil), probe[:icmp6.HeaderLen+4]...)
+	short[4], short[5] = 0, 4 // payload length 4 < UDP header
+	if _, ok := w.HandlePacket(short, nil); ok {
+		t.Fatal("truncated UDP datagram got a response")
+	}
+}
+
 func TestDefaultWorldBuilds(t *testing.T) {
 	if testing.Short() {
 		t.Skip("default world build in -short mode")

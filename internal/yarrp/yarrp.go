@@ -8,14 +8,20 @@
 // from every intermediate router, where the paper's method needs exactly
 // one full-hop-limit probe per customer prefix and hears only from the
 // CPE. The benchmark harness quantifies that gap (Figure 2's ablation).
+//
+// The prober itself is a thin zmap.ProbeModule: HopLimitModule plugs the
+// (target × TTL) sweep into the shared scan engine, inheriting its
+// multi-worker parallelism, sharding, pacing and the loopback Exchanger
+// fast path. This package adds only the TTL encoding and the path
+// reconstruction helpers.
 package yarrp
 
 import (
 	"context"
 	"fmt"
-	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"followscent/internal/icmp6"
 	"followscent/internal/ip6"
@@ -39,6 +45,16 @@ type Config struct {
 	MaxTTL int
 	// Seed randomizes probe order and validation.
 	Seed uint64
+	// Workers is the number of concurrent sender/receiver pairs, with
+	// zmap engine semantics: Trace keeps its historical single-worker
+	// contract at 0, TraceWorkers resolves 0 to GOMAXPROCS. The swept
+	// (target, ttl) set is identical for every worker count.
+	Workers int
+	// Rate and Cooldown carry the zmap engine's pacing and post-send
+	// receive window — needed on asynchronous wire transports; the
+	// loopback needs neither.
+	Rate     int
+	Cooldown time.Duration
 }
 
 // Stats summarizes a sweep.
@@ -49,158 +65,151 @@ type Stats struct {
 	Invalid  uint64
 }
 
-// Handler consumes hops from the single receiver goroutine.
+// Handler consumes hops. Calls are serialized by the engine's merge
+// stage, as with zmap.Handler.
 type Handler func(Hop)
 
-// Trace probes every (target, ttl) pair in pseudorandom order.
-func Trace(ctx context.Context, tr zmap.Transport, ts zmap.TargetSet, cfg Config, h Handler) (Stats, error) {
-	if cfg.MaxTTL == 0 {
-		cfg.MaxTTL = 16
-	}
-	if cfg.MaxTTL < 1 || cfg.MaxTTL > 255 {
-		return Stats{}, fmt.Errorf("yarrp: MaxTTL %d out of range", cfg.MaxTTL)
-	}
-	n := ts.Len()
-	if n == 0 {
-		return Stats{}, fmt.Errorf("yarrp: empty target set")
-	}
-	domain := n * uint64(cfg.MaxTTL)
-	cyc, err := zmap.NewCycle(domain, cfg.Seed)
-	if err != nil {
-		return Stats{}, err
-	}
-
-	var (
-		stats   Stats
-		statsMu sync.Mutex
-		wg      sync.WaitGroup
-	)
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		buf := make([]byte, 64<<10)
-		var pkt icmp6.Packet
-		for {
-			m, err := tr.Recv(buf)
-			if err != nil {
-				if err != io.EOF {
-					statsMu.Lock()
-					stats.Invalid++
-					statsMu.Unlock()
-				}
-				return
-			}
-			statsMu.Lock()
-			stats.Received++
-			statsMu.Unlock()
-			hop, ok := validate(&pkt, buf[:m], cfg.Seed)
-			statsMu.Lock()
-			if ok {
-				stats.Matched++
-			} else {
-				stats.Invalid++
-			}
-			statsMu.Unlock()
-			if ok && h != nil {
-				h(hop)
-			}
-		}
-	}()
-
-	sendBuf := make([]byte, 0, 128)
-	var sendErr error
-	for {
-		select {
-		case <-ctx.Done():
-			sendErr = ctx.Err()
-		default:
-		}
-		if sendErr != nil {
-			break
-		}
-		i, ok := cyc.Next()
-		if !ok {
-			break
-		}
-		target := ts.At(i / uint64(cfg.MaxTTL))
-		ttl := int(i%uint64(cfg.MaxTTL)) + 1
-		id := validationID(cfg.Seed, target)
-		// The TTL rides in the sequence field, yarrp's trick for
-		// recovering the probed hop from the quoted packet without
-		// per-probe state.
-		sendBuf = appendProbe(sendBuf[:0], cfg.Source, target, id, uint16(ttl), uint8(ttl))
-		if err := tr.Send(sendBuf); err != nil {
-			sendErr = err
-			break
-		}
-		statsMu.Lock()
-		stats.Sent++
-		statsMu.Unlock()
-	}
-	if err := tr.Close(); err != nil && sendErr == nil {
-		sendErr = err
-	}
-	wg.Wait()
-	statsMu.Lock()
-	out := stats
-	statsMu.Unlock()
-	return out, sendErr
+// HopLimitModule implements zmap.ProbeModule: echo requests swept over
+// hop limits 1..MaxTTL, the TTL riding in the echo sequence field —
+// yarrp's trick for recovering the probed hop from the quoted packet
+// without per-probe state. Multiplier exposes the sweep to the engine as
+// targets × MaxTTL positions of one cyclic permutation.
+type HopLimitModule struct {
+	// MaxTTL bounds the sweep; each target is probed at every hop limit
+	// in [1, MaxTTL].
+	MaxTTL int
 }
 
-// appendProbe crafts an echo request with an explicit hop limit.
-func appendProbe(dst []byte, src, target ip6.Addr, id, seq uint16, hopLimit uint8) []byte {
-	pkt := icmp6.AppendEchoRequest(dst, src, target, id, seq, nil)
-	pkt[7] = hopLimit // IPv6 header hop-limit byte
-	return pkt
+// Multiplier implements zmap.ProbeModule.
+func (m HopLimitModule) Multiplier() int { return m.MaxTTL }
+
+// NewProber implements zmap.ProbeModule.
+func (m HopLimitModule) NewProber(cfg *zmap.Config, worker int) zmap.Prober {
+	return &hopProber{tmpl: icmp6.NewEchoTemplate(cfg.Source), seed: cfg.Seed}
 }
 
-func validationID(seed uint64, target ip6.Addr) uint16 {
-	return uint16(seed>>32) ^ uint16(seed) ^ uint16(target.High64()>>48) ^
-		uint16(target.High64()) ^ uint16(target.IID()>>32) ^ uint16(target.IID())
+type hopProber struct {
+	tmpl *icmp6.EchoTemplate
+	seed uint64
 }
 
-func validate(pkt *icmp6.Packet, b []byte, seed uint64) (Hop, bool) {
-	if err := pkt.Unmarshal(b); err != nil {
-		return Hop{}, false
-	}
+// MakeProbe implements zmap.Prober: position pos probes at hop limit
+// pos+1, carried both in the IPv6 header and the low byte of the echo
+// sequence field (a TTL always fits one byte). The re-probe attempt
+// rides in the sequence high byte so retransmissions are independent
+// loss trials — and so attempt 0 probes stay byte-identical to the
+// original single-pass yarrp loop.
+func (p *hopProber) MakeProbe(target ip6.Addr, pos, attempt int) []byte {
+	ttl := pos + 1
+	seq := uint16(ttl) | uint16(attempt)<<8
+	b := p.tmpl.Packet(target, validationID(p.seed, target), seq)
+	b[7] = uint8(ttl) // IPv6 header hop-limit byte; checksum-neutral
+	return b
+}
+
+// Validate implements zmap.ProbeModule. Result.Seq carries the TTL
+// (the sequence low byte; the high byte is the re-probe attempt).
+func (m HopLimitModule) Validate(cfg *zmap.Config, pkt *icmp6.Packet) (zmap.Result, bool) {
 	switch pkt.Message.Type {
 	case icmp6.TypeEchoReply:
 		id, seq, ok := pkt.Message.Echo()
-		if !ok || id != validationID(seed, pkt.Header.Src) {
-			return Hop{}, false
+		if !ok || id != validationID(cfg.Seed, pkt.Header.Src) {
+			return zmap.Result{}, false
 		}
-		return Hop{
+		return zmap.Result{
 			Target: pkt.Header.Src,
-			TTL:    int(seq),
 			From:   pkt.Header.Src,
 			Type:   pkt.Message.Type,
 			Code:   pkt.Message.Code,
+			Seq:    seq & 0xff,
 		}, true
 	case icmp6.TypeDestinationUnreachable, icmp6.TypeTimeExceeded:
 		quoted, ok := pkt.Message.InvokingPacket()
 		if !ok {
-			return Hop{}, false
+			return zmap.Result{}, false
 		}
 		var orig icmp6.Packet
 		if err := orig.UnmarshalNoVerify(quoted); err != nil {
-			return Hop{}, false
+			return zmap.Result{}, false
 		}
 		id, seq, ok := orig.Message.Echo()
 		if !ok || orig.Message.Type != icmp6.TypeEchoRequest {
-			return Hop{}, false
+			return zmap.Result{}, false
 		}
-		if id != validationID(seed, orig.Header.Dst) {
-			return Hop{}, false
+		if id != validationID(cfg.Seed, orig.Header.Dst) {
+			return zmap.Result{}, false
 		}
-		return Hop{
+		return zmap.Result{
 			Target: orig.Header.Dst,
-			TTL:    int(seq),
 			From:   pkt.Header.Src,
 			Type:   pkt.Message.Type,
 			Code:   pkt.Message.Code,
+			Seq:    seq & 0xff,
 		}, true
 	}
-	return Hop{}, false
+	return zmap.Result{}, false
+}
+
+// engineConfig maps a sweep Config onto the shared engine.
+func engineConfig(cfg Config) (zmap.Config, error) {
+	if cfg.MaxTTL == 0 {
+		cfg.MaxTTL = 16
+	}
+	if cfg.MaxTTL < 1 || cfg.MaxTTL > 255 {
+		return zmap.Config{}, fmt.Errorf("yarrp: MaxTTL %d out of range", cfg.MaxTTL)
+	}
+	return zmap.Config{
+		Source:   cfg.Source,
+		Seed:     cfg.Seed,
+		Workers:  cfg.Workers,
+		Rate:     cfg.Rate,
+		Cooldown: cfg.Cooldown,
+		Module:   HopLimitModule{MaxTTL: cfg.MaxTTL},
+	}, nil
+}
+
+// hopHandler adapts a Hop handler to the engine's Result stream.
+func hopHandler(h Handler) zmap.Handler {
+	if h == nil {
+		return nil
+	}
+	return func(r zmap.Result) {
+		h(Hop{Target: r.Target, TTL: int(r.Seq), From: r.From, Type: r.Type, Code: r.Code})
+	}
+}
+
+// Trace probes every (target, ttl) pair in pseudorandom order through
+// tr. With cfg.Workers unset it keeps the historical single-worker
+// contract; setting Workers > 1 shares tr across workers (Loopback and
+// UDP tolerate that). TraceWorkers gives each worker its own transport.
+func Trace(ctx context.Context, tr zmap.Transport, ts zmap.TargetSet, cfg Config, h Handler) (Stats, error) {
+	zcfg, err := engineConfig(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	st, err := zmap.Scan(ctx, tr, ts, zcfg, hopHandler(h))
+	return Stats(st), err
+}
+
+// TraceWorkers runs a multi-worker sweep: cfg.Workers workers (0 means
+// GOMAXPROCS), each with its own transport from the factory, partition
+// the (target × TTL) permutation exactly as zmap.ScanWorkers partitions
+// a scan — the swept set is byte-identical for every worker count.
+func TraceWorkers(ctx context.Context, factory zmap.TransportFactory, ts zmap.TargetSet, cfg Config, h Handler) (Stats, error) {
+	zcfg, err := engineConfig(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	st, err := zmap.ScanWorkers(ctx, factory, ts, zcfg, hopHandler(h))
+	return Stats(st), err
+}
+
+// validationID is the sweep's per-target validation field. (Kept as the
+// historical yarrp hash — distinct from zmap's — so seed datasets remain
+// byte-stable across the engine unification.)
+func validationID(seed uint64, target ip6.Addr) uint16 {
+	return uint16(seed>>32) ^ uint16(seed) ^ uint16(target.High64()>>48) ^
+		uint16(target.High64()) ^ uint16(target.IID()>>32) ^ uint16(target.IID())
 }
 
 // Path is a reconstructed forwarding path toward one target.

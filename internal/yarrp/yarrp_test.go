@@ -2,6 +2,9 @@ package yarrp
 
 import (
 	"context"
+	"io"
+	"sort"
+	"sync"
 	"testing"
 
 	"followscent/internal/icmp6"
@@ -138,6 +141,276 @@ func TestProbeCostVsZmap(t *testing.T) {
 	// response volume ratio must exceed the CPE-only baseline.
 	if yStats.Matched <= zStats.Matched {
 		t.Fatalf("yarrp matched %d <= zmap %d", yStats.Matched, zStats.Matched)
+	}
+}
+
+// referenceSweep replicates the pre-engine yarrp semantics from first
+// principles: walk the (target × TTL) cyclic permutation sequentially,
+// craft each probe byte-for-byte as the original single-threaded loop
+// did (echo request, TTL in the sequence field and the IPv6 hop-limit
+// byte), and answer it straight through the world. The hop set it
+// returns is the seed-tree ground truth the engine-backed Trace must
+// reproduce exactly.
+func referenceSweep(t *testing.T, w *simnet.World, ts zmap.TargetSet, cfg Config) []Hop {
+	t.Helper()
+	domain := ts.Len() * uint64(cfg.MaxTTL)
+	cyc, err := zmap.NewCycle(domain, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := HopLimitModule{MaxTTL: cfg.MaxTTL}
+	zcfg := &zmap.Config{Source: cfg.Source, Seed: cfg.Seed}
+	var out []Hop
+	var buf []byte
+	for {
+		i, ok := cyc.Next()
+		if !ok {
+			break
+		}
+		target := ts.At(i / uint64(cfg.MaxTTL))
+		ttl := int(i%uint64(cfg.MaxTTL)) + 1
+		pkt := icmp6.AppendEchoRequest(nil, cfg.Source, target, validationID(cfg.Seed, target), uint16(ttl), nil)
+		pkt[7] = uint8(ttl)
+		resp, ok := w.HandlePacket(pkt, buf[:0])
+		if !ok {
+			continue
+		}
+		var parsed icmp6.Packet
+		if err := parsed.Unmarshal(resp); err != nil {
+			t.Fatalf("world response does not parse: %v", err)
+		}
+		r, ok := mod.Validate(zcfg, &parsed)
+		if !ok {
+			t.Fatal("world response does not validate")
+		}
+		out = append(out, Hop{Target: r.Target, TTL: int(r.Seq), From: r.From, Type: r.Type, Code: r.Code})
+	}
+	return out
+}
+
+func sortHops(hops []Hop) []Hop {
+	out := append([]Hop(nil), hops...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if c := a.Target.Cmp(b.Target); c != 0 {
+			return c < 0
+		}
+		if a.TTL != b.TTL {
+			return a.TTL < b.TTL
+		}
+		return a.From.Less(b.From)
+	})
+	return out
+}
+
+// TestTraceMatchesReferenceSweep proves the engine-backed Trace keeps
+// the seed-tree semantics: for every worker count the discovered hop
+// set is identical to the sequential first-principles sweep (same
+// permutation, same TTL mapping, same validation ids, and so the same
+// per-probe loss/response draws in the simulator).
+func TestTraceMatchesReferenceSweep(t *testing.T) {
+	cfg := Config{Source: vantage, MaxTTL: 5, Seed: 91}
+	mkTargets := func(w *simnet.World) zmap.TargetSet {
+		p, _ := w.ProviderByASN(65001)
+		ts, err := zmap.NewSubnetTargets([]ip6.Prefix{p.Pools[0].Prefix}, 56, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ts
+	}
+	refWorld := simnet.TestWorld(36)
+	want := sortHops(referenceSweep(t, refWorld, mkTargets(refWorld), cfg))
+	if len(want) == 0 {
+		t.Fatal("reference sweep heard nothing")
+	}
+
+	for _, workers := range []int{1, 3} {
+		w := simnet.TestWorld(36) // fresh world: same seed, fresh rate-limit state
+		c := cfg
+		c.Workers = workers
+		var got []Hop
+		_, err := Trace(context.Background(), zmap.NewLoopback(w, 0), mkTargets(w), c,
+			func(h Hop) { got = append(got, h) }) // handler serialized by the merge stage
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSorted := sortHops(got)
+		if len(gotSorted) != len(want) {
+			t.Fatalf("workers=%d: %d hops, want %d", workers, len(gotSorted), len(want))
+		}
+		for i := range gotSorted {
+			if gotSorted[i] != want[i] {
+				t.Fatalf("workers=%d: hop set differs from reference at %d: %+v vs %+v",
+					workers, i, gotSorted[i], want[i])
+			}
+		}
+	}
+}
+
+// recTransport records every sent probe and never responds, for the
+// worker-determinism test below (the yarrp analogue of the zmap
+// package's recorder).
+type recTransport struct {
+	mu     sync.Mutex
+	pkts   [][]byte
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newRecTransport() *recTransport {
+	return &recTransport{closed: make(chan struct{})}
+}
+
+func (r *recTransport) Send(pkt []byte) error {
+	r.mu.Lock()
+	r.pkts = append(r.pkts, append([]byte(nil), pkt...))
+	r.mu.Unlock()
+	return nil
+}
+
+func (r *recTransport) Recv(buf []byte) (int, error) {
+	<-r.closed
+	return 0, io.EOF
+}
+
+func (r *recTransport) Close() error {
+	r.once.Do(func() { close(r.closed) })
+	return nil
+}
+
+type ttlProbe struct {
+	target ip6.Addr
+	ttl    int
+}
+
+// probes decodes the recorded sweep probes into (target, ttl) pairs,
+// checking the TTL is encoded consistently in the hop-limit byte and
+// the echo sequence field.
+func (r *recTransport) probes(t *testing.T) []ttlProbe {
+	t.Helper()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ttlProbe, 0, len(r.pkts))
+	var pkt icmp6.Packet
+	for _, b := range r.pkts {
+		if err := pkt.Unmarshal(b); err != nil {
+			t.Fatalf("recorded probe does not parse: %v", err)
+		}
+		_, seq, ok := pkt.Message.Echo()
+		if !ok {
+			t.Fatal("recorded probe is not an echo request")
+		}
+		if int(pkt.Header.HopLimit) != int(seq&0xff) {
+			t.Fatalf("hop-limit byte %d disagrees with sequence %d", pkt.Header.HopLimit, seq)
+		}
+		out = append(out, ttlProbe{pkt.Header.Dst, int(seq & 0xff)})
+	}
+	return out
+}
+
+func sortTTLProbes(ps []ttlProbe) []ttlProbe {
+	out := append([]ttlProbe(nil), ps...)
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].target.Cmp(out[j].target); c != 0 {
+			return c < 0
+		}
+		return out[i].ttl < out[j].ttl
+	})
+	return out
+}
+
+// TestTraceWorkerDeterminism mirrors the zmap engine's determinism
+// contract for the hop-limit module: every worker count sweeps the
+// byte-identical (target, ttl) set, each worker's order a subsequence
+// of the sequential order.
+func TestTraceWorkerDeterminism(t *testing.T) {
+	ts := zmap.AddrTargets{
+		ip6.MustParseAddr("2001:db8:1::1"),
+		ip6.MustParseAddr("2001:db8:2::2"),
+		ip6.MustParseAddr("2001:db8:3::3"),
+		ip6.MustParseAddr("2001:db8:4::4"),
+	}
+	cfg := Config{Source: vantage, MaxTTL: 7, Seed: 23}
+
+	record := func(workers int) [][]ttlProbe {
+		c := cfg
+		c.Workers = workers
+		recs := make([]*recTransport, workers)
+		_, err := TraceWorkers(context.Background(), func(w int) (zmap.Transport, error) {
+			recs[w] = newRecTransport()
+			return recs[w], nil
+		}, ts, c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]ttlProbe, workers)
+		for w, r := range recs {
+			out[w] = r.probes(t)
+		}
+		return out
+	}
+
+	seq := record(1)[0]
+	if len(seq) != len(ts)*cfg.MaxTTL {
+		t.Fatalf("sequential sweep sent %d probes, want %d", len(seq), len(ts)*cfg.MaxTTL)
+	}
+	want := sortTTLProbes(seq)
+
+	for _, workers := range []int{2, 5} {
+		var all []ttlProbe
+		for w, ps := range record(workers) {
+			j := 0
+			for _, p := range seq {
+				if j < len(ps) && p == ps[j] {
+					j++
+				}
+			}
+			if j != len(ps) {
+				t.Errorf("workers=%d: worker %d order is not a subsequence of the sequential order", workers, w)
+			}
+			all = append(all, ps...)
+		}
+		got := sortTTLProbes(all)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: swept %d probes, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: swept set differs at %d", workers, i)
+			}
+		}
+	}
+}
+
+// TestHopProbeAttemptsIndependent is the regression test for re-probe
+// correlation: attempts must produce distinct wire bytes (so the
+// simulator's per-probe loss draws are independent trials) while every
+// attempt still validates back to the same TTL.
+func TestHopProbeAttemptsIndependent(t *testing.T) {
+	target := ip6.MustParseAddr("2001:db8:77::9")
+	router := ip6.MustParseAddr("2001:db8:fe::1")
+	mod := HopLimitModule{MaxTTL: 9}
+	zcfg := &zmap.Config{Source: vantage, Seed: 5}
+	pr := mod.NewProber(zcfg, 0)
+
+	b0 := append([]byte(nil), pr.MakeProbe(target, 3, 0)...)
+	b1 := append([]byte(nil), pr.MakeProbe(target, 3, 1)...)
+	if string(b0) == string(b1) {
+		t.Fatal("attempt 0 and attempt 1 probes are byte-identical (correlated loss trials)")
+	}
+	for attempt, probe := range [][]byte{b0, b1} {
+		if probe[7] != 4 {
+			t.Fatalf("attempt %d: hop-limit byte %d, want 4", attempt, probe[7])
+		}
+		errPkt := icmp6.AppendError(nil, icmp6.TypeTimeExceeded, 0, router, vantage, probe)
+		var pkt icmp6.Packet
+		if err := pkt.Unmarshal(errPkt); err != nil {
+			t.Fatal(err)
+		}
+		r, ok := mod.Validate(zcfg, &pkt)
+		if !ok || r.Target != target || r.Seq != 4 {
+			t.Fatalf("attempt %d: Validate = %+v, %v (want ttl 4)", attempt, r, ok)
+		}
 	}
 }
 

@@ -1,0 +1,100 @@
+package zmap
+
+import (
+	"followscent/internal/icmp6"
+	"followscent/internal/ip6"
+)
+
+// EchoModule is the paper's probe type (§3.1): one minimal ICMPv6 Echo
+// Request per target, eliciting either an Echo Reply (the address
+// exists) or an ICMPv6 error whose source reveals the CPE WAN address.
+// It is the default module of a zero-valued Config.
+type EchoModule struct{}
+
+// Multiplier implements ProbeModule: one probe position per target.
+func (EchoModule) Multiplier() int { return 1 }
+
+// NewProber implements ProbeModule. Each worker gets its own
+// icmp6.EchoTemplate (prebuilt packet, incremental checksum), the
+// engine's per-probe fast path.
+func (EchoModule) NewProber(cfg *Config, worker int) Prober {
+	return &echoProber{
+		tmpl:     icmp6.NewEchoTemplate(cfg.Source),
+		seed:     cfg.Seed,
+		hopLimit: uint8(cfg.HopLimit),
+	}
+}
+
+type echoProber struct {
+	tmpl     *icmp6.EchoTemplate
+	seed     uint64
+	hopLimit uint8
+}
+
+// MakeProbe implements Prober: the echo identifier carries the
+// validation id, the sequence number the re-probe attempt.
+func (p *echoProber) MakeProbe(target ip6.Addr, pos, attempt int) []byte {
+	b := p.tmpl.Packet(target, validationID(p.seed, target), uint16(attempt))
+	b[7] = p.hopLimit // IPv6 header hop-limit byte; checksum-neutral
+	return b
+}
+
+// Validate implements ProbeModule.
+func (EchoModule) Validate(cfg *Config, pkt *icmp6.Packet) (Result, bool) {
+	return echoValidate(pkt, cfg.Seed)
+}
+
+// echoValidate checks a parsed packet against the echo validation
+// scheme, recovering the original probed target.
+func echoValidate(pkt *icmp6.Packet, seed uint64) (Result, bool) {
+	switch pkt.Message.Type {
+	case icmp6.TypeEchoReply:
+		id, seq, ok := pkt.Message.Echo()
+		if !ok {
+			return Result{}, false
+		}
+		target := pkt.Header.Src // a reply comes from the probed address
+		if id != validationID(seed, target) {
+			return Result{}, false
+		}
+		return Result{
+			Target: target,
+			From:   pkt.Header.Src,
+			Type:   pkt.Message.Type,
+			Code:   pkt.Message.Code,
+			Seq:    seq,
+		}, true
+
+	case icmp6.TypeDestinationUnreachable, icmp6.TypeTimeExceeded,
+		icmp6.TypePacketTooBig, icmp6.TypeParameterProblem:
+		quoted, ok := pkt.Message.InvokingPacket()
+		if !ok {
+			return Result{}, false
+		}
+		var orig icmp6.Packet
+		// The quote is authenticated by the validation id below, not by
+		// its (our own) checksum.
+		if err := orig.UnmarshalNoVerify(quoted); err != nil {
+			return Result{}, false
+		}
+		if orig.Message.Type != icmp6.TypeEchoRequest {
+			return Result{}, false
+		}
+		id, seq, ok := orig.Message.Echo()
+		if !ok {
+			return Result{}, false
+		}
+		target := orig.Header.Dst
+		if id != validationID(seed, target) {
+			return Result{}, false
+		}
+		return Result{
+			Target: target,
+			From:   pkt.Header.Src,
+			Type:   pkt.Message.Type,
+			Code:   pkt.Message.Code,
+			Seq:    seq,
+		}, true
+	}
+	return Result{}, false
+}

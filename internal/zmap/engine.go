@@ -13,32 +13,6 @@ import (
 	"followscent/internal/ip6"
 )
 
-// Result is one validated probe response.
-type Result struct {
-	Target ip6.Addr // the address we probed
-	From   ip6.Addr // the source of the ICMPv6 response (e.g. the CPE WAN)
-	Type   uint8
-	Code   uint8
-	Seq    uint16 // attempt number for multi-probe configurations
-	// Worker identifies which scan worker produced the result,
-	// 0 <= Worker < Config.NumWorkers(). Handlers that opt into
-	// Config.ConcurrentHandlers use it to index worker-local
-	// accumulators without locking.
-	Worker int
-}
-
-// IsEcho reports whether the response was an Echo Reply (the target
-// itself exists) rather than an error from an intermediate device.
-func (r Result) IsEcho() bool { return r.Type == icmp6.TypeEchoReply }
-
-// Handler consumes results. By default calls are serialized across all
-// scan workers (a merge stage funnels every worker's results through one
-// mutex), so existing single-threaded handlers stay correct. Setting
-// Config.ConcurrentHandlers waives that: the handler is then invoked
-// concurrently from each worker and must synchronize itself (typically
-// by sharding state on Result.Worker).
-type Handler func(Result)
-
 // Config tunes a scan.
 type Config struct {
 	// Source is the vantage point's address, used as the probe source.
@@ -47,7 +21,8 @@ type Config struct {
 	// among the workers; 0 disables pacing (full speed, the right
 	// choice against the in-process simulator).
 	Rate int
-	// HopLimit for probe packets; 0 means 64.
+	// HopLimit for probe packets; 0 means 64. Sweep modules that own
+	// the hop limit (e.g. yarrp's hop-limit module) ignore it.
 	HopLimit int
 	// ProbesPerTarget re-probes each target this many times (default 1).
 	ProbesPerTarget int
@@ -77,6 +52,10 @@ type Config struct {
 	// Cooldown is how long to keep receiving after the last probe
 	// (needed on asynchronous transports; the loopback needs none).
 	Cooldown time.Duration
+	// Module selects the probe type: construction, validation and the
+	// per-target position multiplier. Nil means EchoModule — the
+	// paper's single full-hop-limit ICMPv6 echo per target.
+	Module ProbeModule
 }
 
 func (c *Config) fill() {
@@ -89,6 +68,9 @@ func (c *Config) fill() {
 	if c.Shards == 0 {
 		c.Shards = 1
 	}
+	if c.Module == nil {
+		c.Module = EchoModule{}
+	}
 	c.Workers = c.NumWorkers()
 }
 
@@ -100,6 +82,17 @@ func (c Config) NumWorkers() int {
 		return c.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// multiplier resolves the module's per-target position count (>= 1).
+func (c Config) multiplier() uint64 {
+	if c.Module == nil {
+		return 1
+	}
+	if m := c.Module.Multiplier(); m > 1 {
+		return uint64(m)
+	}
+	return 1
 }
 
 // Stats summarizes a completed scan.
@@ -132,9 +125,10 @@ func Scan(ctx context.Context, tr Transport, ts TargetSet, cfg Config, h Handler
 
 // ScanWorkers runs a multi-worker scan: cfg.Workers workers, each with
 // its own transport from the factory, partition this instance's shard of
-// the cyclic permutation. The union of the workers' probe sets is
-// byte-identical to a sequential scan with the same seed, and each
-// worker's probe order is a subsequence of the sequential order.
+// the probe-position permutation (targets × the module's multiplier).
+// The union of the workers' probe sets is byte-identical to a sequential
+// scan with the same seed, and each worker's probe order is a
+// subsequence of the sequential order.
 func ScanWorkers(ctx context.Context, factory TransportFactory, ts TargetSet, cfg Config, h Handler) (Stats, error) {
 	cfg.fill()
 	if cfg.Shard < 0 || cfg.Shard >= cfg.Shards {
@@ -151,7 +145,8 @@ func ScanWorkers(ctx context.Context, factory TransportFactory, ts TargetSet, cf
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	e := &engine{cfg: cfg, ts: ts, n: n, handler: h, abort: cancel}
+	e := &engine{cfg: cfg, ts: ts, mult: cfg.multiplier(), handler: h, abort: cancel}
+	e.domain = n * e.mult
 	if h != nil && cfg.Workers > 1 && !cfg.ConcurrentHandlers {
 		// Merge stage: funnel every worker's results through one lock so
 		// the Handler sees serialized calls, as with a single worker.
@@ -226,7 +221,8 @@ func ScanWorkers(ctx context.Context, factory TransportFactory, ts TargetSet, cf
 type engine struct {
 	cfg     Config
 	ts      TargetSet
-	n       uint64
+	mult    uint64 // probe positions per target (module multiplier)
+	domain  uint64 // targets × mult: the permuted position space
 	handler Handler
 	abort   context.CancelFunc
 
@@ -259,9 +255,11 @@ func (e *engine) firstErr() error {
 // send is worker w's probe loop: permuted order, two-level shard filter
 // (instance shard, then worker sub-shard), pacing. Exactly one of tr
 // (asynchronous transport) and ex (synchronous fast path) is non-nil.
+// All probe knowledge lives in the module's Prober: the engine only
+// walks positions and moves bytes.
 func (e *engine) send(ctx context.Context, w int, tr Transport, ex Exchanger) {
 	cfg := &e.cfg
-	cyc, err := NewCycle(e.n, cfg.Seed)
+	cyc, err := NewCycle(e.domain, cfg.Seed)
 	if err != nil {
 		e.fail(err)
 		return
@@ -275,7 +273,7 @@ func (e *engine) send(ctx context.Context, w int, tr Transport, ex Exchanger) {
 	} else {
 		pacer = newPacer(0)
 	}
-	tmpl := icmp6.NewEchoTemplate(cfg.Source)
+	prober := cfg.Module.NewProber(cfg, w)
 	respBuf := make([]byte, 0, 2048)
 	var pkt icmp6.Packet
 	done := ctx.Done()
@@ -318,9 +316,12 @@ func (e *engine) send(ctx context.Context, w int, tr Transport, ex Exchanger) {
 				default:
 				}
 			}
+			pos := 0
+			if e.mult > 1 {
+				i, pos = i/e.mult, int(i%e.mult)
+			}
 			target := e.ts.At(i)
-			id := validationID(cfg.Seed, target)
-			sendBuf := tmpl.Packet(target, id, uint16(attempt))
+			sendBuf := prober.MakeProbe(target, pos, attempt)
 			if ex != nil {
 				resp, ok := ex.Exchange(sendBuf, respBuf[:0])
 				e.sent.Add(1)
@@ -361,9 +362,15 @@ func (e *engine) receive(w int, tr Transport) {
 	}
 }
 
-// deliver validates one inbound packet and invokes the handler.
+// deliver parses one inbound packet (generic IPv6+ICMPv6 with checksum
+// verification — every probe type's responses arrive as ICMPv6) and
+// hands it to the module for validation before invoking the handler.
 func (e *engine) deliver(w int, pkt *icmp6.Packet, b []byte) {
-	res, ok := validate(pkt, b, e.cfg.Seed)
+	if err := pkt.Unmarshal(b); err != nil {
+		e.invalid.Add(1)
+		return
+	}
+	res, ok := e.cfg.Module.Validate(&e.cfg, pkt)
 	if !ok {
 		e.invalid.Add(1)
 		return
@@ -412,71 +419,6 @@ type sharedExchRef struct {
 
 func (r *sharedExchRef) Exchange(pkt, buf []byte) ([]byte, bool) {
 	return r.ex.Exchange(pkt, buf)
-}
-
-// validationID derives the 16-bit echo identifier a probe to target must
-// carry — zmap's trick for rejecting spoofed or mismatched responses
-// without keeping per-probe state.
-func validationID(seed uint64, target ip6.Addr) uint16 {
-	return uint16(hashWord(hashWord(seed, target.High64()), target.IID()))
-}
-
-// validate parses an inbound packet and checks it against the validation
-// scheme, recovering the original probed target.
-func validate(pkt *icmp6.Packet, b []byte, seed uint64) (Result, bool) {
-	if err := pkt.Unmarshal(b); err != nil {
-		return Result{}, false
-	}
-	switch pkt.Message.Type {
-	case icmp6.TypeEchoReply:
-		id, seq, ok := pkt.Message.Echo()
-		if !ok {
-			return Result{}, false
-		}
-		target := pkt.Header.Src // a reply comes from the probed address
-		if id != validationID(seed, target) {
-			return Result{}, false
-		}
-		return Result{
-			Target: target,
-			From:   pkt.Header.Src,
-			Type:   pkt.Message.Type,
-			Code:   pkt.Message.Code,
-			Seq:    seq,
-		}, true
-
-	case icmp6.TypeDestinationUnreachable, icmp6.TypeTimeExceeded,
-		icmp6.TypePacketTooBig, icmp6.TypeParameterProblem:
-		quoted, ok := pkt.Message.InvokingPacket()
-		if !ok {
-			return Result{}, false
-		}
-		var orig icmp6.Packet
-		// The quote is authenticated by the validation id below, not by
-		// its (our own) checksum.
-		if err := orig.UnmarshalNoVerify(quoted); err != nil {
-			return Result{}, false
-		}
-		if orig.Message.Type != icmp6.TypeEchoRequest {
-			return Result{}, false
-		}
-		id, seq, ok := orig.Message.Echo()
-		if !ok {
-			return Result{}, false
-		}
-		target := orig.Header.Dst
-		if id != validationID(seed, target) {
-			return Result{}, false
-		}
-		return Result{
-			Target: target,
-			From:   pkt.Header.Src,
-			Type:   pkt.Message.Type,
-			Code:   pkt.Message.Code,
-			Seq:    seq,
-		}, true
-	}
-	return Result{}, false
 }
 
 // pacer is a simple token-bucket rate limiter over real time.

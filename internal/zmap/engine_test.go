@@ -240,19 +240,29 @@ func TestScanProbesPerTarget(t *testing.T) {
 	}
 }
 
+// echoValidateRaw parses then validates, the path the engine's deliver
+// stage takes for each inbound packet.
+func echoValidateRaw(t *testing.T, b []byte, seed uint64) (Result, bool) {
+	t.Helper()
+	var pkt icmp6.Packet
+	if err := pkt.Unmarshal(b); err != nil {
+		return Result{}, false
+	}
+	return EchoModule{}.Validate(&Config{Seed: seed}, &pkt)
+}
+
 func TestValidateRejectsForged(t *testing.T) {
 	target := ip6.MustParseAddr("2001:db8:1:2::3")
 	attacker := ip6.MustParseAddr("2001:db8:bad::1")
-	var pkt icmp6.Packet
 
 	// Echo reply with wrong validation id.
 	forged := icmp6.AppendEchoReply(nil, target, vantage, 0xffff, 0, nil)
-	if _, ok := validate(&pkt, forged, 1); ok {
+	if _, ok := echoValidateRaw(t, forged, 1); ok {
 		t.Error("forged echo reply validated")
 	}
 	// Correct id validates.
 	good := icmp6.AppendEchoReply(nil, target, vantage, validationID(1, target), 0, nil)
-	if _, ok := validate(&pkt, good, 1); !ok {
+	if _, ok := echoValidateRaw(t, good, 1); !ok {
 		t.Error("genuine echo reply rejected")
 	}
 	// Error quoting a non-echo packet.
@@ -260,21 +270,43 @@ func TestValidateRejectsForged(t *testing.T) {
 	raw := make([]byte, icmp6.HeaderLen)
 	h.MarshalTo(raw)
 	errPkt := icmp6.AppendError(nil, icmp6.TypeDestinationUnreachable, 0, attacker, vantage, raw)
-	if _, ok := validate(&pkt, errPkt, 1); ok {
+	if _, ok := echoValidateRaw(t, errPkt, 1); ok {
 		t.Error("error quoting non-ICMPv6 packet validated")
 	}
 	// Error quoting a probe with a mismatched id.
 	probe := icmp6.AppendEchoRequest(nil, vantage, target, 0x1234, 0, nil)
 	errPkt2 := icmp6.AppendError(nil, icmp6.TypeDestinationUnreachable, 0, attacker, vantage, probe)
-	if _, ok := validate(&pkt, errPkt2, 1); ok {
+	if _, ok := echoValidateRaw(t, errPkt2, 1); ok {
 		t.Error("error with wrong probe id validated")
 	}
 	// Error quoting a genuine probe validates and recovers the target.
 	probe = icmp6.AppendEchoRequest(nil, vantage, target, validationID(1, target), 2, nil)
 	errPkt3 := icmp6.AppendError(nil, icmp6.TypeTimeExceeded, 0, attacker, vantage, probe)
-	res, ok := validate(&pkt, errPkt3, 1)
+	res, ok := echoValidateRaw(t, errPkt3, 1)
 	if !ok || res.Target != target || res.From != attacker || res.Seq != 2 {
 		t.Errorf("validate = %+v, %v", res, ok)
+	}
+}
+
+// TestEchoModuleHonorsHopLimit pins the (previously silently ignored)
+// Config.HopLimit to the probe's IPv6 hop-limit byte.
+func TestEchoModuleHonorsHopLimit(t *testing.T) {
+	ts := AddrTargets{ip6.MustParseAddr("2001:db8::7")}
+	for _, hl := range []int{0, 5, 200} {
+		tr := newRecTransport()
+		if _, err := Scan(context.Background(), tr, ts, Config{Source: vantage, HopLimit: hl, Seed: 4}, nil); err != nil {
+			t.Fatal(err)
+		}
+		want := byte(hl)
+		if hl == 0 {
+			want = 64
+		}
+		tr.mu.Lock()
+		got := tr.pkts[0][7]
+		tr.mu.Unlock()
+		if got != want {
+			t.Fatalf("HopLimit=%d: probe hop-limit byte %d, want %d", hl, got, want)
+		}
 	}
 }
 

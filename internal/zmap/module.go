@@ -1,0 +1,85 @@
+package zmap
+
+import (
+	"followscent/internal/icmp6"
+	"followscent/internal/ip6"
+)
+
+// ProbeModule is the probe-type plugin the scan engine is parameterized
+// by, following real zmap's probe-module architecture (Durumeric et al.):
+// the engine owns the cyclic permutation, sharding, worker pool, pacing,
+// transports and stats, while the module owns every byte of probe
+// construction and every rule of response validation. One engine, many
+// probe types — an ICMPv6 echo scan, a yarrp-style hop-limit sweep and a
+// UDP-to-closed-port scan differ only in the module plugged into Config.
+//
+// Modules must be stateless values: all per-scan state lives in the
+// Prober instances they hand out, one per worker, so a module value can
+// be shared across concurrent scans.
+type ProbeModule interface {
+	// Multiplier returns the number of probe positions per target.
+	// Values below 1 are treated as 1. A hop-limit sweep returns MaxTTL:
+	// the engine then walks targets × MaxTTL positions in one cyclic
+	// permutation, so the sweep inherits the engine's byte-identical
+	// worker-count determinism (position i probes target i/Multiplier at
+	// position i%Multiplier).
+	Multiplier() int
+	// NewProber returns worker-local probe-construction state for one
+	// scan pass. It is called once per worker, so Probers may keep
+	// non-thread-safe fast-path state (packet templates, scratch
+	// buffers). cfg is the filled scan configuration (Source, Seed,
+	// HopLimit, ...).
+	NewProber(cfg *Config, worker int) Prober
+	// Validate checks one parsed inbound packet against the scan's
+	// validation scheme and recovers the original probe's target and
+	// sequence. It must be stateless (zmap's design: no per-probe state,
+	// authenticity from validation fields derived from cfg.Seed) and
+	// safe for concurrent use from every worker.
+	Validate(cfg *Config, pkt *icmp6.Packet) (Result, bool)
+}
+
+// Prober builds the wire bytes of one worker's probes.
+type Prober interface {
+	// MakeProbe returns the full probe packet for target at sweep
+	// position pos (0 <= pos < Multiplier()) and re-probe attempt. The
+	// returned slice may alias internal state: it is valid until the
+	// next MakeProbe call, and the caller must not retain it.
+	MakeProbe(target ip6.Addr, pos, attempt int) []byte
+}
+
+// Result is one validated probe response.
+type Result struct {
+	Target ip6.Addr // the address we probed
+	From   ip6.Addr // the source of the ICMPv6 response (e.g. the CPE WAN)
+	Type   uint8
+	Code   uint8
+	// Seq is the module-defined sequence recovered from the response:
+	// the re-probe attempt for single-position modules, the hop limit
+	// for hop-limit sweeps.
+	Seq uint16
+	// Worker identifies which scan worker produced the result,
+	// 0 <= Worker < Config.NumWorkers(). Handlers that opt into
+	// Config.ConcurrentHandlers use it to index worker-local
+	// accumulators without locking.
+	Worker int
+}
+
+// IsEcho reports whether the response was an Echo Reply (the target
+// itself exists) rather than an error from an intermediate device.
+func (r Result) IsEcho() bool { return r.Type == icmp6.TypeEchoReply }
+
+// Handler consumes results. By default calls are serialized across all
+// scan workers (a merge stage funnels every worker's results through one
+// mutex), so existing single-threaded handlers stay correct. Setting
+// Config.ConcurrentHandlers waives that: the handler is then invoked
+// concurrently from each worker and must synchronize itself (typically
+// by sharding state on Result.Worker).
+type Handler func(Result)
+
+// validationID derives the 16-bit validation field a probe to target
+// must carry — zmap's trick for rejecting spoofed or mismatched
+// responses without keeping per-probe state. The echo module puts it in
+// the echo identifier; the UDP module in the source port.
+func validationID(seed uint64, target ip6.Addr) uint16 {
+	return uint16(hashWord(hashWord(seed, target.High64()), target.IID()))
+}

@@ -1,0 +1,112 @@
+package zmap
+
+import (
+	"followscent/internal/icmp6"
+	"followscent/internal/ip6"
+)
+
+// DefaultUDPBasePort is the destination port of a UDP probe's first
+// attempt: the base of the traceroute convention's unassigned range,
+// closed on any real host.
+const DefaultUDPBasePort = 33434
+
+// UDPModule probes with UDP datagrams to closed high ports. A live
+// target answers with ICMPv6 Destination Unreachable / Port Unreachable
+// from its own address; a probe into vacant delegated space elicits the
+// same periphery errors as an echo probe (admin-prohibited, no-route,
+// address-unreachable, hop-limit-exceeded) from the CPE. This is a
+// second periphery-discovery scenario: networks that filter ICMPv6 Echo
+// Request at the CPE often still emit port unreachables, so the module
+// reaches customer edges the echo scan cannot.
+//
+// Validation is stateless, mirroring real zmap's UDP module: the source
+// port carries the per-target validation id and the destination port
+// encodes the re-probe attempt, both recovered from the quoted invoking
+// packet inside the ICMPv6 error.
+type UDPModule struct {
+	// BasePort is the destination port of attempt 0; attempt k probes
+	// BasePort+k, so retransmissions are independent loss trials.
+	// 0 means DefaultUDPBasePort.
+	BasePort uint16
+}
+
+func (m UDPModule) basePort() uint16 {
+	if m.BasePort == 0 {
+		return DefaultUDPBasePort
+	}
+	return m.BasePort
+}
+
+// Multiplier implements ProbeModule: one probe position per target.
+func (UDPModule) Multiplier() int { return 1 }
+
+// NewProber implements ProbeModule.
+func (m UDPModule) NewProber(cfg *Config, worker int) Prober {
+	return &udpProber{
+		src:      cfg.Source,
+		seed:     cfg.Seed,
+		base:     m.basePort(),
+		hopLimit: uint8(cfg.HopLimit),
+		buf:      make([]byte, 0, icmp6.HeaderLen+icmp6.UDPHeaderLen),
+	}
+}
+
+type udpProber struct {
+	src      ip6.Addr
+	seed     uint64
+	base     uint16
+	hopLimit uint8
+	buf      []byte
+}
+
+// MakeProbe implements Prober. The destination port stays within
+// [base, 65535]: attempts beyond the remaining port space wrap back
+// onto it rather than past port 65535 (where Validate's range check
+// would reject the genuine responses).
+func (p *udpProber) MakeProbe(target ip6.Addr, pos, attempt int) []byte {
+	span := 0x10000 - uint32(p.base)
+	dport := p.base + uint16(uint32(attempt)%span)
+	p.buf = icmp6.AppendUDPProbe(p.buf[:0], p.src, target,
+		validationID(p.seed, target), dport, nil)
+	p.buf[7] = p.hopLimit // IPv6 header hop-limit byte; checksum-neutral
+	return p.buf
+}
+
+// Validate implements ProbeModule. UDP probes are only ever answered
+// with ICMPv6 errors; the probed target and attempt are recovered from
+// the quoted IPv6+UDP invoking packet.
+func (m UDPModule) Validate(cfg *Config, pkt *icmp6.Packet) (Result, bool) {
+	switch pkt.Message.Type {
+	case icmp6.TypeDestinationUnreachable, icmp6.TypeTimeExceeded,
+		icmp6.TypePacketTooBig, icmp6.TypeParameterProblem:
+	default:
+		return Result{}, false
+	}
+	quoted, ok := pkt.Message.InvokingPacket()
+	if !ok {
+		return Result{}, false
+	}
+	var orig icmp6.Header
+	if err := orig.Unmarshal(quoted); err != nil || orig.NextHeader != icmp6.ProtoUDP {
+		return Result{}, false
+	}
+	sport, dport, _, err := icmp6.ParseUDP(quoted[icmp6.HeaderLen:])
+	if err != nil {
+		return Result{}, false
+	}
+	target := orig.Dst
+	if sport != validationID(cfg.Seed, target) {
+		return Result{}, false
+	}
+	base := m.basePort()
+	if dport < base {
+		return Result{}, false
+	}
+	return Result{
+		Target: target,
+		From:   pkt.Header.Src,
+		Type:   pkt.Message.Type,
+		Code:   pkt.Message.Code,
+		Seq:    dport - base,
+	}, true
+}
