@@ -425,6 +425,74 @@ func BenchmarkAblation_ZmapVsYarrp(b *testing.B) {
 			b.ReportMetric(float64(st.Sent), "probes")
 		}
 	})
+	// The TCP-SYN module: still one probe per target, and its RST
+	// observable survives edges that filter ICMPv6 wholesale.
+	b.Run("zmap-tcp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st, err := zmap.Scan(context.Background(), zmap.NewLoopback(w, 0), ts,
+				zmap.Config{Source: src, Seed: uint64(i), Module: zmap.TCPSynModule{}}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(st.Sent), "probes")
+		}
+	})
+}
+
+// BenchmarkAblation_ProbeModalities quantifies discovery completeness
+// per probe modality against a deliberately silent-heavy edge
+// (TestModalityCompleteness in internal/experiments proves the
+// orderings; this reports the live counts). The off-link modalities
+// (echo, UDP, TCP) hear the same responsive periphery; the on-link NDP
+// sweep over the same ground-truth candidates also hears the
+// ICMP-silent devices no off-link probe can reach.
+func BenchmarkAblation_ProbeModalities(b *testing.B) {
+	w := simnet.MustBuild(simnet.WorldSpec{
+		Seed: 104,
+		Providers: []simnet.ProviderSpec{{
+			ASN: 65021, Name: "FilterNet", Country: "DE",
+			Allocations:    []string{"2001:db8::/32"},
+			BorderRespProb: 0.3,
+			Pools: []simnet.PoolSpec{{
+				Prefix: "2001:db8:10::/48", AllocBits: 56,
+				Rotation:  simnet.RotationPolicy{Kind: simnet.RotateNone},
+				Occupancy: 0.5, EUIFrac: 1, SilentFrac: 0.3,
+			}},
+		}},
+	})
+	pool := w.Providers()[0].Pools[0]
+	ts, _ := zmap.NewSubnetTargets([]ip6.Prefix{pool.Prefix}, 56, 1)
+	var candidates zmap.AddrTargets
+	for i := range pool.CPEs() {
+		candidates = append(candidates, pool.WANAddrNow(&pool.CPEs()[i]))
+	}
+	src := ip6.MustParseAddr("2620:11f:7000::53")
+
+	run := func(module zmap.ProbeModule, targets zmap.TargetSet) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				found := map[ip6.Addr]bool{}
+				var mu sync.Mutex
+				_, err := zmap.Scan(context.Background(), zmap.NewLoopback(w, 0), targets,
+					zmap.Config{Source: src, Seed: 9, Module: module},
+					func(r zmap.Result) {
+						if pool.Prefix.Contains(r.From) {
+							mu.Lock()
+							found[r.From] = true
+							mu.Unlock()
+						}
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(len(found)), "found")
+			}
+		}
+	}
+	b.Run("echo", run(zmap.EchoModule{}, ts))
+	b.Run("udp", run(zmap.UDPModule{}, ts))
+	b.Run("tcp", run(zmap.TCPSynModule{}, ts))
+	b.Run("ndp-onlink", run(zmap.NDPModule{}, candidates))
 }
 
 // BenchmarkAblation_SearchSpaceKnowledge measures tracking cost with and

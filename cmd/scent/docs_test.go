@@ -1,0 +1,111 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Docs-drift guard: the CLI's usage string and README.md's command
+// reference must describe exactly the flags the binary parses.
+// cliFlagSets is the single source of truth (the runX functions build
+// their FlagSets through the same constructors), so a flag added,
+// renamed or removed without a matching docs edit fails here.
+
+// mentionsFlag reports whether text names -name as a flag token (not as
+// a prefix of a longer flag: "-seed" must not be satisfied by
+// "-seeds").
+func mentionsFlag(text, name string) bool {
+	re := regexp.MustCompile(`-` + regexp.QuoteMeta(name) + `([^a-z0-9-]|$)`)
+	return re.MatchString(text)
+}
+
+// scentFlagNames returns every registered flag name: the globals plus
+// each subcommand's.
+func scentFlagNames() map[string]bool {
+	names := map[string]bool{}
+	g := flag.NewFlagSet("scent", flag.ContinueOnError)
+	globalFlags(g)
+	g.VisitAll(func(f *flag.Flag) { names[f.Name] = true })
+	for _, fs := range cliFlagSets() {
+		fs.VisitAll(func(f *flag.Flag) { names[f.Name] = true })
+	}
+	return names
+}
+
+func TestUsageDocumentsEveryCommandAndFlag(t *testing.T) {
+	g := flag.NewFlagSet("scent", flag.ContinueOnError)
+	globalFlags(g)
+	g.VisitAll(func(f *flag.Flag) {
+		if !mentionsFlag(usageText, f.Name) {
+			t.Errorf("usage does not mention global flag -%s", f.Name)
+		}
+	})
+	for cmd, fs := range cliFlagSets() {
+		if !strings.Contains(usageText, "\n  "+cmd+" ") {
+			t.Errorf("usage does not list command %q", cmd)
+		}
+		fs.VisitAll(func(f *flag.Flag) {
+			if !mentionsFlag(usageText, f.Name) {
+				t.Errorf("usage does not mention -%s of %q", f.Name, cmd)
+			}
+		})
+	}
+}
+
+// readmeScentSection extracts README.md's scent command reference: the
+// region between the "### scent" heading and the next heading.
+func readmeScentSection(t *testing.T) string {
+	t.Helper()
+	b, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	start := strings.Index(s, "### scent")
+	if start < 0 {
+		t.Fatal("README.md has no `### scent` command reference section")
+	}
+	rest := s[start+len("### scent"):]
+	if end := strings.Index(rest, "\n### "); end >= 0 {
+		rest = rest[:end]
+	}
+	return rest
+}
+
+func TestREADMEDocumentsEveryCommandAndFlag(t *testing.T) {
+	section := readmeScentSection(t)
+	g := flag.NewFlagSet("scent", flag.ContinueOnError)
+	globalFlags(g)
+	g.VisitAll(func(f *flag.Flag) {
+		if !mentionsFlag(section, f.Name) {
+			t.Errorf("README command reference does not mention global flag -%s", f.Name)
+		}
+	})
+	for cmd, fs := range cliFlagSets() {
+		if !strings.Contains(section, "`"+cmd+"`") {
+			t.Errorf("README command reference does not list command %q", cmd)
+		}
+		fs.VisitAll(func(f *flag.Flag) {
+			if !mentionsFlag(section, f.Name) {
+				t.Errorf("README command reference does not mention -%s of %q", f.Name, cmd)
+			}
+		})
+	}
+}
+
+// TestREADMEHasNoPhantomFlags is the reverse direction: every flag
+// token the README's scent reference shows must actually be parsed by
+// the binary.
+func TestREADMEHasNoPhantomFlags(t *testing.T) {
+	section := readmeScentSection(t)
+	known := scentFlagNames()
+	re := regexp.MustCompile("`-([a-z][a-z0-9-]*)")
+	for _, m := range re.FindAllStringSubmatch(section, -1) {
+		if !known[m[1]] {
+			t.Errorf("README documents flag -%s, which scent does not parse", m[1])
+		}
+	}
+}

@@ -19,6 +19,8 @@
 //	campaign  run the §5 daily campaign and print the headline analyses
 //	track     track one EUI-64 address for a week (§6)
 //	trace     yarrp-style hop-limit sweep of a prefix (§3.1 baseline)
+//	tcp       TCP-SYN-to-closed-port sweep of a prefix (RST-bearing edges)
+//	ndp       solicit explicit addresses on-link (NDP ground truth)
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"followscent/internal/core"
@@ -38,41 +41,180 @@ import (
 	"followscent/internal/zmap"
 )
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `usage: scent [-seed N] [-world default|test] [-server host:port] [-workers N] <command> [args]
+// usageText is the complete CLI synopsis. The docs-drift test asserts
+// it (and README.md's command reference) names every command and flag
+// cliFlagSets registers — edit them together.
+const usageText = `usage: scent [-seed N] [-world default|test] [-server host:port] [-workers N] <command> [args]
 
 commands:
   seed                      run the stale traceroute seed campaign
-  discover                  run the discovery pipeline, print Table 1
+  discover [-seeds FILE]    run the discovery pipeline, print Table 1
   grid -prefix P            allocation grid of a /48 (ASCII)
   campaign [-days N]        run the daily campaign, print analyses
-  track -addr A [-days N]   track an EUI-64 address across rotations
+  track -addr A [-days N] [-alloc B] [-pool B]
+                            track an EUI-64 address across rotations
   trace -prefix P [-max-ttl N] [-sub B]
                             hop-limit sweep of one random target per /B
                             sub-prefix (the paper's §3.1 yarrp baseline)
-`)
+  tcp -prefix P [-sub B] [-ports N] [-base-port B]
+                            TCP-SYN-to-closed-port sweep: RSTs from live
+                            hosts, periphery errors from vacant space
+  ndp -addr A[,B,...]       solicit explicit addresses as an on-link
+                            vantage: occupied addresses advertise
+                            themselves, even when they filter ICMP
+`
+
+func usage() {
+	fmt.Fprint(os.Stderr, usageText)
 	os.Exit(2)
+}
+
+// Flag construction ---------------------------------------------------------
+//
+// Every subcommand builds its FlagSet through a named constructor, and
+// cliFlagSets indexes them all: one source of truth shared by the runX
+// functions, usageText above, and the docs-drift test that keeps
+// README.md's command reference honest.
+
+type globalOpts struct {
+	seed    uint64
+	world   string
+	server  string
+	workers int
+}
+
+func globalFlags(fs *flag.FlagSet) *globalOpts {
+	o := &globalOpts{}
+	fs.Uint64Var(&o.seed, "seed", 42, "simulated world seed")
+	fs.StringVar(&o.world, "world", "default", "in-process world: default or test")
+	fs.StringVar(&o.server, "server", "", "probe a simnetd at host:port instead of in-process")
+	fs.IntVar(&o.workers, "workers", 0, "scan workers per pass (0 = GOMAXPROCS); each owns its own transport")
+	return o
+}
+
+type discoverOpts struct{ seeds string }
+
+func discoverFlags() (*flag.FlagSet, *discoverOpts) {
+	o := &discoverOpts{}
+	fs := flag.NewFlagSet("discover", flag.ExitOnError)
+	fs.StringVar(&o.seeds, "seeds", "", "seed records file (default: generate)")
+	return fs, o
+}
+
+type gridOpts struct{ prefix string }
+
+func gridFlags() (*flag.FlagSet, *gridOpts) {
+	o := &gridOpts{}
+	fs := flag.NewFlagSet("grid", flag.ExitOnError)
+	fs.StringVar(&o.prefix, "prefix", "", "the /48 to scan (required)")
+	return fs, o
+}
+
+type campaignOpts struct{ days int }
+
+func campaignFlags() (*flag.FlagSet, *campaignOpts) {
+	o := &campaignOpts{}
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	fs.IntVar(&o.days, "days", 7, "campaign length in days")
+	return fs, o
+}
+
+type trackOpts struct {
+	addr      string
+	days      int
+	allocBits int
+	poolBits  int
+}
+
+func trackFlags() (*flag.FlagSet, *trackOpts) {
+	o := &trackOpts{}
+	fs := flag.NewFlagSet("track", flag.ExitOnError)
+	fs.StringVar(&o.addr, "addr", "", "current EUI-64 address of the device (required)")
+	fs.IntVar(&o.days, "days", 7, "tracking days")
+	fs.IntVar(&o.allocBits, "alloc", 0, "known allocation size (0 = assume /64)")
+	fs.IntVar(&o.poolBits, "pool", 0, "known rotation pool size (0 = whole advertisement)")
+	return fs, o
+}
+
+type traceOpts struct {
+	prefix  string
+	subBits int
+	maxTTL  int
+}
+
+func traceFlags() (*flag.FlagSet, *traceOpts) {
+	o := &traceOpts{}
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	fs.StringVar(&o.prefix, "prefix", "", "prefix to sweep (required)")
+	fs.IntVar(&o.subBits, "sub", 56, "probe one random target per sub-prefix of this length")
+	fs.IntVar(&o.maxTTL, "max-ttl", 16, "hop-limit sweep depth")
+	return fs, o
+}
+
+type tcpOpts struct {
+	prefix   string
+	subBits  int
+	ports    int
+	basePort int
+}
+
+func tcpFlags() (*flag.FlagSet, *tcpOpts) {
+	o := &tcpOpts{}
+	fs := flag.NewFlagSet("tcp", flag.ExitOnError)
+	fs.StringVar(&o.prefix, "prefix", "", "prefix to sweep (required)")
+	fs.IntVar(&o.subBits, "sub", 56, "probe one random target per sub-prefix of this length")
+	fs.IntVar(&o.ports, "ports", 1, "closed ports swept per target")
+	fs.IntVar(&o.basePort, "base-port", zmap.DefaultTCPBasePort, "first destination port of the sweep")
+	return fs, o
+}
+
+type ndpOpts struct{ addrs string }
+
+func ndpFlags() (*flag.FlagSet, *ndpOpts) {
+	o := &ndpOpts{}
+	fs := flag.NewFlagSet("ndp", flag.ExitOnError)
+	fs.StringVar(&o.addrs, "addr", "", "comma-separated addresses to solicit (required)")
+	return fs, o
+}
+
+// cliFlagSets returns the exact flag set each subcommand parses, keyed
+// by command name.
+func cliFlagSets() map[string]*flag.FlagSet {
+	discoverFS, _ := discoverFlags()
+	gridFS, _ := gridFlags()
+	campaignFS, _ := campaignFlags()
+	trackFS, _ := trackFlags()
+	traceFS, _ := traceFlags()
+	tcpFS, _ := tcpFlags()
+	ndpFS, _ := ndpFlags()
+	return map[string]*flag.FlagSet{
+		"seed":     flag.NewFlagSet("seed", flag.ExitOnError),
+		"discover": discoverFS,
+		"grid":     gridFS,
+		"campaign": campaignFS,
+		"track":    trackFS,
+		"trace":    traceFS,
+		"tcp":      tcpFS,
+		"ndp":      ndpFS,
+	}
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("scent: ")
 
-	worldSeed := flag.Uint64("seed", 42, "simulated world seed")
-	worldKind := flag.String("world", "default", "in-process world: default or test")
-	server := flag.String("server", "", "probe a simnetd at host:port instead of in-process")
-	workers := flag.Int("workers", 0, "scan workers per pass (0 = GOMAXPROCS); each owns its own transport")
+	g := globalFlags(flag.CommandLine)
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
 	}
 
-	env, err := buildEnv(*worldSeed, *worldKind, *server)
+	env, err := buildEnv(g.seed, g.world, g.server)
 	if err != nil {
 		log.Fatal(err)
 	}
-	env.Scanner.Config.Workers = *workers
+	env.Scanner.Config.Workers = g.workers
 	ctx := context.Background()
 
 	var cmdErr error
@@ -89,6 +231,10 @@ func main() {
 		cmdErr = runTrack(ctx, env, flag.Args()[1:])
 	case "trace":
 		cmdErr = runTraceSweep(ctx, env, flag.Args()[1:])
+	case "tcp":
+		cmdErr = runTCPScan(ctx, env, flag.Args()[1:])
+	case "ndp":
+		cmdErr = runNDP(ctx, env, flag.Args()[1:])
 	default:
 		log.Printf("unknown command %q", cmd)
 		usage()
@@ -132,14 +278,13 @@ func runSeed(ctx context.Context, env *experiments.Env) error {
 }
 
 func runDiscover(ctx context.Context, env *experiments.Env, args []string) error {
-	fs := flag.NewFlagSet("discover", flag.ExitOnError)
-	seedFile := fs.String("seeds", "", "seed records file (default: generate)")
+	fs, o := discoverFlags()
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	s := &experiments.Study{Env: env, Cfg: experiments.StudyConfig{Logf: log.Printf}}
-	if *seedFile != "" {
-		f, err := os.Open(*seedFile)
+	if o.seeds != "" {
+		f, err := os.Open(o.seeds)
 		if err != nil {
 			return err
 		}
@@ -163,15 +308,14 @@ func runDiscover(ctx context.Context, env *experiments.Env, args []string) error
 }
 
 func runGrid(ctx context.Context, env *experiments.Env, args []string) error {
-	fs := flag.NewFlagSet("grid", flag.ExitOnError)
-	prefix := fs.String("prefix", "", "the /48 to scan (required)")
+	fs, o := gridFlags()
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *prefix == "" {
+	if o.prefix == "" {
 		return fmt.Errorf("grid: -prefix is required")
 	}
-	p48, err := ip6.ParsePrefix(*prefix)
+	p48, err := ip6.ParsePrefix(o.prefix)
 	if err != nil {
 		return err
 	}
@@ -183,13 +327,12 @@ func runGrid(ctx context.Context, env *experiments.Env, args []string) error {
 }
 
 func runCampaign(ctx context.Context, env *experiments.Env, args []string) error {
-	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
-	days := fs.Int("days", 7, "campaign length in days")
+	fs, o := campaignFlags()
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	s := &experiments.Study{Env: env, Cfg: experiments.StudyConfig{
-		CampaignDays: *days,
+		CampaignDays: o.days,
 		Logf:         log.Printf,
 	}}
 	if err := s.RunAll(ctx); err != nil {
@@ -216,28 +359,25 @@ func runCampaign(ctx context.Context, env *experiments.Env, args []string) error
 // against `discover` (one echo per sub-prefix) is the paper's
 // probing-cost ablation, runnable without the benchmark harness.
 func runTraceSweep(ctx context.Context, env *experiments.Env, args []string) error {
-	fs := flag.NewFlagSet("trace", flag.ExitOnError)
-	prefix := fs.String("prefix", "", "prefix to sweep (required)")
-	subBits := fs.Int("sub", 56, "probe one random target per sub-prefix of this length")
-	maxTTL := fs.Int("max-ttl", 16, "hop-limit sweep depth")
+	fs, o := traceFlags()
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *prefix == "" {
+	if o.prefix == "" {
 		return fmt.Errorf("trace: -prefix is required")
 	}
-	p, err := ip6.ParsePrefix(*prefix)
+	p, err := ip6.ParsePrefix(o.prefix)
 	if err != nil {
 		return err
 	}
-	ts, err := zmap.NewSubnetTargets([]ip6.Prefix{p}, *subBits, env.Scanner.Config.Seed)
+	ts, err := zmap.NewSubnetTargets([]ip6.Prefix{p}, o.subBits, env.Scanner.Config.Seed)
 	if err != nil {
 		return err
 	}
 	col := yarrp.NewCollector()
 	cfg := yarrp.Config{
 		Source:   env.Scanner.Config.Source,
-		MaxTTL:   *maxTTL,
+		MaxTTL:   o.maxTTL,
 		Seed:     env.Scanner.Config.Seed,
 		Workers:  env.Scanner.Config.Workers,
 		Rate:     env.Scanner.Config.Rate,
@@ -259,23 +399,105 @@ func runTraceSweep(ctx context.Context, env *experiments.Env, args []string) err
 			path.Target, len(path.Hops), last.From, last.TTL, icmp6.TypeName(last.Type, last.Code))
 	}
 	fmt.Printf("swept %d targets x %d TTLs: sent %d, matched %d, %d paths\n",
-		ts.Len(), *maxTTL, st.Sent, st.Matched, len(paths))
+		ts.Len(), o.maxTTL, st.Sent, st.Matched, len(paths))
+	return nil
+}
+
+// runTCPScan exposes the TCP-SYN-to-closed-port probe module: the
+// periphery discovery that survives edges filtering ICMPv6 entirely,
+// because suppressing RSTs would break every TCP connection behind the
+// CPE. With -ports > 1 the (target × port) sweep rides the engine's one
+// permutation, so it parallelizes and shards like every other scan.
+func runTCPScan(ctx context.Context, env *experiments.Env, args []string) error {
+	fs, o := tcpFlags()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if o.prefix == "" {
+		return fmt.Errorf("tcp: -prefix is required")
+	}
+	p, err := ip6.ParsePrefix(o.prefix)
+	if err != nil {
+		return err
+	}
+	if o.basePort < 1 || o.basePort > 0xffff {
+		return fmt.Errorf("tcp: -base-port %d out of range", o.basePort)
+	}
+	if o.ports < 1 || o.ports > 0x10000-o.basePort {
+		// The module clamps dports to [base, 65535], so a sweep wider
+		// than the remaining port space would alias positions onto the
+		// same ports while claiming full coverage.
+		return fmt.Errorf("tcp: -ports %d does not fit above base port %d", o.ports, o.basePort)
+	}
+	ts, err := zmap.NewSubnetTargets([]ip6.Prefix{p}, o.subBits, env.Scanner.Config.Seed)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.ScanModality(ctx, env,
+		zmap.TCPSynModule{BasePort: uint16(o.basePort), Ports: o.ports}, ts, 0x7c9)
+	if err != nil {
+		return err
+	}
+	rsts, errors := 0, 0
+	for _, from := range res.Sources() {
+		r := res.ByFrom[from]
+		if r.Type == icmp6.TypeTCPRstAck {
+			rsts++
+		} else {
+			errors++
+		}
+		fmt.Printf("%s  %s\n", from, icmp6.TypeName(r.Type, r.Code))
+	}
+	fmt.Printf("scanned %d targets x %d ports: sent %d, matched %d; %d responders (%d rst, %d periphery errors)\n",
+		ts.Len(), o.ports, res.Stats.Sent, res.Stats.Matched, len(res.ByFrom), rsts, errors)
+	return nil
+}
+
+// runNDP exposes the Neighbor Solicitation probe module: the §6 on-link
+// vantage. Candidates come as an explicit address list (the on-link
+// scenario starts from addresses gleaned elsewhere — an off-link scan,
+// multicast chatter, a leaked neighbor cache); occupied addresses
+// defend themselves with advertisements, vacant ones are silence.
+func runNDP(ctx context.Context, env *experiments.Env, args []string) error {
+	fs, o := ndpFlags()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if o.addrs == "" {
+		return fmt.Errorf("ndp: -addr is required")
+	}
+	var ts zmap.AddrTargets
+	for _, s := range strings.Split(o.addrs, ",") {
+		a, err := ip6.ParseAddr(strings.TrimSpace(s))
+		if err != nil {
+			return err
+		}
+		ts = append(ts, a)
+	}
+	res, err := experiments.ScanModality(ctx, env, zmap.NDPModule{}, ts, 0xd9)
+	if err != nil {
+		return err
+	}
+	for _, a := range ts {
+		if _, ok := res.ByFrom[a]; ok {
+			fmt.Printf("%s  neighbor (advertised itself)\n", a)
+		} else {
+			fmt.Printf("%s  no answer (vacant or off-link)\n", a)
+		}
+	}
+	fmt.Printf("solicited %d addresses: %d neighbors\n", len(ts), len(res.ByFrom))
 	return nil
 }
 
 func runTrack(ctx context.Context, env *experiments.Env, args []string) error {
-	fs := flag.NewFlagSet("track", flag.ExitOnError)
-	addr := fs.String("addr", "", "current EUI-64 address of the device (required)")
-	days := fs.Int("days", 7, "tracking days")
-	allocBits := fs.Int("alloc", 0, "known allocation size (0 = assume /64)")
-	poolBits := fs.Int("pool", 0, "known rotation pool size (0 = whole advertisement)")
+	fs, o := trackFlags()
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *addr == "" {
+	if o.addr == "" {
 		return fmt.Errorf("track: -addr is required")
 	}
-	a, err := ip6.ParseAddr(*addr)
+	a, err := ip6.ParseAddr(o.addr)
 	if err != nil {
 		return err
 	}
@@ -293,14 +515,14 @@ func runTrack(ctx context.Context, env *experiments.Env, args []string) error {
 		AllocBits: map[uint32]int{},
 		PoolBits:  map[uint32]int{},
 	}
-	if *allocBits != 0 {
-		tracker.AllocBits[route.ASN] = *allocBits
+	if o.allocBits != 0 {
+		tracker.AllocBits[route.ASN] = o.allocBits
 	}
-	if *poolBits != 0 {
-		tracker.PoolBits[route.ASN] = *poolBits
+	if o.poolBits != 0 {
+		tracker.PoolBits[route.ASN] = o.poolBits
 	}
-	fmt.Printf("tracking IID %016x in AS%d (%s), %d days\n", uint64(st.IID), route.ASN, route.Country, *days)
-	if err := tracker.Track(ctx, st, *days, 0x7ac4, env.Wait); err != nil {
+	fmt.Printf("tracking IID %016x in AS%d (%s), %d days\n", uint64(st.IID), route.ASN, route.Country, o.days)
+	if err := tracker.Track(ctx, st, o.days, 0x7ac4, env.Wait); err != nil {
 		return err
 	}
 	for _, d := range st.History {

@@ -62,6 +62,51 @@ func TestRunTraceSweep(t *testing.T) {
 	}
 }
 
+func TestRunTCPScan(t *testing.T) {
+	env, _ := buildEnv(7, "test", "")
+	env.Scanner.Config.Workers = 2
+	if err := runTCPScan(context.Background(), env, []string{"-prefix", "2001:db8:10::/48", "-ports", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runTCPScan(context.Background(), env, nil); err == nil {
+		t.Fatal("missing -prefix accepted")
+	}
+	if err := runTCPScan(context.Background(), env, []string{"-prefix", "bogus"}); err == nil {
+		t.Fatal("bad prefix accepted")
+	}
+	if err := runTCPScan(context.Background(), env, []string{"-prefix", "2001:db8:10::/48", "-ports", "0"}); err == nil {
+		t.Fatal("bad -ports accepted")
+	}
+	if err := runTCPScan(context.Background(), env, []string{"-prefix", "2001:db8:10::/48", "-base-port", "70000"}); err == nil {
+		t.Fatal("bad -base-port accepted")
+	}
+	if err := runTCPScan(context.Background(), env, []string{
+		"-prefix", "2001:db8:10::/48", "-base-port", "60000", "-ports", "10000",
+	}); err == nil {
+		t.Fatal("port sweep overflowing the port space accepted")
+	}
+}
+
+func TestRunNDP(t *testing.T) {
+	env, _ := buildEnv(7, "test", "")
+	// Ground truth: one live WAN address plus one vacant candidate.
+	p, _ := env.World.ProviderByASN(65001)
+	pool := p.Pools[0]
+	wan := pool.WANAddrNow(&pool.CPEs()[0])
+	err := runNDP(context.Background(), env, []string{
+		"-addr", wan.String() + ", 2001:db8:10:ff00::1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runNDP(context.Background(), env, nil); err == nil {
+		t.Fatal("missing -addr accepted")
+	}
+	if err := runNDP(context.Background(), env, []string{"-addr", "bogus"}); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
 func TestRunTrack(t *testing.T) {
 	env, _ := buildEnv(7, "test", "")
 	// Ground truth: a live EUI device in the daily /56 pool.

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"followscent/internal/ip6"
+	"followscent/internal/zmap"
+)
+
+// ModalityResult aggregates one probe-module scan pass: the engine
+// stats plus the distinct responding sources, each with the last Result
+// it produced. It is the shared shape behind the `scent tcp` and
+// `scent ndp` subcommands and the per-modality completeness ablation
+// (DESIGN.md §4).
+type ModalityResult struct {
+	Stats zmap.Stats
+	// ByFrom maps each responding source address to its result. For
+	// periphery discovery the keys are the discovery output: CPE WAN
+	// addresses (plus border/transit routers for probes that died in
+	// the core).
+	ByFrom map[ip6.Addr]zmap.Result
+}
+
+// Sources returns the responding addresses in ascending order — the
+// deterministic iteration order for rendering.
+func (r *ModalityResult) Sources() []ip6.Addr {
+	out := make([]ip6.Addr, 0, len(r.ByFrom))
+	for a := range r.ByFrom {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// ScanModality runs one scan pass of ts under the given probe module,
+// leaving the environment's scanner configuration untouched. salt
+// perturbs the scan-order seed exactly as Scanner.Scan does, so equal
+// salts across modalities probe comparable orders.
+func ScanModality(ctx context.Context, env *Env, module zmap.ProbeModule, ts zmap.TargetSet, salt uint64) (*ModalityResult, error) {
+	sc := *env.Scanner // shallow copy: Config is a value, mutating Module is local
+	sc.Config.Module = module
+	res := &ModalityResult{ByFrom: make(map[ip6.Addr]zmap.Result)}
+	var mu sync.Mutex
+	st, err := sc.Scan(ctx, ts, salt, func(r zmap.Result) {
+		mu.Lock()
+		res.ByFrom[r.From] = r
+		mu.Unlock()
+	})
+	res.Stats = st
+	return res, err
+}

@@ -79,6 +79,12 @@ func TypeName(typ, code uint8) string {
 		return "echo-request"
 	case TypeEchoReply:
 		return "echo-reply"
+	case TypeNeighborSolicitation:
+		return "neighbor-solicitation"
+	case TypeNeighborAdvertisement:
+		return "neighbor-advertisement"
+	case TypeTCPRstAck:
+		return "tcp/rst-ack"
 	}
 	return fmt.Sprintf("icmp6/%d/%d", typ, code)
 }

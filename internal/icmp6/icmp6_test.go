@@ -199,7 +199,10 @@ func TestTypeName(t *testing.T) {
 		TypeName(TypeTimeExceeded, CodeHopLimitExceeded):          "time-exceeded/hop-limit",
 		TypeName(TypeEchoRequest, 0):                              "echo-request",
 		TypeName(TypeEchoReply, 0):                                "echo-reply",
-		TypeName(200, 3):                                          "icmp6/200/3",
+		TypeName(TypeNeighborSolicitation, 0):                     "neighbor-solicitation",
+		TypeName(TypeNeighborAdvertisement, 0):                    "neighbor-advertisement",
+		TypeName(TypeTCPRstAck, 0):                                "tcp/rst-ack",
+		TypeName(210, 3):                                          "icmp6/210/3",
 	}
 	for got, want := range cases {
 		if got != want {

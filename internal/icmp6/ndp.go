@@ -1,0 +1,99 @@
+package icmp6
+
+import (
+	"followscent/internal/ip6"
+)
+
+// This file carries the Neighbor Discovery (RFC 4861) message subset
+// used by the on-link probe module: Neighbor Solicitation probes and
+// Neighbor Advertisement answers. Both are ordinary ICMPv6 messages, so
+// the generic Packet parse and checksum machinery apply unchanged; only
+// the body layout (4 flag/reserved bytes + a 16-byte target address) is
+// new.
+
+// Neighbor Discovery message types (RFC 4861 §4.3-4.4).
+const (
+	TypeNeighborSolicitation  = 135
+	TypeNeighborAdvertisement = 136
+)
+
+// Neighbor Advertisement flag bits (first body byte).
+const (
+	NAFlagRouter    = 0x80
+	NAFlagSolicited = 0x40
+	NAFlagOverride  = 0x20
+)
+
+// NDPHopLimit is the hop limit RFC 4861 §7.1 requires on every Neighbor
+// Discovery packet. Routers decrement hop limits, so a received value of
+// 255 proves the packet never crossed one — the protocol's entire
+// authenticity model, and the validation boundary the NDP probe module
+// leans on in place of a seed-derived field (no ND message echoes
+// prober-chosen bits).
+const NDPHopLimit = 255
+
+// ndpBodyLen is the fixed ND body: 4 flag/reserved bytes plus the
+// 16-byte target address (options follow; this toolkit sends none).
+const ndpBodyLen = 20
+
+// NDPTarget returns the target address field of a Neighbor Solicitation
+// or Advertisement body, and ok=false for other types or truncated
+// bodies.
+func (m *Message) NDPTarget() (ip6.Addr, bool) {
+	if m.Type != TypeNeighborSolicitation && m.Type != TypeNeighborAdvertisement {
+		return ip6.Addr{}, false
+	}
+	if len(m.Body) < ndpBodyLen {
+		return ip6.Addr{}, false
+	}
+	return ip6.AddrFromBytes(m.Body[4:20]), true
+}
+
+// NAFlags returns the flag byte of a Neighbor Advertisement body
+// (Router/Solicited/Override), or 0 when the body is truncated.
+func (m *Message) NAFlags() uint8 {
+	if m.Type != TypeNeighborAdvertisement || len(m.Body) < 1 {
+		return 0
+	}
+	return m.Body[0]
+}
+
+// appendND appends a full IPv6+ICMPv6 Neighbor Discovery message with
+// the fixed body and no options.
+func appendND(dst []byte, typ uint8, flags uint8, src, to, target ip6.Addr) []byte {
+	h := Header{
+		PayloadLen: 4 + ndpBodyLen,
+		NextHeader: ProtoICMPv6,
+		HopLimit:   NDPHopLimit,
+		Src:        src,
+		Dst:        to,
+	}
+	off := len(dst)
+	dst = append(dst, make([]byte, HeaderLen+4+ndpBodyLen)...)
+	h.MarshalTo(dst[off:])
+	p := dst[off+HeaderLen:]
+	p[0] = typ
+	// byte 1 code, 2-3 checksum: zero; byte 4 flags, 5-7 reserved
+	p[4] = flags
+	tb := target.As16()
+	copy(p[8:24], tb[:])
+	cs := Checksum(src, to, p)
+	p[2], p[3] = byte(cs>>8), byte(cs)
+	return dst
+}
+
+// AppendNeighborSolicitation appends a full Neighbor Solicitation probe
+// for target, addressed to target's solicited-node multicast group
+// (RFC 4291 §2.7.1) at hop limit 255. With a sufficiently large dst
+// capacity the call does not allocate — this is the NDP probe module's
+// hot path.
+func AppendNeighborSolicitation(dst []byte, src, target ip6.Addr) []byte {
+	return appendND(dst, TypeNeighborSolicitation, 0, src, ip6.SolicitedNode(target), target)
+}
+
+// AppendNeighborAdvertisement appends the Neighbor Advertisement with
+// which src answers a solicitation for target, sent to the soliciting
+// node at to.
+func AppendNeighborAdvertisement(dst []byte, src, to, target ip6.Addr, flags uint8) []byte {
+	return appendND(dst, TypeNeighborAdvertisement, flags, src, to, target)
+}

@@ -1,0 +1,82 @@
+package icmp6
+
+import (
+	"testing"
+
+	"followscent/internal/ip6"
+)
+
+func TestNeighborSolicitationRoundTrip(t *testing.T) {
+	src := ip6.MustParseAddr("fe80::53")
+	target := ip6.MustParseAddr("2001:db8:1:2:abcd:ef01:2345:6789")
+	pkt := AppendNeighborSolicitation(nil, src, target)
+
+	// NS packets must parse as ordinary checksum-verified ICMPv6.
+	var p Packet
+	if err := p.Unmarshal(pkt); err != nil {
+		t.Fatal(err)
+	}
+	if p.Header.Src != src {
+		t.Fatalf("src = %s", p.Header.Src)
+	}
+	if want := ip6.MustParseAddr("ff02::1:ff45:6789"); p.Header.Dst != want {
+		t.Fatalf("dst = %s, want solicited-node %s", p.Header.Dst, want)
+	}
+	if p.Header.HopLimit != NDPHopLimit {
+		t.Fatalf("hop limit = %d, want %d", p.Header.HopLimit, NDPHopLimit)
+	}
+	if p.Message.Type != TypeNeighborSolicitation || p.Message.Code != 0 {
+		t.Fatalf("message = %d/%d", p.Message.Type, p.Message.Code)
+	}
+	got, ok := p.Message.NDPTarget()
+	if !ok || got != target {
+		t.Fatalf("NDPTarget = %s, %v", got, ok)
+	}
+}
+
+func TestNeighborAdvertisementRoundTrip(t *testing.T) {
+	owner := ip6.MustParseAddr("2001:db8:1:2:abcd:ef01:2345:6789")
+	prober := ip6.MustParseAddr("fe80::53")
+	pkt := AppendNeighborAdvertisement(nil, owner, prober, owner, NAFlagSolicited|NAFlagOverride)
+
+	var p Packet
+	if err := p.Unmarshal(pkt); err != nil {
+		t.Fatal(err)
+	}
+	if p.Message.Type != TypeNeighborAdvertisement {
+		t.Fatalf("type = %d", p.Message.Type)
+	}
+	if p.Message.NAFlags() != NAFlagSolicited|NAFlagOverride {
+		t.Fatalf("flags = %#x", p.Message.NAFlags())
+	}
+	got, ok := p.Message.NDPTarget()
+	if !ok || got != owner {
+		t.Fatalf("NDPTarget = %s, %v", got, ok)
+	}
+
+	// Corruption breaks the generic checksum verification.
+	pkt[HeaderLen+8] ^= 0x01
+	if err := p.Unmarshal(pkt); err != ErrBadChecksum {
+		t.Fatalf("corrupted NA: err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestNDPTargetWrongTypes(t *testing.T) {
+	src := ip6.MustParseAddr("2620:11f:7000::53")
+	echo := AppendEchoRequest(nil, src, src, 1, 2, nil)
+	var p Packet
+	if err := p.Unmarshal(echo); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Message.NDPTarget(); ok {
+		t.Fatal("NDPTarget accepted an echo request")
+	}
+	if p.Message.NAFlags() != 0 {
+		t.Fatal("NAFlags nonzero for an echo request")
+	}
+	// Truncated ND body.
+	m := Message{Type: TypeNeighborSolicitation, Body: make([]byte, ndpBodyLen-1)}
+	if _, ok := m.NDPTarget(); ok {
+		t.Fatal("NDPTarget accepted a truncated body")
+	}
+}

@@ -1,0 +1,120 @@
+package icmp6
+
+import (
+	"encoding/binary"
+
+	"followscent/internal/ip6"
+)
+
+// This file carries the minimal TCP-over-IPv6 wire format used by the
+// TCP-SYN-to-closed-port probe module: a fixed 20-byte TCP header (no
+// options) under the same fixed IPv6 header as the ICMPv6 probes. A SYN
+// into vacant delegated space elicits ordinary ICMPv6 errors; a SYN that
+// reaches a live host's closed port elicits a TCP RST/ACK segment — the
+// one probe response in this toolkit that is not ICMPv6 itself.
+
+// ProtoTCP is the IPv6 Next Header value for TCP.
+const ProtoTCP = 6
+
+// TCPHeaderLen is the length of an option-less TCP header.
+const TCPHeaderLen = 20
+
+// TCP header flag bits (byte 13 of the header).
+const (
+	TCPFlagFin = 0x01
+	TCPFlagSyn = 0x02
+	TCPFlagRst = 0x04
+	TCPFlagAck = 0x10
+)
+
+// TypeTCPRstAck is the pseudo ICMPv6 type under which probe modules
+// report a TCP RST/ACK response. TCP segments live outside the ICMPv6
+// type space, but zmap.Result carries one uint8 Type for every
+// modality; 200 is an RFC 4443 private-experimentation code point that
+// no real ICMPv6 speaker emits, so handlers can dispatch on it safely.
+const TypeTCPRstAck = 200
+
+// TCPHeader is a parsed option-less TCP header. Only the fields the
+// probe modules validate are retained.
+type TCPHeader struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+}
+
+// TCPChecksum computes the TCP checksum of payload (a TCP header plus
+// data, with the checksum field zeroed) under the IPv6 pseudo-header.
+// Verifying over a buffer that includes the transmitted checksum yields
+// 0 exactly when the checksum is valid, as with Checksum. Unlike UDP,
+// TCP has no "no checksum" sentinel: a computed zero is sent as zero.
+func TCPChecksum(src, dst ip6.Addr, payload []byte) uint16 {
+	return checksumProto(src, dst, ProtoTCP, payload)
+}
+
+// appendTCP appends a full IPv6+TCP segment with no payload.
+func appendTCP(dst []byte, src, to ip6.Addr, h TCPHeader, window uint16) []byte {
+	hdr := Header{
+		PayloadLen: TCPHeaderLen,
+		NextHeader: ProtoTCP,
+		HopLimit:   DefaultHopLimit,
+		Src:        src,
+		Dst:        to,
+	}
+	off := len(dst)
+	dst = append(dst, make([]byte, HeaderLen+TCPHeaderLen)...)
+	hdr.MarshalTo(dst[off:])
+	p := dst[off+HeaderLen:]
+	binary.BigEndian.PutUint16(p[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(p[2:4], h.DstPort)
+	binary.BigEndian.PutUint32(p[4:8], h.Seq)
+	binary.BigEndian.PutUint32(p[8:12], h.Ack)
+	p[12] = 5 << 4 // data offset: 5 words, no options
+	p[13] = h.Flags
+	binary.BigEndian.PutUint16(p[14:16], window)
+	// bytes 16-17 checksum, 18-19 urgent pointer: zero
+	cs := TCPChecksum(src, to, p)
+	binary.BigEndian.PutUint16(p[16:18], cs)
+	return dst
+}
+
+// AppendTCPSyn appends a full IPv6+TCP SYN segment to dst and returns
+// the extended slice. With a sufficiently large dst capacity the call
+// does not allocate — this is the TCP probe module's hot path.
+func AppendTCPSyn(dst []byte, src, target ip6.Addr, sport, dport uint16, seq uint32) []byte {
+	return appendTCP(dst, src, target, TCPHeader{
+		SrcPort: sport,
+		DstPort: dport,
+		Seq:     seq,
+		Flags:   TCPFlagSyn,
+	}, 0xffff)
+}
+
+// AppendTCPRstAck appends the RST/ACK segment a live host sends for a
+// SYN to a closed port (RFC 9293 §3.5.2: sequence zero, acknowledgment
+// one past the SYN's sequence number), originated by src and sent back
+// to the prober at to.
+func AppendTCPRstAck(dst []byte, src, to ip6.Addr, sport, dport uint16, ack uint32) []byte {
+	return appendTCP(dst, src, to, TCPHeader{
+		SrcPort: sport,
+		DstPort: dport,
+		Ack:     ack,
+		Flags:   TCPFlagRst | TCPFlagAck,
+	}, 0)
+}
+
+// ParseTCP extracts the validated fields from a TCP header (no IPv6
+// header). The full 20-byte fixed header must be present — both the
+// RST/ACK path and the quoted invoking packet inside an ICMPv6 error
+// carry at least that much.
+func ParseTCP(b []byte) (TCPHeader, error) {
+	if len(b) < TCPHeaderLen {
+		return TCPHeader{}, ErrTruncated
+	}
+	return TCPHeader{
+		SrcPort: binary.BigEndian.Uint16(b[0:2]),
+		DstPort: binary.BigEndian.Uint16(b[2:4]),
+		Seq:     binary.BigEndian.Uint32(b[4:8]),
+		Ack:     binary.BigEndian.Uint32(b[8:12]),
+		Flags:   b[13],
+	}, nil
+}

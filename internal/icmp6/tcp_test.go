@@ -1,0 +1,79 @@
+package icmp6
+
+import (
+	"testing"
+
+	"followscent/internal/ip6"
+)
+
+func TestTCPSynRoundTrip(t *testing.T) {
+	src := ip6.MustParseAddr("2620:11f:7000::53")
+	dst := ip6.MustParseAddr("2001:db8:1:2::3")
+	pkt := AppendTCPSyn(nil, src, dst, 0xbeef, 33434, 0xdeadbeef)
+
+	var h Header
+	if err := h.Unmarshal(pkt); err != nil {
+		t.Fatal(err)
+	}
+	if h.NextHeader != ProtoTCP || h.Src != src || h.Dst != dst {
+		t.Fatalf("header = %+v", h)
+	}
+	if int(h.PayloadLen) != TCPHeaderLen || len(pkt) != HeaderLen+TCPHeaderLen {
+		t.Fatalf("lengths: payload %d, packet %d", h.PayloadLen, len(pkt))
+	}
+	if TCPChecksum(src, dst, pkt[HeaderLen:]) != 0 {
+		t.Fatal("transmitted checksum does not verify")
+	}
+	th, err := ParseTCP(pkt[HeaderLen:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.SrcPort != 0xbeef || th.DstPort != 33434 || th.Seq != 0xdeadbeef ||
+		th.Ack != 0 || th.Flags != TCPFlagSyn {
+		t.Fatalf("ParseTCP = %+v", th)
+	}
+
+	// Corruption breaks verification.
+	pkt[HeaderLen+4] ^= 0x01
+	if TCPChecksum(src, dst, pkt[HeaderLen:]) == 0 {
+		t.Fatal("corrupted segment still verifies")
+	}
+}
+
+func TestTCPRstAck(t *testing.T) {
+	src := ip6.MustParseAddr("2001:db8::1")
+	dst := ip6.MustParseAddr("2620:11f:7000::53")
+	pkt := AppendTCPRstAck(nil, src, dst, 33434, 0xbeef, 0xdeadbef0)
+
+	var h Header
+	if err := h.Unmarshal(pkt); err != nil {
+		t.Fatal(err)
+	}
+	if TCPChecksum(src, dst, pkt[HeaderLen:]) != 0 {
+		t.Fatal("transmitted checksum does not verify")
+	}
+	th, err := ParseTCP(pkt[HeaderLen:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.SrcPort != 33434 || th.DstPort != 0xbeef || th.Seq != 0 ||
+		th.Ack != 0xdeadbef0 || th.Flags != TCPFlagRst|TCPFlagAck {
+		t.Fatalf("ParseTCP = %+v", th)
+	}
+}
+
+func TestTCPAppendsInPlace(t *testing.T) {
+	src := ip6.MustParseAddr("2620:11f:7000::53")
+	dst := ip6.MustParseAddr("2001:db8::1")
+	buf := make([]byte, 0, 128)
+	out := AppendTCPSyn(buf, src, dst, 1, 2, 3)
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("append with sufficient capacity reallocated")
+	}
+}
+
+func TestParseTCPTruncated(t *testing.T) {
+	if _, err := ParseTCP(make([]byte, TCPHeaderLen-1)); err != ErrTruncated {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}

@@ -107,6 +107,15 @@ func (a Addr) Byte(i int) byte {
 	return b[i]
 }
 
+// SolicitedNode returns the solicited-node multicast address of a
+// (RFC 4291 §2.7.1): ff02::1:ff00:0/104 with the low 24 bits of a.
+// Neighbor Solicitations for a are sent to this group, which is why an
+// on-link prober can reach a host without knowing its link-layer
+// address first.
+func SolicitedNode(a Addr) Addr {
+	return Addr{uint128.New(0xff02_0000_0000_0000, 0x1_ff00_0000|a.u.Lo&0xff_ffff)}
+}
+
 // Slash64 returns the /64 prefix containing a.
 func (a Addr) Slash64() Prefix {
 	return Prefix{addr: Addr{uint128.New(a.u.Hi, 0)}, bits: 64}

@@ -2,6 +2,7 @@ package simnet
 
 import (
 	"followscent/internal/icmp6"
+	"followscent/internal/ip6"
 )
 
 // HandlePacket answers one raw IPv6 probe packet with a raw response
@@ -9,7 +10,7 @@ import (
 // returns (nil-extended buf, false) when the probe is dropped or
 // malformed — silence, as on the real network.
 //
-// Two probe modalities are answered, matching the prober's probe
+// Four probe modalities are answered, matching the prober's probe
 // modules:
 //
 //   - ICMPv6 Echo Requests (§3.1/§7): answered with an Echo Reply from
@@ -18,10 +19,21 @@ import (
 //     Unreachable / Port Unreachable from its own address (no UDP
 //     service exists anywhere in the simulated edge); vacant delegated
 //     space elicits the same periphery errors as an echo probe.
+//   - TCP SYNs to closed ports: a live target answers with a TCP
+//     RST/ACK segment from its own address (no listener exists
+//     anywhere in the simulated edge); vacant delegated space elicits
+//     the periphery errors. The loss, silence and rate-limit state is
+//     the same table every ICMPv6-answering modality shares.
+//   - Neighbor Solicitations at hop limit 255: the on-link world. The
+//     vantage is modeled as attached to the target's link, so a
+//     currently-occupied WAN address defends itself with a solicited
+//     Neighbor Advertisement and a vacant one is silence. NDP is how
+//     the link itself functions, so even Silent devices (whose
+//     firewalls drop echo probes) answer, and the off-link loss and
+//     ICMPv6 rate-limit machinery does not apply.
 //
-// The echo identifier/sequence (or UDP source/destination ports) salt
-// the loss/response determinism so retransmissions are independent
-// trials.
+// The echo identifier/sequence (or UDP/TCP ports) salt the
+// loss/response determinism so retransmissions are independent trials.
 func (w *World) HandlePacket(req []byte, buf []byte) ([]byte, bool) {
 	// Dispatch on the raw next-header byte before any parsing: the
 	// ICMPv6 branch is the simulator hot path, and Packet.Unmarshal
@@ -35,22 +47,26 @@ func (w *World) HandlePacket(req []byte, buf []byte) ([]byte, bool) {
 		if err := p.Unmarshal(req); err != nil {
 			return buf, false
 		}
-		if p.Message.Type != icmp6.TypeEchoRequest {
-			return buf, false
+		switch p.Message.Type {
+		case icmp6.TypeEchoRequest:
+			id, seq, ok := p.Message.Echo()
+			if !ok {
+				return buf, false
+			}
+			salt := uint64(id)<<16 | uint64(seq)
+			var resp Response
+			if !w.queryCounted(&resp, p.Header.Dst, int(p.Header.HopLimit), salt) {
+				return buf, false
+			}
+			if resp.Echo {
+				return icmp6.AppendEchoReply(buf, resp.From, p.Header.Src, id, seq, p.Message.EchoPayload()), true
+			}
+			return icmp6.AppendError(buf, resp.Type, resp.Code, resp.From, p.Header.Src, req), true
+
+		case icmp6.TypeNeighborSolicitation:
+			return w.answerSolicitation(&p, buf)
 		}
-		id, seq, ok := p.Message.Echo()
-		if !ok {
-			return buf, false
-		}
-		salt := uint64(id)<<16 | uint64(seq)
-		var resp Response
-		if !w.queryCounted(&resp, p.Header.Dst, int(p.Header.HopLimit), salt) {
-			return buf, false
-		}
-		if resp.Echo {
-			return icmp6.AppendEchoReply(buf, resp.From, p.Header.Src, id, seq, p.Message.EchoPayload()), true
-		}
-		return icmp6.AppendError(buf, resp.Type, resp.Code, resp.From, p.Header.Src, req), true
+		return buf, false
 
 	case icmp6.ProtoUDP:
 		var h icmp6.Header
@@ -83,6 +99,89 @@ func (w *World) HandlePacket(req []byte, buf []byte) ([]byte, bool) {
 				icmp6.CodePortUnreachable, resp.From, h.Src, req), true
 		}
 		return icmp6.AppendError(buf, resp.Type, resp.Code, resp.From, h.Src, req), true
+
+	case icmp6.ProtoTCP:
+		var h icmp6.Header
+		if err := h.Unmarshal(req); err != nil {
+			return buf, false
+		}
+		payload := req[icmp6.HeaderLen:]
+		if len(payload) < int(h.PayloadLen) || len(payload) < icmp6.TCPHeaderLen {
+			return buf, false
+		}
+		payload = payload[:h.PayloadLen]
+		if icmp6.TCPChecksum(h.Src, h.Dst, payload) != 0 {
+			return buf, false
+		}
+		th, err := icmp6.ParseTCP(payload)
+		if err != nil || th.Flags&icmp6.TCPFlagSyn == 0 || th.Flags&(icmp6.TCPFlagRst|icmp6.TCPFlagAck) != 0 {
+			// Only connection-opening SYNs are answered; anything else
+			// belongs to no simulated flow and is dropped, as a stateful
+			// edge would.
+			return buf, false
+		}
+		salt := uint64(th.SrcPort)<<16 | uint64(th.DstPort)
+		var resp Response
+		if !w.queryCounted(&resp, h.Dst, int(h.HopLimit), salt) {
+			return buf, false
+		}
+		if resp.Echo {
+			// The probed address exists and the SYN reached it: every port
+			// in the probed range is closed, so the target itself resets
+			// the connection attempt (RFC 9293 §3.5.2) — the third
+			// periphery-discovery observable, and the one that survives
+			// edges filtering ICMPv6 entirely.
+			return icmp6.AppendTCPRstAck(buf, resp.From, h.Src, th.DstPort, th.SrcPort, th.Seq+1), true
+		}
+		return icmp6.AppendError(buf, resp.Type, resp.Code, resp.From, h.Src, req), true
 	}
 	return buf, false
+}
+
+// answerSolicitation is the on-link world: a Neighbor Solicitation for
+// a currently-occupied WAN address is answered by that address itself
+// with a solicited advertisement; everything else is silence. The
+// vantage is modeled as attached to whatever link holds the target —
+// RFC 4861's validation rules (hop limit 255, solicited-node or unicast
+// destination) are enforced, and because NDP is how the link functions
+// at all, Silent devices answer too: an edge that filters ICMPv6 Echo
+// still cannot opt out of neighbor resolution.
+func (w *World) answerSolicitation(p *icmp6.Packet, buf []byte) ([]byte, bool) {
+	w.statProbes.Add(1)
+	if p.Header.HopLimit != icmp6.NDPHopLimit {
+		return buf, false
+	}
+	target, ok := p.Message.NDPTarget()
+	if !ok {
+		return buf, false
+	}
+	if p.Header.Dst != ip6.SolicitedNode(target) && p.Header.Dst != target {
+		return buf, false
+	}
+	if !w.neighbor(target) {
+		return buf, false
+	}
+	w.statResps.Add(1)
+	return icmp6.AppendNeighborAdvertisement(buf, target, p.Header.Src, target,
+		icmp6.NAFlagSolicited|icmp6.NAFlagOverride), true
+}
+
+// neighbor reports whether target is a WAN address some CPE holds at
+// the current virtual instant — the ground truth an on-link prober can
+// extract from the link regardless of the device's ICMP behaviour.
+func (w *World) neighbor(target ip6.Addr) bool {
+	p := w.providerFor(target)
+	if p == nil {
+		return false
+	}
+	pool := p.poolFor(target)
+	if pool == nil {
+		return false
+	}
+	cache := pool.cacheAt(w.clock.sinceEpoch())
+	idx, ok := cache.occupant(pool.blockIndex(target))
+	if !ok {
+		return false
+	}
+	return cache.wan[idx] == target
 }

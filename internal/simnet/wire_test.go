@@ -1,0 +1,224 @@
+package simnet
+
+import (
+	"testing"
+
+	"followscent/internal/icmp6"
+	"followscent/internal/ip6"
+)
+
+// Wire tests for the two PR-3 probe modalities: TCP SYNs to closed
+// ports and on-link Neighbor Solicitations. Every generated response is
+// checksum-verified here, byte for byte, the way a real peer would.
+
+// TestHandlePacketTCPWire covers the TCP-SYN-to-closed-port modality: a
+// vacant address elicits the CPE's periphery error, a live WAN address
+// resets the connection attempt itself, and corrupted or non-SYN
+// segments are dropped.
+func TestHandlePacketTCPWire(t *testing.T) {
+	w := TestWorld(11)
+	pool := testPool(t, w, 65001, 0)
+	var c *CPE
+	for i := range pool.cpes {
+		if !pool.cpes[i].Silent {
+			c = &pool.cpes[i]
+			break
+		}
+	}
+	now := w.Clock().Now()
+	j := pool.blockAt(c, now)
+	wan := pool.wanAddr(c, j, now)
+	target := pool.Block(j).RandomAddr(3, 4)
+	if target == wan {
+		target = pool.Block(j).RandomAddr(3, 5)
+	}
+	src := ip6.MustParseAddr("2620:11f:7000::53")
+
+	// Vacant address inside the delegation: the CPE answers with its
+	// configured ICMPv6 error, quoting the SYN; the error checksum must
+	// verify under the generic parse.
+	probe := icmp6.AppendTCPSyn(nil, src, target, 4321, 33434, 0x1111_2222)
+	resp, ok := w.HandlePacket(probe, nil)
+	if !ok {
+		t.Fatal("no response to TCP probe")
+	}
+	var p icmp6.Packet
+	if err := p.Unmarshal(resp); err != nil {
+		t.Fatal(err)
+	}
+	if p.Header.Src != wan || p.Message.Type != c.RespType || p.Message.Code != c.RespCode {
+		t.Fatalf("TCP probe answered %d/%d from %s, want %d/%d from %s",
+			p.Message.Type, p.Message.Code, p.Header.Src, c.RespType, c.RespCode, wan)
+	}
+	quoted, ok := p.Message.InvokingPacket()
+	if !ok {
+		t.Fatal("no invoking packet quoted")
+	}
+	var qh icmp6.Header
+	if err := qh.Unmarshal(quoted); err != nil || qh.NextHeader != icmp6.ProtoTCP || qh.Dst != target {
+		t.Fatalf("quoted packet does not carry the original SYN (err=%v)", err)
+	}
+	qt, err := icmp6.ParseTCP(quoted[icmp6.HeaderLen:])
+	if err != nil || qt.SrcPort != 4321 || qt.DstPort != 33434 || qt.Seq != 0x1111_2222 {
+		t.Fatalf("quoted TCP header = %+v (err=%v)", qt, err)
+	}
+
+	// Live WAN address: the closed port resets the attempt itself, with
+	// a valid TCP checksum, swapped ports and ack = seq+1.
+	probe = icmp6.AppendTCPSyn(nil, src, wan, 4321, 33434, 0x1111_2222)
+	resp, ok = w.HandlePacket(probe, nil)
+	if !ok {
+		t.Fatal("no response to TCP probe at live WAN")
+	}
+	var rh icmp6.Header
+	if err := rh.Unmarshal(resp); err != nil {
+		t.Fatal(err)
+	}
+	if rh.NextHeader != icmp6.ProtoTCP || rh.Src != wan || rh.Dst != src {
+		t.Fatalf("RST header = %+v", rh)
+	}
+	if icmp6.TCPChecksum(rh.Src, rh.Dst, resp[icmp6.HeaderLen:]) != 0 {
+		t.Fatal("RST/ACK checksum does not verify")
+	}
+	th, err := icmp6.ParseTCP(resp[icmp6.HeaderLen:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Flags != icmp6.TCPFlagRst|icmp6.TCPFlagAck || th.SrcPort != 33434 ||
+		th.DstPort != 4321 || th.Seq != 0 || th.Ack != 0x1111_2223 {
+		t.Fatalf("RST/ACK = %+v", th)
+	}
+
+	// A corrupted checksum is silence, as on a real network.
+	bad := icmp6.AppendTCPSyn(nil, src, target, 4321, 33434, 0x1111_2222)
+	bad[icmp6.HeaderLen] ^= 0xff
+	if _, ok := w.HandlePacket(bad, nil); ok {
+		t.Fatal("corrupted SYN got a response")
+	}
+	// A RST probe belongs to no flow: silence.
+	rst := icmp6.AppendTCPRstAck(nil, src, wan, 4321, 33434, 1)
+	if _, ok := w.HandlePacket(rst, nil); ok {
+		t.Fatal("stray RST got a response")
+	}
+	// A truncated TCP header is silence.
+	short := append([]byte(nil), probe[:icmp6.HeaderLen+8]...)
+	short[4], short[5] = 0, 8 // payload length 8 < TCP header
+	if _, ok := w.HandlePacket(short, nil); ok {
+		t.Fatal("truncated SYN got a response")
+	}
+}
+
+// TestHandlePacketNeighborWire covers the on-link modality: a
+// solicitation for an occupied WAN address (even a Silent device's) is
+// answered with a checksum-valid solicited Neighbor Advertisement, a
+// vacant address is silence, and RFC 4861's hop-limit-255 validation is
+// enforced.
+func TestHandlePacketNeighborWire(t *testing.T) {
+	w := TestWorld(11)
+	pool := testPool(t, w, 65001, 0)
+	c := &pool.cpes[0]
+	now := w.Clock().Now()
+	j := pool.blockAt(c, now)
+	wan := pool.wanAddr(c, j, now)
+	vacant := pool.Block(j).RandomAddr(3, 4)
+	if vacant == wan {
+		vacant = pool.Block(j).RandomAddr(3, 5)
+	}
+	src := ip6.MustParseAddr("fe80::53")
+
+	probe := icmp6.AppendNeighborSolicitation(nil, src, wan)
+	resp, ok := w.HandlePacket(probe, nil)
+	if !ok {
+		t.Fatal("no advertisement for an occupied WAN address")
+	}
+	var p icmp6.Packet
+	if err := p.Unmarshal(resp); err != nil {
+		t.Fatal(err) // Unmarshal verifies the ICMPv6 checksum
+	}
+	if p.Header.Src != wan || p.Header.Dst != src || p.Header.HopLimit != icmp6.NDPHopLimit {
+		t.Fatalf("NA header = %+v", p.Header)
+	}
+	if p.Message.Type != icmp6.TypeNeighborAdvertisement ||
+		p.Message.NAFlags() != icmp6.NAFlagSolicited|icmp6.NAFlagOverride {
+		t.Fatalf("NA message = %d flags %#x", p.Message.Type, p.Message.NAFlags())
+	}
+	if target, ok := p.Message.NDPTarget(); !ok || target != wan {
+		t.Fatalf("NA target = %s, want %s", target, wan)
+	}
+
+	// Unicast solicitation (neighbor unreachability detection, RFC 4861
+	// §7.2.5) is valid too: rewrite the destination from the
+	// solicited-node group to the target and re-checksum.
+	uni := icmp6.AppendNeighborSolicitation(nil, src, wan)
+	wb := wan.As16()
+	copy(uni[24:40], wb[:])
+	msg := uni[icmp6.HeaderLen:]
+	msg[2], msg[3] = 0, 0
+	cs := icmp6.Checksum(src, wan, msg)
+	msg[2], msg[3] = byte(cs>>8), byte(cs)
+	if _, ok := w.HandlePacket(uni, nil); !ok {
+		t.Fatal("unicast solicitation not answered")
+	}
+	// Any other destination is invalid per RFC 4861 §7.1.1: silence.
+	other := icmp6.AppendNeighborSolicitation(nil, src, wan)
+	ob := vacant.As16()
+	copy(other[24:40], ob[:])
+	omsg := other[icmp6.HeaderLen:]
+	omsg[2], omsg[3] = 0, 0
+	ocs := icmp6.Checksum(src, vacant, omsg)
+	omsg[2], omsg[3] = byte(ocs>>8), byte(ocs)
+	if _, ok := w.HandlePacket(other, nil); ok {
+		t.Fatal("mis-addressed solicitation answered")
+	}
+
+	// Vacant address: silence.
+	if _, ok := w.HandlePacket(icmp6.AppendNeighborSolicitation(nil, src, vacant), nil); ok {
+		t.Fatal("vacant address advertised itself")
+	}
+	// A solicitation that crossed a router (hop limit < 255) is invalid.
+	offLink := icmp6.AppendNeighborSolicitation(nil, src, wan)
+	offLink[7] = 64
+	if _, ok := w.HandlePacket(offLink, nil); ok {
+		t.Fatal("off-link solicitation answered")
+	}
+	// Unrouted target: silence.
+	stray := icmp6.AppendNeighborSolicitation(nil, src, ip6.MustParseAddr("2a00:dead::1"))
+	if _, ok := w.HandlePacket(stray, nil); ok {
+		t.Fatal("unrouted target advertised itself")
+	}
+}
+
+// TestNeighborSeesSilentDevices pins the modality's reason to exist:
+// devices that drop echo probes without a sound still answer
+// solicitations, because NDP is how the link functions at all.
+func TestNeighborSeesSilentDevices(t *testing.T) {
+	w := MustBuild(WorldSpec{
+		Seed: 5,
+		Providers: []ProviderSpec{{
+			ASN: 65009, Name: "SilentNet", Country: "DE",
+			Allocations:    []string{"2001:db8::/32"},
+			BorderRespProb: 0.3,
+			Pools: []PoolSpec{{
+				Prefix: "2001:db8:10::/48", AllocBits: 56,
+				Rotation:  RotationPolicy{Kind: RotateNone},
+				Occupancy: 0.5, EUIFrac: 1, SilentFrac: 1,
+			}},
+		}},
+	})
+	pool := testPool(t, w, 65009, 0)
+	c := &pool.cpes[0]
+	if !c.Silent {
+		t.Fatal("fixture device is not silent")
+	}
+	wan := pool.WANAddrNow(c)
+	src := ip6.MustParseAddr("fe80::53")
+
+	// Echo probe: silence.
+	if _, ok := w.HandlePacket(icmp6.AppendEchoRequest(nil, src, wan, 1, 2, nil), nil); ok {
+		t.Fatal("silent device answered an echo probe")
+	}
+	// Solicitation: answered.
+	if _, ok := w.HandlePacket(icmp6.AppendNeighborSolicitation(nil, src, wan), nil); !ok {
+		t.Fatal("silent device did not defend its address")
+	}
+}

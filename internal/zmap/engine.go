@@ -146,6 +146,7 @@ func ScanWorkers(ctx context.Context, factory TransportFactory, ts TargetSet, cf
 	defer cancel()
 
 	e := &engine{cfg: cfg, ts: ts, mult: cfg.multiplier(), handler: h, abort: cancel}
+	e.raw, _ = cfg.Module.(RawValidator)
 	e.domain = n * e.mult
 	if h != nil && cfg.Workers > 1 && !cfg.ConcurrentHandlers {
 		// Merge stage: funnel every worker's results through one lock so
@@ -224,6 +225,7 @@ type engine struct {
 	mult    uint64 // probe positions per target (module multiplier)
 	domain  uint64 // targets × mult: the permuted position space
 	handler Handler
+	raw     RawValidator // non-nil when the module validates non-ICMPv6 responses
 	abort   context.CancelFunc
 
 	sent, received, matched, invalid atomic.Uint64
@@ -363,14 +365,18 @@ func (e *engine) receive(w int, tr Transport) {
 }
 
 // deliver parses one inbound packet (generic IPv6+ICMPv6 with checksum
-// verification — every probe type's responses arrive as ICMPv6) and
+// verification — most probe types' responses arrive as ICMPv6) and
 // hands it to the module for validation before invoking the handler.
+// Packets carrying another upper-layer protocol (a TCP RST/ACK) go to
+// the module's optional RawValidator instead.
 func (e *engine) deliver(w int, pkt *icmp6.Packet, b []byte) {
-	if err := pkt.Unmarshal(b); err != nil {
-		e.invalid.Add(1)
-		return
+	var res Result
+	ok := false
+	if err := pkt.Unmarshal(b); err == nil {
+		res, ok = e.cfg.Module.Validate(&e.cfg, pkt)
+	} else if err == icmp6.ErrNotICMPv6 && e.raw != nil {
+		res, ok = e.raw.ValidateRaw(&e.cfg, b)
 	}
-	res, ok := e.cfg.Module.Validate(&e.cfg, pkt)
 	if !ok {
 		e.invalid.Add(1)
 		return

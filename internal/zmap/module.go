@@ -10,8 +10,9 @@ import (
 // the engine owns the cyclic permutation, sharding, worker pool, pacing,
 // transports and stats, while the module owns every byte of probe
 // construction and every rule of response validation. One engine, many
-// probe types — an ICMPv6 echo scan, a yarrp-style hop-limit sweep and a
-// UDP-to-closed-port scan differ only in the module plugged into Config.
+// probe types — an ICMPv6 echo scan, a yarrp-style hop-limit sweep, a
+// UDP- or TCP-to-closed-port scan and an on-link Neighbor Discovery
+// sweep differ only in the module plugged into Config.
 //
 // Modules must be stateless values: all per-scan state lives in the
 // Prober instances they hand out, one per worker, so a module value can
@@ -36,6 +37,25 @@ type ProbeModule interface {
 	// authenticity from validation fields derived from cfg.Seed) and
 	// safe for concurrent use from every worker.
 	Validate(cfg *Config, pkt *icmp6.Packet) (Result, bool)
+}
+
+// RawValidator is an optional ProbeModule extension for modules whose
+// probes elicit responses that are not themselves ICMPv6. The engine
+// parses every inbound packet as IPv6+ICMPv6 first (that covers echo
+// replies, periphery errors and Neighbor Advertisements alike); when
+// the next header is something else and the scan's module implements
+// RawValidator, the raw packet is handed to ValidateRaw instead of
+// being counted invalid. The TCP-SYN module uses this for the RST/ACK
+// segments live hosts send from closed ports.
+//
+// Like Validate, ValidateRaw must be stateless and safe for concurrent
+// use from every worker, and must authenticate the response purely from
+// validation fields derived from cfg.Seed.
+type RawValidator interface {
+	// ValidateRaw checks one raw inbound IPv6 packet whose next header
+	// is not ICMPv6. The module owns all parsing, including checksum
+	// verification of its transport header.
+	ValidateRaw(cfg *Config, b []byte) (Result, bool)
 }
 
 // Prober builds the wire bytes of one worker's probes.
@@ -79,7 +99,18 @@ type Handler func(Result)
 // validationID derives the 16-bit validation field a probe to target
 // must carry — zmap's trick for rejecting spoofed or mismatched
 // responses without keeping per-probe state. The echo module puts it in
-// the echo identifier; the UDP module in the source port.
+// the echo identifier; the UDP module in the source port; the TCP
+// module combines it (in the source port) with the further 32 bits of
+// validationSeq in the SYN sequence number.
 func validationID(seed uint64, target ip6.Addr) uint16 {
 	return uint16(hashWord(hashWord(seed, target.High64()), target.IID()))
+}
+
+// validationSeq derives the 32-bit second half of the TCP module's
+// validation state, carried in the SYN sequence number and echoed back
+// either verbatim (quoted inside ICMPv6 errors) or incremented by one
+// (the acknowledgment number of a closed port's RST/ACK). A distinct
+// tweak keeps it independent of validationID.
+func validationSeq(seed uint64, target ip6.Addr) uint32 {
+	return uint32(hashWord(hashWord(seed^0x7cb5, target.High64()), target.IID()))
 }

@@ -1,0 +1,79 @@
+package zmap
+
+import (
+	"followscent/internal/icmp6"
+	"followscent/internal/ip6"
+)
+
+// NDPModule probes with Neighbor Solicitations — the on-link vantage
+// scenario (§6): a prober that shares a link with its targets (an IXP
+// LAN, a compromised CPE's segment, a coffee-shop network) asks the
+// link itself who is there. Every IPv6 host must answer solicitations
+// for addresses it owns or it cannot communicate at all, so NDP is
+// ground truth: it reaches hosts whose firewalls silently drop ICMPv6
+// Echo and never emit unreachable errors. Occupied addresses answer
+// with a solicited Neighbor Advertisement; vacant ones are silence.
+//
+// NDP carries no prober-chosen field that responses echo, so there is
+// nowhere to put a seed-derived validation id — the one module exempt
+// from that rule (see DESIGN.md §5). Authenticity comes from the
+// protocol's own boundary instead: RFC 4861 requires hop limit 255 on
+// every ND packet, and routers decrement hop limits, so a received 255
+// proves the advertisement originated on the local link. Validate
+// enforces that, the solicited flag, and that the advertisement's
+// source owns the advertised target.
+type NDPModule struct{}
+
+// Multiplier implements ProbeModule: one solicitation per target.
+func (NDPModule) Multiplier() int { return 1 }
+
+// NewProber implements ProbeModule. Solicitations always go out at hop
+// limit 255 (an ND requirement), so Config.HopLimit is ignored.
+func (NDPModule) NewProber(cfg *Config, worker int) Prober {
+	return &ndpProber{
+		src: cfg.Source,
+		buf: make([]byte, 0, icmp6.HeaderLen+24),
+	}
+}
+
+type ndpProber struct {
+	src ip6.Addr
+	buf []byte
+}
+
+// MakeProbe implements Prober: a Neighbor Solicitation for target,
+// addressed to its solicited-node multicast group. ND messages have no
+// field for the re-probe attempt, so retransmissions are byte-identical
+// — harmless on a link, where solicitation loss is the requester's
+// problem to retry anyway (RFC 4861 §7.2.2).
+func (p *ndpProber) MakeProbe(target ip6.Addr, pos, attempt int) []byte {
+	p.buf = icmp6.AppendNeighborSolicitation(p.buf[:0], p.src, target)
+	return p.buf
+}
+
+// Validate implements ProbeModule.
+func (NDPModule) Validate(cfg *Config, pkt *icmp6.Packet) (Result, bool) {
+	if pkt.Message.Type != icmp6.TypeNeighborAdvertisement || pkt.Message.Code != 0 {
+		return Result{}, false
+	}
+	if pkt.Header.HopLimit != icmp6.NDPHopLimit {
+		// Crossed a router: not from this link, the only spoofing
+		// boundary ND offers.
+		return Result{}, false
+	}
+	if pkt.Message.NAFlags()&icmp6.NAFlagSolicited == 0 {
+		return Result{}, false
+	}
+	target, ok := pkt.Message.NDPTarget()
+	if !ok || pkt.Header.Src != target {
+		// A host advertises (defends) its own address; proxy
+		// advertisements are out of scope here.
+		return Result{}, false
+	}
+	return Result{
+		Target: target,
+		From:   target,
+		Type:   pkt.Message.Type,
+		Code:   pkt.Message.Code,
+	}, true
+}

@@ -1,0 +1,174 @@
+package zmap
+
+import (
+	"followscent/internal/icmp6"
+	"followscent/internal/ip6"
+)
+
+// DefaultTCPBasePort is the destination port of a TCP probe's first
+// sweep position: the same unassigned-range convention as the UDP
+// module, closed on any real host.
+const DefaultTCPBasePort = 33434
+
+// TCPSynModule probes with TCP SYN segments to closed ports. A live
+// target answers with a TCP RST/ACK from its own address (RFC 9293
+// §3.5.2 — no listener, so the SYN is reset); a probe into vacant
+// delegated space elicits the same periphery errors as an echo probe
+// from the CPE. This is the third periphery-discovery scenario: edges
+// that filter both ICMPv6 Echo Request and the ICMPv6 errors UDP probes
+// rely on still emit RSTs, because dropping them silently breaks every
+// outbound TCP connection behind the CPE.
+//
+// Validation is stateless and split across two fields, mirroring real
+// zmap's TCP SYN module: the source port carries validationID and the
+// SYN sequence number carries validationSeq, both recovered either from
+// the quoted invoking packet inside an ICMPv6 error (verbatim) or from
+// a RST/ACK segment (ports swapped, sequence echoed plus one in the
+// acknowledgment number). The destination port encodes the sweep
+// position and re-probe attempt.
+//
+// With Ports > 1 the module sweeps that many consecutive closed ports
+// per target through Multiplier, folding the (target × port) space into
+// the engine's one cyclic permutation — so a port sweep inherits the
+// engine's worker-count determinism exactly as a hop-limit sweep does.
+type TCPSynModule struct {
+	// BasePort is the destination port of sweep position 0, attempt 0.
+	// 0 means DefaultTCPBasePort.
+	BasePort uint16
+	// Ports is the number of consecutive ports swept per target
+	// (values below 1 mean 1). Position p, attempt k probes
+	// BasePort + p + k*Ports, so retransmissions are independent loss
+	// trials on every swept port.
+	Ports int
+}
+
+func (m TCPSynModule) basePort() uint16 {
+	if m.BasePort == 0 {
+		return DefaultTCPBasePort
+	}
+	return m.BasePort
+}
+
+func (m TCPSynModule) ports() int {
+	if m.Ports > 1 {
+		return m.Ports
+	}
+	return 1
+}
+
+// Multiplier implements ProbeModule: one probe position per swept port.
+func (m TCPSynModule) Multiplier() int { return m.ports() }
+
+// NewProber implements ProbeModule.
+func (m TCPSynModule) NewProber(cfg *Config, worker int) Prober {
+	return &tcpProber{
+		src:      cfg.Source,
+		seed:     cfg.Seed,
+		base:     m.basePort(),
+		ports:    m.ports(),
+		hopLimit: uint8(cfg.HopLimit),
+		buf:      make([]byte, 0, icmp6.HeaderLen+icmp6.TCPHeaderLen),
+	}
+}
+
+type tcpProber struct {
+	src      ip6.Addr
+	seed     uint64
+	base     uint16
+	ports    int
+	hopLimit uint8
+	buf      []byte
+}
+
+// MakeProbe implements Prober. The destination port stays within
+// [base, 65535]: sweep positions and attempts beyond the remaining port
+// space wrap back onto it rather than past port 65535 (the UDP module's
+// clamp semantics), so Validate's range check never rejects a genuine
+// response.
+func (p *tcpProber) MakeProbe(target ip6.Addr, pos, attempt int) []byte {
+	span := 0x10000 - uint32(p.base)
+	dport := p.base + uint16((uint32(pos)+uint32(attempt)*uint32(p.ports))%span)
+	p.buf = icmp6.AppendTCPSyn(p.buf[:0], p.src, target,
+		validationID(p.seed, target), dport, validationSeq(p.seed, target))
+	p.buf[7] = p.hopLimit // IPv6 header hop-limit byte; checksum-neutral
+	return p.buf
+}
+
+// Validate implements ProbeModule for the ICMPv6 half of the response
+// space: errors from the periphery quoting the invoking SYN. RST/ACK
+// segments from live hosts arrive as raw TCP and go through ValidateRaw.
+func (m TCPSynModule) Validate(cfg *Config, pkt *icmp6.Packet) (Result, bool) {
+	switch pkt.Message.Type {
+	case icmp6.TypeDestinationUnreachable, icmp6.TypeTimeExceeded,
+		icmp6.TypePacketTooBig, icmp6.TypeParameterProblem:
+	default:
+		return Result{}, false
+	}
+	quoted, ok := pkt.Message.InvokingPacket()
+	if !ok {
+		return Result{}, false
+	}
+	var orig icmp6.Header
+	if err := orig.Unmarshal(quoted); err != nil || orig.NextHeader != icmp6.ProtoTCP {
+		return Result{}, false
+	}
+	th, err := icmp6.ParseTCP(quoted[icmp6.HeaderLen:])
+	if err != nil {
+		return Result{}, false
+	}
+	target := orig.Dst
+	if th.SrcPort != validationID(cfg.Seed, target) || th.Seq != validationSeq(cfg.Seed, target) {
+		return Result{}, false
+	}
+	base := m.basePort()
+	if th.DstPort < base {
+		return Result{}, false
+	}
+	return Result{
+		Target: target,
+		From:   pkt.Header.Src,
+		Type:   pkt.Message.Type,
+		Code:   pkt.Message.Code,
+		Seq:    th.DstPort - base,
+	}, true
+}
+
+// ValidateRaw implements RawValidator: a live host's RST/ACK arrives as
+// raw IPv6+TCP, with the probe's ports swapped and the SYN sequence
+// number echoed plus one in the acknowledgment. The reported Result
+// carries the icmp6.TypeTCPRstAck pseudo-type (TCP segments live
+// outside the ICMPv6 type space) and, like every module, the sweep
+// offset in Seq.
+func (m TCPSynModule) ValidateRaw(cfg *Config, b []byte) (Result, bool) {
+	var h icmp6.Header
+	if err := h.Unmarshal(b); err != nil || h.NextHeader != icmp6.ProtoTCP {
+		return Result{}, false
+	}
+	payload := b[icmp6.HeaderLen:]
+	if len(payload) < int(h.PayloadLen) || len(payload) < icmp6.TCPHeaderLen {
+		return Result{}, false
+	}
+	payload = payload[:h.PayloadLen]
+	if icmp6.TCPChecksum(h.Src, h.Dst, payload) != 0 {
+		return Result{}, false
+	}
+	th, err := icmp6.ParseTCP(payload)
+	if err != nil || th.Flags&icmp6.TCPFlagRst == 0 {
+		return Result{}, false
+	}
+	target := h.Src // a reset comes from the probed address
+	if th.DstPort != validationID(cfg.Seed, target) ||
+		th.Ack != validationSeq(cfg.Seed, target)+1 {
+		return Result{}, false
+	}
+	base := m.basePort()
+	if th.SrcPort < base {
+		return Result{}, false
+	}
+	return Result{
+		Target: target,
+		From:   target,
+		Type:   icmp6.TypeTCPRstAck,
+		Seq:    th.SrcPort - base,
+	}, true
+}
