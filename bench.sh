@@ -1,17 +1,78 @@
 #!/bin/sh
-# bench.sh [output.json] — run the full benchmark suite and emit
+# bench.sh [output.json] — run the benchmark suite and emit
 # machine-readable `go test -json` output for BENCH_*.json trajectory
 # tracking. Human-readable results still stream to stderr via the JSON
 # "Output" lines; pass a path to capture the raw JSON.
+#
+# Environment knobs:
+#   BENCHTIME           -benchtime for the suite run (default 1x)
+#   BENCH               -bench pattern (default ., the whole suite)
+#   BENCH_COMPARE       set to 0 to skip the baseline comparison
+#   BENCH_COMPARE_TIME  -benchtime for the comparison run (default 5x)
+#
+# Baseline comparison: after the suite run, if the committed baseline
+# BENCH_table1.json exists next to this script, the headline
+# BenchmarkTable1_RotatingPrefixDiscovery is re-run on its own at
+# BENCH_COMPARE_TIME iterations (a single 1x sample is too noisy to
+# gate on) and its mean ns/op must stay within 25% of the baseline or
+# the job fails. Baselines are machine-specific — refresh with
+#   BENCHTIME=5x BENCH='BenchmarkTable1|BenchmarkAdaptive' ./bench.sh BENCH_table1.json
+# when the perf trajectory moves legitimately (or on new hardware).
 set -eu
 
 out=${1:-}
 benchtime=${BENCHTIME:-1x}
+pattern=${BENCH:-.}
+here=$(dirname "$0")
 
-if [ -n "$out" ]; then
-	mkdir -p "$(dirname "$out")"
-	go test -run '^$' -bench . -benchtime "$benchtime" -benchmem -json . >"$out"
-	echo "wrote $out" >&2
+tmp=
+cmp=
+trap 'rm -f "$tmp" "$cmp"' EXIT
+if [ -z "$out" ]; then
+	tmp=$(mktemp)
+	out=$tmp
 else
-	go test -run '^$' -bench . -benchtime "$benchtime" -benchmem -json .
+	mkdir -p "$(dirname "$out")"
+fi
+
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem -json . >"$out"
+
+if [ -n "$tmp" ]; then
+	# No output path given: keep the historical behaviour of streaming
+	# the JSON to stdout.
+	cat "$out"
+else
+	echo "wrote $out" >&2
+fi
+
+# headline_ns extracts the headline benchmark's ns/op from a
+# `go test -json` capture. The benchmark name and its result line are
+# separate JSON events, but both carry the exact "Test" field, which is
+# what keeps BenchmarkTable1_Workers sub-benchmarks out of the match.
+headline_ns() {
+	grep '"Test":"BenchmarkTable1_RotatingPrefixDiscovery"' "$1" |
+		grep 'ns/op' |
+		sed -n 's|.*[^0-9]\([0-9][0-9]*\) ns/op.*|\1|p' |
+		head -1
+}
+
+baseline=$here/BENCH_table1.json
+if [ "${BENCH_COMPARE:-1}" != 0 ] && [ -f "$baseline" ]; then
+	base=$(headline_ns "$baseline")
+	# Dedicated comparison run: the suite above may run at 1x for speed,
+	# but a single iteration is too noisy to fail a job on.
+	cmp=$(mktemp)
+	go test -run '^$' -bench 'BenchmarkTable1_RotatingPrefixDiscovery$' \
+		-benchtime "${BENCH_COMPARE_TIME:-5x}" -json . >"$cmp"
+	new=$(headline_ns "$cmp")
+	if [ -n "$base" ] && [ -n "$new" ]; then
+		limit=$((base + base / 4))
+		if [ "$new" -gt "$limit" ]; then
+			echo "bench regression: BenchmarkTable1_RotatingPrefixDiscovery $new ns/op exceeds baseline $base ns/op by >25% (limit $limit)" >&2
+			exit 1
+		fi
+		echo "bench compare: BenchmarkTable1_RotatingPrefixDiscovery $new ns/op vs baseline $base ns/op (limit $limit) — ok" >&2
+	else
+		echo "bench compare skipped: headline benchmark missing from run or baseline" >&2
+	fi
 fi

@@ -495,6 +495,28 @@ func BenchmarkAblation_ProbeModalities(b *testing.B) {
 	b.Run("ndp-onlink", run(zmap.NDPModule{}, candidates))
 }
 
+// BenchmarkAdaptive_Snowball times the §3-style adaptive-discovery
+// study end to end on the default world's clustered Wersatel /46:
+// coarse sampling, feedback-driven refinement rounds down to the /64
+// delegations, and the exhaustive reference scan it is compared to.
+func BenchmarkAdaptive_Snowball(b *testing.B) {
+	env := experiments.NewEnv(42)
+	prefixes := []ip6.Prefix{ip6.MustParsePrefix("2001:16b8:100::/46")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AdaptiveDiscovery(context.Background(), env, experiments.AdaptiveConfig{
+			Prefixes: prefixes,
+			FineBits: 64,
+			Salt:     uint64(i) + 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Snowball()), "periphery")
+		b.ReportMetric(float64(res.SnowballProbes), "probes")
+	}
+}
+
 // BenchmarkAblation_SearchSpaceKnowledge measures tracking cost with and
 // without the Algorithm 1/2 inferences (the Figure 2 rows, live).
 func BenchmarkAblation_SearchSpaceKnowledge(b *testing.B) {

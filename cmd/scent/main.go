@@ -20,7 +20,9 @@
 //	track     track one EUI-64 address for a week (§6)
 //	trace     yarrp-style hop-limit sweep of a prefix (§3.1 baseline)
 //	tcp       TCP-SYN-to-closed-port sweep of a prefix (RST-bearing edges)
-//	ndp       solicit explicit addresses on-link (NDP ground truth)
+//	ndp       solicit addresses or OUI-synthesized EUI-64 candidates
+//	          on-link (NDP ground truth)
+//	snowball  adaptive coarse-then-refine discovery of a prefix set
 package main
 
 import (
@@ -36,6 +38,7 @@ import (
 	"followscent/internal/experiments"
 	"followscent/internal/icmp6"
 	"followscent/internal/ip6"
+	"followscent/internal/oui"
 	"followscent/internal/seed"
 	"followscent/internal/yarrp"
 	"followscent/internal/zmap"
@@ -59,9 +62,19 @@ commands:
   tcp -prefix P [-sub B] [-ports N] [-base-port B]
                             TCP-SYN-to-closed-port sweep: RSTs from live
                             hosts, periphery errors from vacant space
-  ndp -addr A[,B,...]       solicit explicit addresses as an on-link
-                            vantage: occupied addresses advertise
-                            themselves, even when they filter ICMP
+  ndp -addr A[,B,...] | -prefix P [-sub B] [-oui O[,O,...]] [-span N]
+                            solicit addresses as an on-link vantage:
+                            either an explicit list, or EUI-64
+                            candidates synthesized from vendor OUIs
+                            across a prefix (N MAC suffixes per OUI per
+                            /B sub-prefix) — occupied addresses
+                            advertise themselves, even when they
+                            filter ICMP
+  snowball -prefix P[,Q,...] [-coarse B] [-fine B] [-step B] [-rounds N]
+                            adaptive discovery: sample each /B-coarse
+                            sub-prefix once, then follow the scent into
+                            the responsive blocks round by round down
+                            to the /B-fine delegation floor
 `
 
 func usage() {
@@ -168,12 +181,41 @@ func tcpFlags() (*flag.FlagSet, *tcpOpts) {
 	return fs, o
 }
 
-type ndpOpts struct{ addrs string }
+type ndpOpts struct {
+	addrs   string
+	prefix  string
+	subBits int
+	ouis    string
+	span    int
+}
 
 func ndpFlags() (*flag.FlagSet, *ndpOpts) {
 	o := &ndpOpts{}
 	fs := flag.NewFlagSet("ndp", flag.ExitOnError)
-	fs.StringVar(&o.addrs, "addr", "", "comma-separated addresses to solicit (required)")
+	fs.StringVar(&o.addrs, "addr", "", "comma-separated addresses to solicit")
+	fs.StringVar(&o.prefix, "prefix", "", "sweep synthesized EUI-64 candidates across this prefix instead of an explicit list")
+	fs.IntVar(&o.subBits, "sub", 64, "candidate delegation granularity within -prefix")
+	fs.StringVar(&o.ouis, "oui", "", "comma-separated vendor OUIs to synthesize candidates from (default: every builtin registry OUI)")
+	fs.IntVar(&o.span, "span", 256, "MAC suffixes swept per OUI per sub-prefix (the full space is 16777216)")
+	return fs, o
+}
+
+type snowballOpts struct {
+	prefixes string
+	coarse   int
+	fine     int
+	step     int
+	rounds   int
+}
+
+func snowballFlags() (*flag.FlagSet, *snowballOpts) {
+	o := &snowballOpts{}
+	fs := flag.NewFlagSet("snowball", flag.ExitOnError)
+	fs.StringVar(&o.prefixes, "prefix", "", "comma-separated seed prefixes to discover (required)")
+	fs.IntVar(&o.coarse, "coarse", 52, "round-0 sampling granularity")
+	fs.IntVar(&o.fine, "fine", 56, "refinement floor: the snowball stops descending at this sub-prefix length")
+	fs.IntVar(&o.step, "step", 2, "bits descended per refinement round")
+	fs.IntVar(&o.rounds, "rounds", 16, "maximum snowball rounds")
 	return fs, o
 }
 
@@ -187,6 +229,7 @@ func cliFlagSets() map[string]*flag.FlagSet {
 	traceFS, _ := traceFlags()
 	tcpFS, _ := tcpFlags()
 	ndpFS, _ := ndpFlags()
+	snowballFS, _ := snowballFlags()
 	return map[string]*flag.FlagSet{
 		"seed":     flag.NewFlagSet("seed", flag.ExitOnError),
 		"discover": discoverFS,
@@ -196,6 +239,7 @@ func cliFlagSets() map[string]*flag.FlagSet {
 		"trace":    traceFS,
 		"tcp":      tcpFS,
 		"ndp":      ndpFS,
+		"snowball": snowballFS,
 	}
 }
 
@@ -235,6 +279,8 @@ func main() {
 		cmdErr = runTCPScan(ctx, env, flag.Args()[1:])
 	case "ndp":
 		cmdErr = runNDP(ctx, env, flag.Args()[1:])
+	case "snowball":
+		cmdErr = runSnowball(ctx, env, flag.Args()[1:])
 	default:
 		log.Printf("unknown command %q", cmd)
 		usage()
@@ -454,17 +500,60 @@ func runTCPScan(ctx context.Context, env *experiments.Env, args []string) error 
 }
 
 // runNDP exposes the Neighbor Solicitation probe module: the §6 on-link
-// vantage. Candidates come as an explicit address list (the on-link
-// scenario starts from addresses gleaned elsewhere — an off-link scan,
-// multicast chatter, a leaked neighbor cache); occupied addresses
-// defend themselves with advertisements, vacant ones are silence.
+// vantage. Candidates come either as an explicit address list (gleaned
+// elsewhere — an off-link scan, multicast chatter, a leaked neighbor
+// cache) or, with -prefix, synthesized on the fly: EUI-64 addresses
+// embedding vendor-OUI MACs, streamed from a zmap.CandidateSource with
+// no materialized list. Occupied addresses defend themselves with
+// advertisements; vacant ones are silence.
 func runNDP(ctx context.Context, env *experiments.Env, args []string) error {
 	fs, o := ndpFlags()
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if o.addrs == "" {
-		return fmt.Errorf("ndp: -addr is required")
+	switch {
+	case o.addrs == "" && o.prefix == "":
+		return fmt.Errorf("ndp: one of -addr or -prefix is required")
+	case o.addrs != "" && o.prefix != "":
+		return fmt.Errorf("ndp: -addr and -prefix are mutually exclusive")
+	case o.prefix != "":
+		p, err := ip6.ParsePrefix(o.prefix)
+		if err != nil {
+			return err
+		}
+		if o.span < 1 || o.span > 1<<24 {
+			return fmt.Errorf("ndp: -span %d outside the 24-bit MAC suffix space", o.span)
+		}
+		var ouis []ip6.OUI
+		if o.ouis == "" {
+			ouis = oui.Builtin().All()
+		} else {
+			for _, s := range strings.Split(o.ouis, ",") {
+				ou, err := ip6.ParseOUI(strings.TrimSpace(s))
+				if err != nil {
+					return err
+				}
+				ouis = append(ouis, ou)
+			}
+		}
+		src := &zmap.CandidateSource{
+			Prefix: p, SubBits: o.subBits, OUIs: ouis, SuffixSpan: uint32(o.span),
+		}
+		res, err := experiments.ScanModalitySource(ctx, env, zmap.NDPModule{}, src, 0xd9)
+		if err != nil {
+			return err
+		}
+		for _, a := range res.Sources() {
+			mac, _ := ip6.MACFromAddr(a)
+			vendor, ok := oui.Builtin().Lookup(mac)
+			if !ok {
+				vendor = "unknown vendor"
+			}
+			fmt.Printf("%s  neighbor (%s, %s)\n", a, mac, vendor)
+		}
+		fmt.Printf("swept %d synthesized candidates (%d OUIs x %d suffixes per /%d): %d neighbors\n",
+			res.Stats.Sent, len(ouis), o.span, o.subBits, len(res.ByFrom))
+		return nil
 	}
 	var ts zmap.AddrTargets
 	for _, s := range strings.Split(o.addrs, ",") {
@@ -487,6 +576,39 @@ func runNDP(ctx context.Context, env *experiments.Env, args []string) error {
 	}
 	fmt.Printf("solicited %d addresses: %d neighbors\n", len(ts), len(res.ByFrom))
 	return nil
+}
+
+// runSnowball exposes the adaptive-discovery study: the paper's
+// follow-the-scent workflow over the engine's FeedbackSource, with the
+// one-shot and exhaustive strategies printed alongside for comparison.
+func runSnowball(ctx context.Context, env *experiments.Env, args []string) error {
+	fs, o := snowballFlags()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if o.prefixes == "" {
+		return fmt.Errorf("snowball: -prefix is required")
+	}
+	var prefixes []ip6.Prefix
+	for _, s := range strings.Split(o.prefixes, ",") {
+		p, err := ip6.ParsePrefix(strings.TrimSpace(s))
+		if err != nil {
+			return err
+		}
+		prefixes = append(prefixes, p)
+	}
+	res, err := experiments.AdaptiveDiscovery(ctx, env, experiments.AdaptiveConfig{
+		Prefixes:   prefixes,
+		CoarseBits: o.coarse,
+		FineBits:   o.fine,
+		StepBits:   o.step,
+		MaxRounds:  o.rounds,
+		Salt:       env.Scanner.Config.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	return experiments.AdaptiveRender(res, os.Stdout)
 }
 
 func runTrack(ctx context.Context, env *experiments.Env, args []string) error {

@@ -1,0 +1,70 @@
+// Adaptive snowball discovery (§3): the engine's fixed workloads scan
+// what they can count up front — one probe per sub-prefix of a known
+// list. The paper's actual workflow is adaptive: probe coarse
+// sub-prefixes, then *follow the scent* into the responsive ones,
+// spending refinement probes only where the periphery answered.
+//
+// This walkthrough runs the three strategies against a default-world
+// provider and prints the per-round hit-rate table:
+//
+//   - one-shot: a single coarse pass (one probe per /52) — cheap,
+//     blind, and incomplete;
+//   - snowball: the same coarse pass, then rounds of sub-prefix
+//     refinement driven by a zmap.FeedbackSource, descending to the
+//     /64 delegation floor only under blocks that responded;
+//   - exhaustive: one probe per /64 of everything — the completeness
+//     ceiling, at the full quarter-million-probe cost.
+//
+// Run with:
+//
+//	go run ./examples/adaptive_discovery
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"followscent/internal/experiments"
+	"followscent/internal/ip6"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The default simulated Internet; the discovery surface is
+	// Wersatel's Figure 9/10 pool — a /46 of /64 delegations whose
+	// ~21k devices sit in four contiguous DHCPv6-style clusters, i.e.
+	// exactly the kind of sparse-but-clustered space where blind
+	// enumeration wastes almost every probe. The snowball is seeded
+	// only by the covering prefix: no address list, no inventory.
+	env := experiments.NewEnv(42)
+	roots := []ip6.Prefix{ip6.MustParsePrefix("2001:16b8:100::/46")}
+	fmt.Printf("seed prefixes: %v\n", roots)
+	fmt.Printf("strategy: sample each /52 once, follow responsive blocks down to /64\n\n")
+
+	res, err := experiments.AdaptiveDiscovery(context.Background(), env, experiments.AdaptiveConfig{
+		Prefixes: roots,
+		FineBits: 64,
+		Salt:     7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := experiments.AdaptiveRender(res, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// The adaptive tradeoff, in the study's own numbers: refinement
+	// rounds concentrate probes where the periphery answered (watch the
+	// hit rate climb from the blind coarse pass to the dense clusters),
+	// while a coarse block whose single sample missed is abandoned —
+	// the completeness the snowball gives up versus the blind full
+	// sweep, bought back many times over in probe cost.
+	fmt.Printf("\nsnowball found %.0f%% of the exhaustive periphery using %.0f%% of its probes\n",
+		100*float64(res.Snowball())/float64(res.Exhaustive),
+		100*float64(res.SnowballProbes)/float64(res.ExhaustiveProbes))
+	fmt.Printf("the one-shot coarse pass alone heard %.0f%%\n",
+		100*float64(res.OneShot)/float64(res.Exhaustive))
+}

@@ -39,11 +39,19 @@ func (r *ModalityResult) Sources() []ip6.Addr {
 // perturbs the scan-order seed exactly as Scanner.Scan does, so equal
 // salts across modalities probe comparable orders.
 func ScanModality(ctx context.Context, env *Env, module zmap.ProbeModule, ts zmap.TargetSet, salt uint64) (*ModalityResult, error) {
+	return ScanModalitySource(ctx, env, module, zmap.NewPermutedSource(ts), salt)
+}
+
+// ScanModalitySource is ScanModality over an arbitrary target source —
+// the entry point for generator-backed sweeps, where the target list is
+// synthesized rather than materialized (`scent ndp -prefix` streams
+// EUI-64 candidates from a zmap.CandidateSource through here).
+func ScanModalitySource(ctx context.Context, env *Env, module zmap.ProbeModule, src zmap.TargetSource, salt uint64) (*ModalityResult, error) {
 	sc := *env.Scanner // shallow copy: Config is a value, mutating Module is local
 	sc.Config.Module = module
 	res := &ModalityResult{ByFrom: make(map[ip6.Addr]zmap.Result)}
 	var mu sync.Mutex
-	st, err := sc.Scan(ctx, ts, salt, func(r zmap.Result) {
+	st, err := sc.ScanSource(ctx, src, salt, func(r zmap.Result) {
 		mu.Lock()
 		res.ByFrom[r.From] = r
 		mu.Unlock()

@@ -2,6 +2,8 @@ package ip6
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 )
 
 // MAC is an IEEE 802 48-bit hardware address.
@@ -47,6 +49,42 @@ func MustParseMAC(s string) MAC {
 		panic(err)
 	}
 	return m
+}
+
+// ParseOUI parses a colon-separated OUI such as "38:10:d5". Exactly
+// three two-digit hex groups are accepted: a full MAC passed by
+// mistake is rejected rather than silently truncated to its vendor.
+func ParseOUI(s string) (OUI, error) {
+	var o OUI
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return OUI{}, fmt.Errorf("ip6: invalid OUI %q", s)
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 16, 8)
+		if err != nil || len(p) != 2 {
+			return OUI{}, fmt.Errorf("ip6: invalid OUI %q", s)
+		}
+		o[i] = byte(v)
+	}
+	return o, nil
+}
+
+// MustParseOUI parses an OUI, panicking on error.
+func MustParseOUI(s string) OUI {
+	o, err := ParseOUI(s)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// MACFromOUI returns the MAC with the given vendor OUI and 24-bit
+// device suffix — the structure of real IEEE assignment, where a vendor
+// hands out suffixes within its OUI block. Candidate generation sweeps
+// this suffix space. Suffixes wider than 24 bits are truncated.
+func MACFromOUI(o OUI, suffix uint32) MAC {
+	return MAC{o[0], o[1], o[2], byte(suffix >> 16), byte(suffix >> 8), byte(suffix)}
 }
 
 // The modified EUI-64 transform (RFC 4291 Appendix A): the 48-bit MAC is

@@ -264,6 +264,49 @@ func TestMACParsing(t *testing.T) {
 	}
 }
 
+func TestOUIParsing(t *testing.T) {
+	o, err := ParseOUI("38:10:d5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.String() != "38:10:d5" {
+		t.Errorf("String = %s", o)
+	}
+	if MustParseOUI("38:10:d5") != o {
+		t.Error("MustParseOUI differs from ParseOUI")
+	}
+	if _, err := ParseOUI("junk"); err == nil {
+		t.Error("ParseOUI accepted garbage")
+	}
+	// Exactly three two-digit groups: a full MAC must be rejected, not
+	// silently truncated to its vendor prefix.
+	for _, bad := range []string{"38:10:d5:aa:bb:cc", "38:10", "381:0:d5", "38:10:d", "38:10:"} {
+		if _, err := ParseOUI(bad); err == nil {
+			t.Errorf("ParseOUI accepted %q", bad)
+		}
+	}
+}
+
+func TestMACFromOUI(t *testing.T) {
+	o := MustParseOUI("38:10:d5")
+	if got := MACFromOUI(o, 0xaabbcc).String(); got != "38:10:d5:aa:bb:cc" {
+		t.Errorf("MACFromOUI = %s", got)
+	}
+	if got := MACFromOUI(o, 7); got != MustParseMAC("38:10:d5:00:00:07") {
+		t.Errorf("MACFromOUI(7) = %s", got)
+	}
+	if MACFromOUI(o, 5).OUI() != o {
+		t.Error("MACFromOUI changed the OUI")
+	}
+	// The candidate-sweep round trip: synthesized MAC -> EUI-64 IID ->
+	// recovered MAC.
+	m := MACFromOUI(o, 0x123456)
+	back, ok := MACFromEUI64(EUI64FromMAC(m))
+	if !ok || back != m {
+		t.Fatalf("round trip = %v %v", back, ok)
+	}
+}
+
 func TestAddrEUIHelpers(t *testing.T) {
 	a := MustParseAddr("2001:16b8:501:aa00:3a10:d5ff:feaa:bbcc")
 	if !AddrIsEUI64(a) {

@@ -13,8 +13,10 @@ package oui
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync"
 
@@ -81,6 +83,22 @@ func (r *Registry) OUIs(vendor string) []ip6.OUI {
 	defer r.mu.RUnlock()
 	out := make([]ip6.OUI, len(r.byName[vendor]))
 	copy(out, r.byName[vendor])
+	return out
+}
+
+// All returns every registered OUI in ascending numeric order — the
+// deterministic candidate basis an on-link sweep synthesizes EUI-64
+// addresses from when no vendor shortlist is given.
+func (r *Registry) All() []ip6.OUI {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]ip6.OUI, 0, len(r.vendors))
+	for o := range r.vendors {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return bytes.Compare(out[i][:], out[j][:]) < 0
+	})
 	return out
 }
 

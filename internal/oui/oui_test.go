@@ -104,6 +104,35 @@ func TestOUIsReturnsCopy(t *testing.T) {
 	}
 }
 
+func TestAllSortedAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.Add(ip6.OUI{9, 0, 0}, "B")
+	r.Add(ip6.OUI{1, 2, 3}, "A")
+	r.Add(ip6.OUI{1, 2, 2}, "A")
+	all := r.All()
+	if len(all) != 3 {
+		t.Fatalf("All returned %d OUIs, want 3", len(all))
+	}
+	want := []ip6.OUI{{1, 2, 2}, {1, 2, 3}, {9, 0, 0}}
+	for i := range want {
+		if all[i] != want[i] {
+			t.Fatalf("All[%d] = %v, want %v (must be ascending)", i, all[i], want[i])
+		}
+	}
+	// The builtin registry is the candidate basis for OUI sweeps: every
+	// OUI it returns must resolve back to a vendor.
+	b := Builtin()
+	balls := b.All()
+	if len(balls) != b.Len() {
+		t.Fatalf("Builtin().All() returned %d of %d OUIs", len(balls), b.Len())
+	}
+	for _, o := range balls {
+		if _, ok := b.LookupOUI(o); !ok {
+			t.Fatalf("builtin OUI %v has no vendor", o)
+		}
+	}
+}
+
 func TestConcurrentAccess(t *testing.T) {
 	r := NewRegistry()
 	done := make(chan struct{})

@@ -92,8 +92,11 @@ func Generate(ctx context.Context, newTransport func() (zmap.Transport, error), 
 	if err != nil {
 		return nil, err
 	}
+	// The campaign rides the engine's source layer explicitly: the
+	// routed-/48 target set walked through one cyclic permutation, so the
+	// traced (target, ttl) set is byte-identical for every worker count.
 	col := yarrp.NewCollector()
-	if _, err := yarrp.TraceWorkers(ctx, func(int) (zmap.Transport, error) { return newTransport() }, ts, yarrp.Config{
+	if _, err := yarrp.TraceSource(ctx, func(int) (zmap.Transport, error) { return newTransport() }, zmap.NewPermutedSource(ts), yarrp.Config{
 		Source:   cfg.Vantage,
 		MaxTTL:   cfg.MaxTTL,
 		Seed:     cfg.Seed,

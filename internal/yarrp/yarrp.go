@@ -196,11 +196,18 @@ func Trace(ctx context.Context, tr zmap.Transport, ts zmap.TargetSet, cfg Config
 // the (target × TTL) permutation exactly as zmap.ScanWorkers partitions
 // a scan — the swept set is byte-identical for every worker count.
 func TraceWorkers(ctx context.Context, factory zmap.TransportFactory, ts zmap.TargetSet, cfg Config, h Handler) (Stats, error) {
+	return TraceSource(ctx, factory, zmap.NewPermutedSource(ts), cfg, h)
+}
+
+// TraceSource runs a sweep over an arbitrary target source — the
+// hop-limit module composed with the engine's source layer, so a sweep
+// can ride a generator-backed or feedback source exactly like any scan.
+func TraceSource(ctx context.Context, factory zmap.TransportFactory, src zmap.TargetSource, cfg Config, h Handler) (Stats, error) {
 	zcfg, err := engineConfig(cfg)
 	if err != nil {
 		return Stats{}, err
 	}
-	st, err := zmap.ScanWorkers(ctx, factory, ts, zcfg, hopHandler(h))
+	st, err := zmap.ScanSource(ctx, factory, src, zcfg, hopHandler(h))
 	return Stats(st), err
 }
 

@@ -40,24 +40,42 @@ const maxCycleDomain = 1<<32 - 6
 
 // NewCycle returns a permutation of [0, n) seeded by seed.
 func NewCycle(n uint64, seed uint64) (*Cycle, error) {
-	if n == 0 {
-		return nil, fmt.Errorf("zmap: empty cycle domain")
-	}
-	if n > maxCycleDomain {
-		return nil, fmt.Errorf("zmap: cycle domain %d exceeds %d", n, maxCycleDomain)
-	}
-	p := nextPrime(n + 1) // p > n so indices 1..n are all in the group
-	g, err := findGenerator(p)
+	p, g, err := cycleGroup(n)
 	if err != nil {
 		return nil, err
 	}
+	return newCycleFromGroup(n, p, g, seed), nil
+}
+
+// cycleGroup finds the multiplicative group for a domain: the smallest
+// prime p > n and a generator of (Z/pZ)*. The search depends only on n,
+// so callers walking the same domain repeatedly (one stream per worker
+// per attempt) can cache the pair and skip the primality and
+// factorization work.
+func cycleGroup(n uint64) (p, g uint64, err error) {
+	if n == 0 {
+		return 0, 0, fmt.Errorf("zmap: empty cycle domain")
+	}
+	if n > maxCycleDomain {
+		return 0, 0, fmt.Errorf("zmap: cycle domain %d exceeds %d", n, maxCycleDomain)
+	}
+	p = nextPrime(n + 1) // p > n so indices 1..n are all in the group
+	g, err = findGenerator(p)
+	if err != nil {
+		return 0, 0, err
+	}
+	return p, g, nil
+}
+
+// newCycleFromGroup builds a cycle over a precomputed group.
+func newCycleFromGroup(n, p, g, seed uint64) *Cycle {
 	// Start at a seed-dependent group element (never the identity's
 	// predecessor pattern): g^(seed mod (p-1)) with exponent >= 1.
 	e := seed%(p-1) + 1
 	start := powMod(g, e, p)
 	c := &Cycle{n: n, p: p, g: g, start: start, cur: start}
 	c.pinv, _ = bits.Div64(1, 0, p) // floor(2^64 / p); p >= 2
-	return c, nil
+	return c
 }
 
 // Len returns the domain size.

@@ -6,15 +6,21 @@
 //
 // # Architecture
 //
-// The engine (Scan, ScanWorkers, Scanner) owns everything probe-type
-// agnostic: walking the permutation, partitioning it across workers and
-// shards so the probed set is byte-identical for every worker count,
-// moving bytes through Transports, pacing, and the stats counters. A
-// ProbeModule owns everything probe-type specific: how a probe packet
-// is built (Prober) and how a response is authenticated and mapped back
-// to the probed target (Validate, and optionally RawValidator for
-// responses that are not ICMPv6). Five modules exist across the
-// repository:
+// The engine (Scan, ScanWorkers, ScanSource, Scanner) owns everything
+// probe-type agnostic: walking target streams, partitioning them across
+// workers and shards so the probed set is byte-identical for every
+// worker count, moving bytes through Transports, pacing, and the stats
+// counters. Two plugin layers parameterize it. A TargetSource owns
+// target generation — PermutedSource walks an indexable TargetSet
+// through the cyclic permutation (the classic fixed workload),
+// CandidateSource streams EUI-64 candidates synthesized from vendor
+// OUIs, and FeedbackSource turns confirmed discoveries into the next
+// round's refinement targets (adaptive snowball discovery); the
+// contract and determinism rules are DESIGN.md §8. A ProbeModule owns
+// everything probe-type specific: how a probe packet is built (Prober)
+// and how a response is authenticated and mapped back to the probed
+// target (Validate, and optionally RawValidator for responses that are
+// not ICMPv6). Five modules exist across the repository:
 //
 //	EchoModule        ICMPv6 Echo Request, the paper's §3.1 probe (default)
 //	yarrp.HopLimitModule  echo at TTL 1..MaxTTL, the traceroute baseline

@@ -123,19 +123,29 @@ func Scan(ctx context.Context, tr Transport, ts TargetSet, cfg Config, h Handler
 	return ScanWorkers(ctx, func(int) (Transport, error) { return shared.ref(), nil }, ts, cfg, h)
 }
 
-// ScanWorkers runs a multi-worker scan: cfg.Workers workers, each with
+// ScanWorkers runs a multi-worker scan over an indexable TargetSet,
+// walked through the cyclic permutation: cfg.Workers workers, each with
 // its own transport from the factory, partition this instance's shard of
 // the probe-position permutation (targets × the module's multiplier).
 // The union of the workers' probe sets is byte-identical to a sequential
 // scan with the same seed, and each worker's probe order is a
 // subsequence of the sequential order.
 func ScanWorkers(ctx context.Context, factory TransportFactory, ts TargetSet, cfg Config, h Handler) (Stats, error) {
+	return ScanSource(ctx, factory, NewPermutedSource(ts), cfg, h)
+}
+
+// ScanSource runs a multi-worker scan over an arbitrary TargetSource —
+// the general entry point behind ScanWorkers. The source owns target
+// generation (which pairs, in what order, partitioned how); the engine
+// owns everything else. Sources with a known length of zero fail
+// up-front; unbounded sources run until their streams end or the
+// context is cancelled.
+func ScanSource(ctx context.Context, factory TransportFactory, src TargetSource, cfg Config, h Handler) (Stats, error) {
 	cfg.fill()
 	if cfg.Shard < 0 || cfg.Shard >= cfg.Shards {
 		return Stats{}, fmt.Errorf("zmap: shard %d of %d out of range", cfg.Shard, cfg.Shards)
 	}
-	n := ts.Len()
-	if n == 0 {
+	if n, known := src.Positions(&cfg); known && n == 0 {
 		return Stats{}, fmt.Errorf("zmap: empty target set")
 	}
 
@@ -145,9 +155,8 @@ func ScanWorkers(ctx context.Context, factory TransportFactory, ts TargetSet, cf
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	e := &engine{cfg: cfg, ts: ts, mult: cfg.multiplier(), handler: h, abort: cancel}
+	e := &engine{cfg: cfg, src: src, handler: h, abort: cancel}
 	e.raw, _ = cfg.Module.(RawValidator)
-	e.domain = n * e.mult
 	if h != nil && cfg.Workers > 1 && !cfg.ConcurrentHandlers {
 		// Merge stage: funnel every worker's results through one lock so
 		// the Handler sees serialized calls, as with a single worker.
@@ -221,9 +230,7 @@ func ScanWorkers(ctx context.Context, factory TransportFactory, ts TargetSet, cf
 // engine is the shared state of one scan's worker pool.
 type engine struct {
 	cfg     Config
-	ts      TargetSet
-	mult    uint64 // probe positions per target (module multiplier)
-	domain  uint64 // targets × mult: the permuted position space
+	src     TargetSource
 	handler Handler
 	raw     RawValidator // non-nil when the module validates non-ICMPv6 responses
 	abort   context.CancelFunc
@@ -254,18 +261,13 @@ func (e *engine) firstErr() error {
 	return e.err
 }
 
-// send is worker w's probe loop: permuted order, two-level shard filter
-// (instance shard, then worker sub-shard), pacing. Exactly one of tr
-// (asynchronous transport) and ex (synchronous fast path) is non-nil.
-// All probe knowledge lives in the module's Prober: the engine only
-// walks positions and moves bytes.
+// send is worker w's probe loop: it walks the source's per-worker
+// stream (the source owns ordering and the two-level shard partition)
+// and paces. Exactly one of tr (asynchronous transport) and ex
+// (synchronous fast path) is non-nil. All probe knowledge lives in the
+// module's Prober: the engine only walks streams and moves bytes.
 func (e *engine) send(ctx context.Context, w int, tr Transport, ex Exchanger) {
 	cfg := &e.cfg
-	cyc, err := NewCycle(e.domain, cfg.Seed)
-	if err != nil {
-		e.fail(err)
-		return
-	}
 	// Each worker paces at Rate/Workers, expressed as a stretched
 	// interval so the aggregate rate honours the cap exactly even when
 	// Rate does not divide by Workers (or is smaller than Workers).
@@ -280,49 +282,32 @@ func (e *engine) send(ctx context.Context, w int, tr Transport, ex Exchanger) {
 	var pkt icmp6.Packet
 	done := ctx.Done()
 	for attempt := 0; attempt < cfg.ProbesPerTarget; attempt++ {
-		// The position counters reset every attempt so each re-probe pass
-		// covers the same sub-shard of targets as the first. shardCnt and
-		// workerCnt are the wrapped position counters of the two-level
-		// filter (position mod Shards selects the instance's shard;
-		// in-shard position mod Workers selects this worker's sub-shard),
-		// kept as counters so the hot loop divides nothing.
-		cyc.Reset()
-		shardCnt, workerCnt, poll := 0, 0, 0
+		// A fresh stream every attempt, so each re-probe pass covers the
+		// same sub-shard of targets as the first.
+		st, err := e.src.Stream(cfg, w)
+		if err != nil {
+			e.fail(err)
+			return
+		}
+		poll := 0
 		for {
-			i, ok := cyc.Next()
+			target, pos, ok := st.Next()
 			if !ok {
 				break
 			}
-			mine := shardCnt == cfg.Shard
-			if shardCnt++; shardCnt == cfg.Shards {
-				shardCnt = 0
-			}
-			if !mine {
-				continue
-			}
-			mine = workerCnt == w
-			if workerCnt++; workerCnt == cfg.Workers {
-				workerCnt = 0
-			}
-			if !mine {
-				continue
-			}
 			if poll--; poll < 0 {
 				// Cancellation is polled every 64 probes: cheap enough to
-				// never matter, frequent enough to stop promptly.
+				// never matter, frequent enough to stop promptly — the only
+				// stop an unbounded source gets besides stream exhaustion.
 				poll = 63
 				select {
 				case <-done:
+					closeStream(st)
 					e.setErr(ctx.Err())
 					return
 				default:
 				}
 			}
-			pos := 0
-			if e.mult > 1 {
-				i, pos = i/e.mult, int(i%e.mult)
-			}
-			target := e.ts.At(i)
 			sendBuf := prober.MakeProbe(target, pos, attempt)
 			if ex != nil {
 				resp, ok := ex.Exchange(sendBuf, respBuf[:0])
@@ -334,6 +319,7 @@ func (e *engine) send(ctx context.Context, w int, tr Transport, ex Exchanger) {
 				}
 			} else {
 				if err := tr.Send(sendBuf); err != nil {
+					closeStream(st)
 					e.fail(err)
 					return
 				}
@@ -341,6 +327,16 @@ func (e *engine) send(ctx context.Context, w int, tr Transport, ex Exchanger) {
 			}
 			pacer.wait()
 		}
+		closeStream(st)
+	}
+}
+
+// closeStream releases a stream's resources when its walk ends for any
+// reason — exhaustion, cancellation or transport failure. Generator-
+// backed streams rely on this to stop their feeding goroutines.
+func closeStream(st Stream) {
+	if c, ok := st.(io.Closer); ok {
+		c.Close()
 	}
 }
 

@@ -24,7 +24,14 @@ type Scanner struct {
 // Scan runs one pass over ts. salt perturbs the scan-order seed;
 // passing the same salt reproduces the same probe order and target IIDs.
 func (s *Scanner) Scan(ctx context.Context, ts TargetSet, salt uint64, h Handler) (Stats, error) {
+	return s.ScanSource(ctx, NewPermutedSource(ts), salt, h)
+}
+
+// ScanSource runs one pass over an arbitrary target source — the entry
+// point for generator-backed sweeps (CandidateSource) and feedback
+// rounds (FeedbackSource), with the same salt semantics as Scan.
+func (s *Scanner) ScanSource(ctx context.Context, src TargetSource, salt uint64, h Handler) (Stats, error) {
 	cfg := s.Config
 	cfg.Seed = hash2(cfg.Seed, salt)
-	return ScanWorkers(ctx, func(int) (Transport, error) { return s.NewTransport() }, ts, cfg, h)
+	return ScanSource(ctx, func(int) (Transport, error) { return s.NewTransport() }, src, cfg, h)
 }

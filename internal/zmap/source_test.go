@@ -1,0 +1,382 @@
+package zmap
+
+import (
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"followscent/internal/ip6"
+	"followscent/internal/simnet"
+)
+
+// collectStream drains one worker's stream into (target, pos) pairs.
+func collectStream(t *testing.T, src TargetSource, cfg Config, worker int) []probe {
+	t.Helper()
+	st, err := src.Stream(&cfg, worker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []probe
+	for {
+		target, pos, ok := st.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, probe{target, uint16(pos)})
+	}
+}
+
+// TestCandidateSourceDeterminism pins the generator-backed source's
+// contract: the enumeration is exhaustive and duplicate-free, every
+// candidate is an EUI-64 address embedding one of the configured OUIs
+// inside the swept prefix, and the union of the worker sub-streams is
+// the same set for every worker count.
+func TestCandidateSourceDeterminism(t *testing.T) {
+	prefix := ip6.MustParsePrefix("2001:db8:77::/48")
+	ouis := []ip6.OUI{ip6.MustParseOUI("38:10:d5"), ip6.MustParseOUI("00:19:c6")}
+	src := &CandidateSource{Prefix: prefix, SubBits: 56, OUIs: ouis, SuffixSpan: 8}
+
+	cfg := Config{Source: vantage, Seed: 5, Workers: 1}
+	cfg.fill()
+	want := uint64(256 * 2 * 8)
+	if n, ok := src.Positions(&cfg); !ok || n != want {
+		t.Fatalf("Positions = %d, %v; want %d, true", n, ok, want)
+	}
+	seq := collectStream(t, src, cfg, 0)
+	if uint64(len(seq)) != want {
+		t.Fatalf("sequential stream emitted %d candidates, want %d", len(seq), want)
+	}
+	ouiSet := map[ip6.OUI]bool{ouis[0]: true, ouis[1]: true}
+	seen := map[probe]bool{}
+	for _, p := range seq {
+		if seen[p] {
+			t.Fatalf("duplicate candidate %v", p)
+		}
+		seen[p] = true
+		if !prefix.Contains(p.target) {
+			t.Fatalf("candidate %s outside %s", p.target, prefix)
+		}
+		mac, ok := ip6.MACFromAddr(p.target)
+		if !ok {
+			t.Fatalf("candidate %s is not EUI-64", p.target)
+		}
+		if !ouiSet[mac.OUI()] {
+			t.Fatalf("candidate %s embeds unexpected OUI %s", p.target, mac.OUI())
+		}
+	}
+	wantSorted := sortedProbes(seq)
+
+	for _, workers := range []int{2, 4} {
+		wcfg := cfg
+		wcfg.Workers = workers
+		var all []probe
+		for w := 0; w < workers; w++ {
+			ps := collectStream(t, src, wcfg, w)
+			if !isSubsequence(ps, seq) {
+				t.Errorf("workers=%d: worker %d order is not a subsequence of the sequential order", workers, w)
+			}
+			all = append(all, ps...)
+		}
+		got := sortedProbes(all)
+		if len(got) != len(wantSorted) {
+			t.Fatalf("workers=%d: %d candidates, want %d", workers, len(got), len(wantSorted))
+		}
+		for i := range got {
+			if got[i] != wantSorted[i] {
+				t.Fatalf("workers=%d: candidate set differs at %d", workers, i)
+			}
+		}
+	}
+}
+
+func TestCandidateSourceRejectsBadConfig(t *testing.T) {
+	prefix := ip6.MustParsePrefix("2001:db8::/48")
+	oui := ip6.MustParseOUI("38:10:d5")
+	cfg := Config{Workers: 1}
+	cfg.fill()
+	for name, src := range map[string]*CandidateSource{
+		"no OUIs":       {Prefix: prefix, SuffixSpan: 1},
+		"sub too short": {Prefix: prefix, SubBits: 40, OUIs: []ip6.OUI{oui}, SuffixSpan: 1},
+		"sub past IID":  {Prefix: prefix, SubBits: 72, OUIs: []ip6.OUI{oui}, SuffixSpan: 1},
+	} {
+		if _, err := src.Stream(&cfg, 0); err == nil {
+			t.Errorf("%s: Stream accepted invalid source", name)
+		}
+	}
+}
+
+// TestCandidateSourceNDPEndToEnd is the ROADMAP's on-link sweep source,
+// end to end: soliciting OUI-synthesized EUI-64 candidates across a
+// pool finds exactly the devices whose MACs fall inside the swept
+// vendor/suffix space — no explicit address list anywhere.
+func TestCandidateSourceNDPEndToEnd(t *testing.T) {
+	avm := "38:10:d5"
+	w := simnet.MustBuild(simnet.WorldSpec{
+		Seed: 31,
+		Providers: []simnet.ProviderSpec{{
+			ASN: 65031, Name: "SweepNet", Country: "DE",
+			Allocations: []string{"2001:db8::/32"},
+			Pools: []simnet.PoolSpec{{
+				Prefix: "2001:db8:40::/48", AllocBits: 56,
+				Rotation: simnet.RotationPolicy{Kind: simnet.RotateNone},
+				// Occupancy 0: the population is exactly the fixtures below.
+				ExtraCPE: []simnet.ExtraCPESpec{
+					{MAC: avm + ":00:00:01"},
+					{MAC: avm + ":00:00:03"},
+					{MAC: avm + ":00:00:07"},
+					{MAC: avm + ":00:01:00"},   // suffix 256: outside the span
+					{MAC: "00:19:c6:00:00:02"}, // ZTE: outside the OUI list
+				},
+			}},
+		}},
+	})
+	pool := w.Providers()[0].Pools[0]
+	wantFound := map[ip6.Addr]bool{}
+	for i := range pool.CPEs() {
+		c := &pool.CPEs()[i]
+		wan := pool.WANAddrNow(c)
+		suffix := uint32(c.MAC[3])<<16 | uint32(c.MAC[4])<<8 | uint32(c.MAC[5])
+		if c.MAC.OUI() == ip6.MustParseOUI(avm) && suffix < 16 {
+			wantFound[wan] = true
+		}
+	}
+	if len(wantFound) != 3 {
+		t.Fatalf("fixture produced %d in-span devices, want 3", len(wantFound))
+	}
+
+	src := &CandidateSource{
+		Prefix:     pool.Prefix,
+		SubBits:    56, // the pool's allocation size: WANs sit in each block's first /64
+		OUIs:       []ip6.OUI{ip6.MustParseOUI(avm)},
+		SuffixSpan: 16,
+	}
+	found := map[ip6.Addr]bool{}
+	var mu sync.Mutex
+	stats, err := ScanSource(context.Background(), func(int) (Transport, error) {
+		return NewLoopback(w, 0), nil
+	}, src, Config{Source: vantage, Seed: 9, Module: NDPModule{}}, func(r Result) {
+		mu.Lock()
+		found[r.From] = true
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(256 * 16); stats.Sent != want {
+		t.Fatalf("sent %d solicitations, want %d", stats.Sent, want)
+	}
+	if len(found) != len(wantFound) {
+		t.Fatalf("found %d neighbors %v, want %d", len(found), found, len(wantFound))
+	}
+	for wan := range wantFound {
+		if !found[wan] {
+			t.Fatalf("in-span device %s not found", wan)
+		}
+	}
+}
+
+// TestFeedbackSourcePushOrderInvariant pins the snowball determinism
+// rule: a round's target set is a pure function of the *set* of pushes
+// that preceded it, not their order — the property that makes feedback
+// rounds worker-count-invariant.
+func TestFeedbackSourcePushOrderInvariant(t *testing.T) {
+	expand := func(d ip6.Addr) []ip6.Addr {
+		base := d.TruncateTo(56)
+		return []ip6.Addr{
+			base.Subprefix(0, 60).Addr().WithIID(1),
+			base.Subprefix(1, 60).Addr().WithIID(2),
+		}
+	}
+	discoveries := []ip6.Addr{
+		ip6.MustParseAddr("2001:db8:1:100::5"),
+		ip6.MustParseAddr("2001:db8:1:200::6"),
+		ip6.MustParseAddr("2001:db8:1:300::7"),
+	}
+	build := func(order []int) [][]ip6.Addr {
+		fs := NewFeedbackSource(expand)
+		fs.PushTargets(discoveries...)
+		var rounds [][]ip6.Addr
+		fs.NextRound()
+		rounds = append(rounds, fs.RoundTargets())
+		for _, i := range order {
+			fs.Push(discoveries[i])
+		}
+		fs.NextRound()
+		rounds = append(rounds, fs.RoundTargets())
+		return rounds
+	}
+	a := build([]int{0, 1, 2})
+	b := build([]int{2, 0, 1, 1, 0}) // different order, with repeats
+	for r := range a {
+		if len(a[r]) != len(b[r]) {
+			t.Fatalf("round %d sizes differ: %d vs %d", r, len(a[r]), len(b[r]))
+		}
+		for i := range a[r] {
+			if a[r][i] != b[r][i] {
+				t.Fatalf("round %d target %d differs: %s vs %s", r, i, a[r][i], b[r][i])
+			}
+		}
+	}
+	// Re-pushing an expanded discovery must not re-open its space.
+	fs := NewFeedbackSource(expand)
+	fs.PushTargets(discoveries[0])
+	fs.NextRound()
+	fs.Push(discoveries[0])
+	fs.NextRound()
+	if n := len(fs.RoundTargets()); n != 2 {
+		t.Fatalf("first expansion yielded %d targets, want 2", n)
+	}
+	fs.Push(discoveries[0])
+	if fs.NextRound() != 0 {
+		t.Fatal("re-pushed discovery re-opened exhausted space")
+	}
+	if fs.Round() != 3 {
+		t.Fatalf("Round = %d, want 3", fs.Round())
+	}
+}
+
+// unboundedSource is a generator-backed source with no known length:
+// one feeding goroutine produces candidate targets into a shared
+// channel that every worker's stream drains. Closing any stream stops
+// the generator and closes the channel, unblocking the other workers —
+// the teardown contract TestUnboundedSourceAbortsOnTransportError
+// exercises.
+type unboundedSource struct {
+	ch      chan ip6.Addr
+	stop    chan struct{}
+	done    chan struct{}
+	once    sync.Once
+	started sync.Once
+}
+
+func newUnboundedSource() *unboundedSource {
+	return &unboundedSource{
+		ch:   make(chan ip6.Addr),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+func (u *unboundedSource) Positions(*Config) (uint64, bool) { return 0, false }
+
+func (u *unboundedSource) Stream(cfg *Config, worker int) (Stream, error) {
+	u.started.Do(func() {
+		go func() {
+			defer close(u.done)
+			defer close(u.ch)
+			base := ip6.MustParseAddr("2001:db8::").Uint128()
+			for i := uint64(1); ; i++ {
+				select {
+				case u.ch <- ip6.AddrFrom128(base).WithIID(i):
+				case <-u.stop:
+					return
+				}
+			}
+		}()
+	})
+	return &unboundedStream{u: u}, nil
+}
+
+type unboundedStream struct{ u *unboundedSource }
+
+func (s *unboundedStream) Next() (ip6.Addr, int, bool) {
+	a, ok := <-s.u.ch
+	return a, 0, ok
+}
+
+func (s *unboundedStream) Close() error {
+	s.u.once.Do(func() { close(s.u.stop) })
+	return nil
+}
+
+// TestUnboundedSourceAbortsOnTransportError proves the abort path for
+// unknown-length sources: when one worker's transport fails, the
+// engine's internal abort context must drain the other workers, the
+// failing worker's stream Close must stop the shared generator, and the
+// scan must return the error — no deadlock, no leaked goroutine.
+func TestUnboundedSourceAbortsOnTransportError(t *testing.T) {
+	src := newUnboundedSource()
+	result := make(chan error, 1)
+	go func() {
+		_, err := ScanSource(context.Background(), func(w int) (Transport, error) {
+			if w == 0 {
+				return newFaultTransport(10, nil), nil // fails on the 11th send
+			}
+			return newRecTransport(), nil
+		}, src, Config{Source: vantage, Seed: 3, Workers: 4}, nil)
+		result <- err
+	}()
+
+	select {
+	case err := <-result:
+		if err == nil {
+			t.Fatal("scan over unbounded source returned nil after transport failure")
+		}
+		if errors.Is(err, context.Canceled) {
+			t.Fatalf("abort surfaced the cancellation (%v), not the transport error", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("scan over unbounded source deadlocked after transport failure")
+	}
+	select {
+	case <-src.done:
+		// Generator stopped: the failing worker's stream Close tore it
+		// down and the survivors' pending Next calls unblocked.
+	case <-time.After(30 * time.Second):
+		t.Fatal("generator goroutine still running after the scan aborted")
+	}
+}
+
+// TestFeedbackSourceNeedsRound pins the driver contract: scanning a
+// feedback source before the first NextRound is an error, and an empty
+// round is reported as an empty target set.
+func TestFeedbackSourceNeedsRound(t *testing.T) {
+	fs := NewFeedbackSource(nil)
+	_, err := ScanSource(context.Background(), func(int) (Transport, error) {
+		return newRecTransport(), nil
+	}, fs, Config{Source: vantage, Workers: 1}, nil)
+	if err == nil {
+		t.Fatal("scan before NextRound succeeded")
+	}
+	if !strings.Contains(err.Error(), "NextRound") {
+		t.Fatalf("missing-NextRound scan failed with %q, want the NextRound diagnostic", err)
+	}
+	fs.NextRound()
+	if _, err := ScanSource(context.Background(), func(int) (Transport, error) {
+		return newRecTransport(), nil
+	}, fs, Config{Source: vantage, Workers: 1}, nil); err == nil {
+		t.Fatal("scan of an empty round succeeded")
+	}
+}
+
+// TestPermutedSourceMatchesScanWorkers pins the source layer to the
+// engine's historical behaviour from the outside: streaming a
+// PermutedSource directly yields exactly the probes ScanWorkers sends,
+// worker by worker, in order.
+func TestPermutedSourceMatchesScanWorkers(t *testing.T) {
+	ts := testTargets(t)
+	cfg := Config{Source: vantage, Seed: 42, Workers: 3}
+	cfg.fill()
+	perWorker := scanRecorded(t, ts, cfg)
+	src := NewPermutedSource(ts)
+	for w := 0; w < cfg.Workers; w++ {
+		want := perWorker[w]
+		got := collectStream(t, src, cfg, w)
+		if len(got) != len(want) {
+			t.Fatalf("worker %d: stream emitted %d pairs, engine sent %d", w, len(got), len(want))
+		}
+		for i := range got {
+			// The engine's recorded seq is the echo sequence (the attempt,
+			// 0 here); the stream's pos for a multiplier-1 module is 0 too.
+			if got[i].target != want[i].target {
+				t.Fatalf("worker %d probe %d: stream %s, engine %s", w, i, got[i].target, want[i].target)
+			}
+		}
+	}
+}
+
+var _ io.Closer = (*unboundedStream)(nil)
