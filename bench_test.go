@@ -71,14 +71,16 @@ func mini(b *testing.B) *experiments.Study {
 		}
 		pool := experiments.Fig9Pool
 		var prefixes []ip6.Prefix
-		for i := uint64(0); i < pool.NumSubprefixes(48); i++ {
+		pool48s, _ := pool.NumSubprefixes(48)
+		for i := uint64(0); i < pool48s; i++ {
 			prefixes = append(prefixes, pool.Subprefix(i, 48))
 		}
 		// Also cover the provider-switch destinations so Figure 12 has
 		// both sides of each move.
 		dt, _ := s.Env.World.ProviderByASN(simnet.ASDTRes)
 		dtPool := dt.Pools[0].Prefix
-		for i := uint64(0); i < dtPool.NumSubprefixes(48); i++ {
+		dt48s, _ := dtPool.NumSubprefixes(48)
+		for i := uint64(0); i < dt48s; i++ {
 			prefixes = append(prefixes, dtPool.Subprefix(i, 48))
 		}
 		s.Discovery = &core.DiscoveryResult{Rotating48s: prefixes}
@@ -513,6 +515,47 @@ func BenchmarkAdaptive_Snowball(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(res.Snowball()), "periphery")
+		b.ReportMetric(float64(res.SnowballProbes), "probes")
+	}
+}
+
+// BenchmarkAdaptive_OUILearning times the §6 OUI-learning snowball end
+// to end on a vendor-fleet world: the MLD listener seed, the learned
+// vendor-window NDP rounds through the feedback source, and the blind
+// guess-every-vendor reference sweep it is compared to.
+func BenchmarkAdaptive_OUILearning(b *testing.B) {
+	fleetPool := ip6.MustParsePrefix("2001:db8:40::/48")
+	var extras []simnet.ExtraCPESpec
+	for i := 0; i < 64; i++ {
+		suffix := 0x7a00 + i
+		extras = append(extras, simnet.ExtraCPESpec{
+			MAC:    fmt.Sprintf("38:10:d5:%02x:%02x:%02x", suffix>>16, suffix>>8&0xff, suffix&0xff),
+			Silent: i%2 == 0,
+		})
+	}
+	env := experiments.NewEnvFor(simnet.MustBuild(simnet.WorldSpec{
+		Seed: 31,
+		Providers: []simnet.ProviderSpec{{
+			ASN: 65051, Name: "FleetNet", Country: "DE",
+			Allocations:    []string{"2001:db8::/32"},
+			BorderRespProb: 0.3,
+			Pools: []simnet.PoolSpec{{
+				Prefix: fleetPool.String(), AllocBits: 56,
+				Rotation: simnet.RotationPolicy{Kind: simnet.RotateNone},
+				ExtraCPE: extras,
+			}},
+		}},
+	}), 31)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.OUISnowball(context.Background(), env, experiments.OUISnowballConfig{
+			Prefix: fleetPool,
+			Salt:   uint64(i) + 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Snowball()), "listeners")
 		b.ReportMetric(float64(res.SnowballProbes), "probes")
 	}
 }

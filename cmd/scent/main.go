@@ -22,7 +22,10 @@
 //	tcp       TCP-SYN-to-closed-port sweep of a prefix (RST-bearing edges)
 //	ndp       solicit addresses or OUI-synthesized EUI-64 candidates
 //	          on-link (NDP ground truth)
-//	snowball  adaptive coarse-then-refine discovery of a prefix set
+//	mld       MLD listener discovery: one General Query per delegation
+//	          link, full addresses from reports — no guessing
+//	snowball  adaptive coarse-then-refine discovery of a prefix set,
+//	          or (with -learn-oui) the on-link vendor-learning loop
 package main
 
 import (
@@ -70,11 +73,22 @@ commands:
                             /B sub-prefix) — occupied addresses
                             advertise themselves, even when they
                             filter ICMP
+  mld -prefix P [-sub B]    multicast listener discovery as an on-link
+                            vantage: one MLD General Query per /B
+                            delegation link — every listener reports
+                            its full address, ICMP-silent devices
+                            included, with nothing guessed
   snowball -prefix P[,Q,...] [-coarse B] [-fine B] [-step B] [-rounds N]
+           [-budget N] [-learn-oui [-seed-links N] [-learn-span N]]
                             adaptive discovery: sample each /B-coarse
                             sub-prefix once, then follow the scent into
                             the responsive blocks round by round down
-                            to the /B-fine delegation floor
+                            to the /B-fine delegation floor. With
+                            -learn-oui: the on-link vendor loop instead
+                            — MLD-seed N links, learn each confirmed
+                            device's vendor OUI, sweep the vendor's
+                            N-suffix neighborhood across every /B-fine
+                            delegation via NDP, within the probe budget
 `
 
 func usage() {
@@ -200,12 +214,29 @@ func ndpFlags() (*flag.FlagSet, *ndpOpts) {
 	return fs, o
 }
 
+type mldOpts struct {
+	prefix  string
+	subBits int
+}
+
+func mldFlags() (*flag.FlagSet, *mldOpts) {
+	o := &mldOpts{}
+	fs := flag.NewFlagSet("mld", flag.ExitOnError)
+	fs.StringVar(&o.prefix, "prefix", "", "prefix to sweep (required)")
+	fs.IntVar(&o.subBits, "sub", 56, "query one link per delegation of this length")
+	return fs, o
+}
+
 type snowballOpts struct {
-	prefixes string
-	coarse   int
-	fine     int
-	step     int
-	rounds   int
+	prefixes  string
+	coarse    int
+	fine      int
+	step      int
+	rounds    int
+	learnOUI  bool
+	seedLinks int
+	learnSpan int
+	budget    uint64
 }
 
 func snowballFlags() (*flag.FlagSet, *snowballOpts) {
@@ -216,6 +247,10 @@ func snowballFlags() (*flag.FlagSet, *snowballOpts) {
 	fs.IntVar(&o.fine, "fine", 56, "refinement floor: the snowball stops descending at this sub-prefix length")
 	fs.IntVar(&o.step, "step", 2, "bits descended per refinement round")
 	fs.IntVar(&o.rounds, "rounds", 16, "maximum snowball rounds")
+	fs.BoolVar(&o.learnOUI, "learn-oui", false, "on-link vendor loop: MLD-seed some links, learn vendors from EUI-64 listeners, sweep their suffix neighborhoods via NDP")
+	fs.IntVar(&o.seedLinks, "seed-links", 32, "with -learn-oui: delegation links MLD-queried in round 0")
+	fs.IntVar(&o.learnSpan, "learn-span", 64, "with -learn-oui: MAC-suffix window swept around each learned device")
+	fs.Uint64Var(&o.budget, "budget", 0, "probe budget: no new round starts past it (0 = unbounded)")
 	return fs, o
 }
 
@@ -229,6 +264,7 @@ func cliFlagSets() map[string]*flag.FlagSet {
 	traceFS, _ := traceFlags()
 	tcpFS, _ := tcpFlags()
 	ndpFS, _ := ndpFlags()
+	mldFS, _ := mldFlags()
 	snowballFS, _ := snowballFlags()
 	return map[string]*flag.FlagSet{
 		"seed":     flag.NewFlagSet("seed", flag.ExitOnError),
@@ -239,6 +275,7 @@ func cliFlagSets() map[string]*flag.FlagSet {
 		"trace":    traceFS,
 		"tcp":      tcpFS,
 		"ndp":      ndpFS,
+		"mld":      mldFS,
 		"snowball": snowballFS,
 	}
 }
@@ -279,6 +316,8 @@ func main() {
 		cmdErr = runTCPScan(ctx, env, flag.Args()[1:])
 	case "ndp":
 		cmdErr = runNDP(ctx, env, flag.Args()[1:])
+	case "mld":
+		cmdErr = runMLD(ctx, env, flag.Args()[1:])
 	case "snowball":
 		cmdErr = runSnowball(ctx, env, flag.Args()[1:])
 	default:
@@ -545,11 +584,7 @@ func runNDP(ctx context.Context, env *experiments.Env, args []string) error {
 		}
 		for _, a := range res.Sources() {
 			mac, _ := ip6.MACFromAddr(a)
-			vendor, ok := oui.Builtin().Lookup(mac)
-			if !ok {
-				vendor = "unknown vendor"
-			}
-			fmt.Printf("%s  neighbor (%s, %s)\n", a, mac, vendor)
+			fmt.Printf("%s  neighbor (%s, %s)\n", a, mac, oui.Builtin().NameOrUnknown(mac.OUI()))
 		}
 		fmt.Printf("swept %d synthesized candidates (%d OUIs x %d suffixes per /%d): %d neighbors\n",
 			res.Stats.Sent, len(ouis), o.span, o.subBits, len(res.ByFrom))
@@ -578,9 +613,55 @@ func runNDP(ctx context.Context, env *experiments.Env, args []string) error {
 	return nil
 }
 
-// runSnowball exposes the adaptive-discovery study: the paper's
-// follow-the-scent workflow over the engine's FeedbackSource, with the
-// one-shot and exhaustive strategies printed alongside for comparison.
+// runMLD exposes the multicast-listener-discovery probe module: the
+// second §6 on-link enumeration path. One MLD General Query per
+// delegation link, and every listener reports its full address — no
+// candidate synthesis, no address list, and even ICMP-silent devices
+// answer, because multicast listening is how the link delivers their
+// traffic.
+func runMLD(ctx context.Context, env *experiments.Env, args []string) error {
+	fs, o := mldFlags()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if o.prefix == "" {
+		return fmt.Errorf("mld: -prefix is required")
+	}
+	p, err := ip6.ParsePrefix(o.prefix)
+	if err != nil {
+		return err
+	}
+	if o.subBits > 64 {
+		// Links are /64s: delegations narrower than that are never
+		// distinct links, just byte-identical repeat queries.
+		return fmt.Errorf("mld: -sub %d past the /64 link granularity", o.subBits)
+	}
+	links, err := zmap.NewBaseTargets([]ip6.Prefix{p}, o.subBits)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.ScanModality(ctx, env, zmap.MLDModule{}, links, 0x71d)
+	if err != nil {
+		return err
+	}
+	for _, a := range res.Sources() {
+		if mac, ok := ip6.MACFromAddr(a); ok {
+			fmt.Printf("%s  listener (%s, %s)\n", a, mac, oui.Builtin().NameOrUnknown(mac.OUI()))
+		} else {
+			fmt.Printf("%s  listener (non-EUI-64 IID)\n", a)
+		}
+	}
+	fmt.Printf("queried %d links (one per /%d): %d listeners\n",
+		links.Len(), o.subBits, len(res.ByFrom))
+	return nil
+}
+
+// runSnowball exposes the adaptive-discovery studies: the paper's
+// follow-the-scent workflow over the engine's FeedbackSource. Plain
+// mode is the §3-style echo snowball with the one-shot and exhaustive
+// strategies printed alongside; -learn-oui is the §6 on-link vendor
+// loop (MLD listener seed, then learned vendor-window NDP rounds) with
+// the blind guess-every-vendor sweep as the comparison.
 func runSnowball(ctx context.Context, env *experiments.Env, args []string) error {
 	fs, o := snowballFlags()
 	if err := fs.Parse(args); err != nil {
@@ -597,12 +678,57 @@ func runSnowball(ctx context.Context, env *experiments.Env, args []string) error
 		}
 		prefixes = append(prefixes, p)
 	}
+	// Mode-specific knobs explicitly set for the other mode would be
+	// silently ignored — the user would believe they tuned a loop that
+	// never runs. Reject the combination instead.
+	var conflict []string
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "coarse", "step":
+			if o.learnOUI {
+				conflict = append(conflict, "-"+f.Name)
+			}
+		case "seed-links", "learn-span":
+			if !o.learnOUI {
+				conflict = append(conflict, "-"+f.Name)
+			}
+		}
+	})
+	if len(conflict) > 0 {
+		mode := "the plain snowball, not -learn-oui"
+		if !o.learnOUI {
+			mode = "-learn-oui, which is not set"
+		}
+		return fmt.Errorf("snowball: %s: only meaningful for %s", strings.Join(conflict, ", "), mode)
+	}
+	if o.learnOUI {
+		if len(prefixes) != 1 {
+			return fmt.Errorf("snowball: -learn-oui sweeps one pool prefix, got %d", len(prefixes))
+		}
+		if o.learnSpan < 1 || o.learnSpan > 1<<24 {
+			return fmt.Errorf("snowball: -learn-span %d outside the 24-bit MAC suffix space", o.learnSpan)
+		}
+		res, err := experiments.OUISnowball(ctx, env, experiments.OUISnowballConfig{
+			Prefix:    prefixes[0],
+			SubBits:   o.fine,
+			SeedLinks: o.seedLinks,
+			LearnSpan: uint32(o.learnSpan),
+			MaxRounds: o.rounds,
+			MaxProbes: o.budget,
+			Salt:      env.Scanner.Config.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		return experiments.OUISnowballRender(res, os.Stdout)
+	}
 	res, err := experiments.AdaptiveDiscovery(ctx, env, experiments.AdaptiveConfig{
 		Prefixes:   prefixes,
 		CoarseBits: o.coarse,
 		FineBits:   o.fine,
 		StepBits:   o.step,
 		MaxRounds:  o.rounds,
+		MaxProbes:  o.budget,
 		Salt:       env.Scanner.Config.Seed,
 	})
 	if err != nil {

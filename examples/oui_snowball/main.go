@@ -1,0 +1,103 @@
+// The OUI-learning snowball (§6): the on-link adversary's
+// follow-the-scent loop — hear a device, learn its vendor, sweep that
+// vendor's suffix neighborhood.
+//
+// An on-link candidate sweep that guesses blindly must cover every
+// registered vendor OUI times every plausible MAC suffix: the 2^24
+// suffix space per OUI makes "guess every vendor everywhere" hopeless
+// on any budget. But real deployments are fleets — an ISP hands out one
+// vendor's CPE, and IEEE assignment gives consecutive devices
+// consecutive MAC suffixes — so hearing a single device collapses the
+// search: its MLDv2 report names its full address, the EUI-64 IID names
+// its vendor OUI and device suffix, and the suffix window around it
+// names the whole fleet's candidate space. This example builds such a
+// fleet (half of it ICMP-silent), seeds the loop with MLD General
+// Queries on a handful of links, and watches the learned NDP rounds
+// enumerate the fleet — then runs the blind all-vendor sweep at the
+// same probe budget for contrast.
+//
+// Run with:
+//
+//	go run ./examples/oui_snowball
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"followscent/internal/experiments"
+	"followscent/internal/ip6"
+	"followscent/internal/oui"
+	"followscent/internal/simnet"
+)
+
+// fleetPool is the swept ISP pool.
+var fleetPool = ip6.MustParsePrefix("2001:db8:40::/48")
+
+// buildFleet is a single-ISP world whose pool hosts one vendor's CPE
+// fleet: 96 AVM devices with a dense MAC-suffix run starting at
+// 0x7a00, scattered across the pool's /56 delegations, half of them
+// ICMP-silent.
+func buildFleet() *simnet.World {
+	var extras []simnet.ExtraCPESpec
+	for i := 0; i < 96; i++ {
+		suffix := 0x7a00 + i
+		extras = append(extras, simnet.ExtraCPESpec{
+			MAC:    fmt.Sprintf("38:10:d5:%02x:%02x:%02x", suffix>>16, suffix>>8&0xff, suffix&0xff),
+			Silent: i%2 == 0,
+		})
+	}
+	return simnet.MustBuild(simnet.WorldSpec{
+		Seed: 31,
+		Providers: []simnet.ProviderSpec{{
+			ASN: 65051, Name: "FleetNet", Country: "DE",
+			Allocations:    []string{"2001:db8::/32"},
+			BorderRespProb: 0.3,
+			Pools: []simnet.PoolSpec{{
+				Prefix: fleetPool.String(), AllocBits: 56,
+				Rotation: simnet.RotationPolicy{Kind: simnet.RotateNone},
+				// Occupancy 0: the population is exactly the fleet.
+				ExtraCPE: extras,
+			}},
+		}},
+	})
+}
+
+func main() {
+	log.SetFlags(0)
+	world := buildFleet()
+	env := experiments.NewEnvFor(world, 31)
+	pool := world.Providers()[0].Pools[0]
+	fmt.Printf("the pool: %s, %d fleet devices (every second one ICMP-silent)\n",
+		pool.Prefix, len(pool.CPEs()))
+
+	// The loop: MLD-seed 16 of the 256 delegation links, learn the
+	// vendor from each reported EUI-64 address, sweep the 64-suffix
+	// window around each learned device across every delegation.
+	res, err := experiments.OUISnowball(context.Background(), env, experiments.OUISnowballConfig{
+		Prefix:    fleetPool,
+		SeedLinks: 16,
+		LearnSpan: 64,
+		Salt:      7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := experiments.OUISnowballRender(res, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// What the loop learned, spelled out.
+	fmt.Println()
+	for _, o := range res.LearnedOUIs {
+		vendor, _ := oui.Builtin().LookupOUI(o)
+		fmt.Printf("learned: the fleet is %s (%s) — one heard device named the vendor,\n", vendor, o)
+		fmt.Printf("         the suffix window named the other %d\n", res.Snowball()-1)
+	}
+	fmt.Printf("\nthe blind sweep spread %d probes over %d vendors' suffixes from 0\n",
+		res.BlindProbes, oui.Builtin().Len())
+	fmt.Printf("and found %d — the fleet's suffix run starts at 0x7a00, far above its window\n", res.Blind)
+}

@@ -48,6 +48,12 @@ type AdaptiveConfig struct {
 	// MaxRounds bounds the snowball (default 16; the descent from
 	// CoarseBits to FineBits naturally needs ⌈(Fine-Coarse)/Step⌉+1).
 	MaxRounds int
+	// MaxProbes is the snowball's probe budget: no new round starts once
+	// SnowballProbes has reached it (a round in flight completes, so the
+	// budget can overshoot by at most one round). 0 means unbounded.
+	// Equal budgets make adaptive strategies comparable — see
+	// TestOUISnowballBeatsPlainSnowball.
+	MaxProbes uint64
 	// Salt seeds target IIDs and probe order.
 	Salt uint64
 }
@@ -80,8 +86,10 @@ func (c *AdaptiveConfig) fill() error {
 		if p.Bits() > c.CoarseBits {
 			return fmt.Errorf("experiments: seed prefix %s longer than coarse granularity /%d", p, c.CoarseBits)
 		}
-		n := p.NumSubprefixes(c.CoarseBits)
-		if n > maxCoarseTargets || coarse+n > maxCoarseTargets {
+		// A sub-prefix count overflowing a uint64 is the extreme form of
+		// exceeding the materialization bound below.
+		n, ok := p.NumSubprefixes(c.CoarseBits)
+		if !ok || n > maxCoarseTargets || coarse+n > maxCoarseTargets {
 			return fmt.Errorf("experiments: coarse sampling at /%d needs more than %d probes; use a narrower root or a coarser -coarse",
 				c.CoarseBits, maxCoarseTargets)
 		}
@@ -201,6 +209,9 @@ func AdaptiveDiscovery(ctx context.Context, env *Env, cfg AdaptiveConfig) (*Adap
 	}
 
 	for round := 0; round < cfg.MaxRounds; round++ {
+		if cfg.MaxProbes > 0 && res.SnowballProbes >= cfg.MaxProbes {
+			break
+		}
 		n := fs.NextRound()
 		if n == 0 {
 			break

@@ -11,6 +11,12 @@ import (
 	"followscent/internal/simnet"
 )
 
+// subs48 counts a pool's /48s; every default-world pool is countable.
+func subs48(p ip6.Prefix) uint64 {
+	n, _ := p.NumSubprefixes(48)
+	return n
+}
+
 // defaultStudy runs a short campaign over the Wersatel Figure 9 pool and
 // the DT pool — enough corpus for every default-world figure — without
 // the full discovery pipeline.
@@ -21,12 +27,12 @@ func defaultStudy(t *testing.T) *Study {
 		Cfg: StudyConfig{CampaignDays: 6, Salt: 3},
 	}
 	var prefixes []ip6.Prefix
-	for i := uint64(0); i < Fig9Pool.NumSubprefixes(48); i++ {
+	for i := uint64(0); i < subs48(Fig9Pool); i++ {
 		prefixes = append(prefixes, Fig9Pool.Subprefix(i, 48))
 	}
 	dt, _ := s.Env.World.ProviderByASN(simnet.ASDTRes)
 	dtPool := dt.Pools[0].Prefix
-	for i := uint64(0); i < dtPool.NumSubprefixes(48); i++ {
+	for i := uint64(0); i < subs48(dtPool); i++ {
 		prefixes = append(prefixes, dtPool.Subprefix(i, 48))
 	}
 	s.Discovery = &core.DiscoveryResult{Rotating48s: prefixes}
@@ -145,11 +151,11 @@ func TestSwitcherVisibleAcrossCampaign(t *testing.T) {
 	// day 10..13 covers the DT->Wersatel move at day 12.
 	s := &Study{Env: NewEnv(42), Cfg: StudyConfig{CampaignDays: 4, Salt: 5}}
 	var prefixes []ip6.Prefix
-	for i := uint64(0); i < Fig9Pool.NumSubprefixes(48); i++ {
+	for i := uint64(0); i < subs48(Fig9Pool); i++ {
 		prefixes = append(prefixes, Fig9Pool.Subprefix(i, 48))
 	}
 	dt, _ := s.Env.World.ProviderByASN(simnet.ASDTRes)
-	for i := uint64(0); i < dt.Pools[0].Prefix.NumSubprefixes(48); i++ {
+	for i := uint64(0); i < subs48(dt.Pools[0].Prefix); i++ {
 		prefixes = append(prefixes, dt.Pools[0].Prefix.Subprefix(i, 48))
 	}
 	s.Discovery = &core.DiscoveryResult{Rotating48s: prefixes}

@@ -33,6 +33,13 @@ func NewSmallEnv(seed uint64) *Env {
 	return envFor(simnet.TestWorld(seed), seed)
 }
 
+// NewEnvFor binds a prober to an explicitly built world — the entry
+// point for examples and studies over purpose-built fixtures (a vendor
+// fleet, a silent-heavy edge).
+func NewEnvFor(w *simnet.World, seed uint64) *Env {
+	return envFor(w, seed)
+}
+
 func envFor(w *simnet.World, seed uint64) *Env {
 	return &Env{
 		World: w,

@@ -125,3 +125,91 @@ func TestModalityCompleteness(t *testing.T) {
 		t.Fatal("NDP not more complete than echo — the on-link modality has no edge")
 	}
 }
+
+// TestMLDHearsSilentListeners is the acceptance assertion behind
+// `scent mld`: an MLD General-Query sweep — one probe per delegation,
+// no address or candidate list anywhere — hears every occupied
+// delegation's listener at its full address, including the ICMP-silent
+// devices the echo sweep misses; and the discovered listener set is
+// worker-count-invariant (the on-link answer path carries no loss or
+// rate limiting).
+func TestMLDHearsSilentListeners(t *testing.T) {
+	env := modalityWorld(17)
+	ctx := context.Background()
+	pool := env.World.Providers()[0].Pools[0]
+
+	total, silentWANs := 0, map[ip6.Addr]bool{}
+	for i := range pool.CPEs() {
+		c := &pool.CPEs()[i]
+		total++
+		if c.Silent {
+			silentWANs[pool.WANAddrNow(c)] = true
+		}
+	}
+	if len(silentWANs) == 0 || len(silentWANs) == total {
+		t.Fatalf("fixture needs a mixed population, got %d/%d silent", len(silentWANs), total)
+	}
+
+	// One General Query per /56 delegation: the same per-link budget as
+	// the echo sweep below.
+	links, err := zmap.NewBaseTargets([]ip6.Prefix{pool.Prefix}, 56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mld, err := ScanModality(ctx, env, zmap.MLDModule{}, links, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mld.ByFrom) != total {
+		t.Fatalf("MLD heard %d listeners, want every occupied delegation (%d)", len(mld.ByFrom), total)
+	}
+	for from, r := range mld.ByFrom {
+		if r.Type != icmp6.TypeMLDv2Report || r.From != from {
+			t.Fatalf("listener %s carried %+v", from, r)
+		}
+	}
+
+	// The echo sweep at the same granularity: silent devices are
+	// invisible, and the visible ones answer only through periphery
+	// errors at whatever address the probe happened to hit.
+	ts, err := zmap.NewSubnetTargets([]ip6.Prefix{pool.Prefix}, 56, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	echo, err := ScanModality(ctx, env, zmap.EchoModule{}, ts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for wan := range silentWANs {
+		if _, heard := mld.ByFrom[wan]; !heard {
+			t.Fatalf("MLD missed the silent listener %s", wan)
+		}
+		if _, heard := echo.ByFrom[wan]; heard {
+			t.Fatalf("echo sweep heard the silent device %s — fixture broken", wan)
+		}
+	}
+	if len(mld.ByFrom) <= len(echo.ByFrom) {
+		t.Fatalf("MLD (%d) not more complete than the echo sweep (%d)", len(mld.ByFrom), len(echo.ByFrom))
+	}
+
+	// Worker invariance of the discovered listener set.
+	base := mld.Sources()
+	for _, workers := range []int{2, 4} {
+		wenv := modalityWorld(17)
+		wenv.Scanner.Config.Workers = workers
+		got, err := ScanModality(ctx, wenv, zmap.MLDModule{}, links, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources := got.Sources()
+		if len(sources) != len(base) {
+			t.Fatalf("workers=%d: %d listeners, want %d", workers, len(sources), len(base))
+		}
+		for i := range sources {
+			if sources[i] != base[i] {
+				t.Fatalf("workers=%d: listener set differs at %d: %s vs %s",
+					workers, i, sources[i], base[i])
+			}
+		}
+	}
+}

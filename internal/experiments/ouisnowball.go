@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"sort"
+
+	"followscent/internal/ip6"
+	"followscent/internal/oui"
+	"followscent/internal/zmap"
+)
+
+// The OUI-learning snowball — the §6 on-link follow-the-scent loop,
+// closing the ROADMAP's two PR-4 follow-ons in one workflow: hear a
+// device, learn its vendor, sweep that vendor's suffix neighborhood.
+//
+// Round 0 is multicast listener discovery: one MLD General Query per
+// sampled delegation link (the links the adversary sits on). Each
+// report names a listener's full address without guessing — even an
+// ICMP-silent device's — and a listener with an EUI-64 IID names its
+// vendor OUI and 24-bit device suffix. Every later round is the learned
+// sweep: zmap.OUIExpansion turns each confirmed EUI-64 discovery into a
+// CandidateSource window — that vendor only, a span-wide suffix window
+// centered on the discovered one — across every delegation of the pool,
+// probed with Neighbor Solicitations through a zmap.FeedbackSource.
+// Fleets answer fleet-wide (ISPs deploy one vendor's CPE with dense
+// suffix runs), each hit extends the window chain, and the snowball
+// ends when a round opens no new space.
+//
+// The baseline it replaces is "guess every vendor everywhere": a blind
+// candidate sweep over the full OUI registry from suffix 0, which
+// dilutes its budget across ~45 vendors and misses any fleet whose
+// suffix run starts above its span. OUISnowballResult carries that
+// blind reference at no less than the snowball's own probe budget;
+// TestOUISnowballBeatsPlainSnowball additionally pins the comparison
+// against the plain echo snowball (AdaptiveDiscovery) at an equal
+// budget on a vendor-fleet world.
+
+// OUISnowballConfig tunes the OUI-learning snowball. Zero values take
+// defaults.
+type OUISnowballConfig struct {
+	// Prefix is the swept pool.
+	Prefix ip6.Prefix
+	// SubBits is the delegation granularity (default 56): round 0
+	// queries links at this granularity and learned rounds sweep one
+	// candidate set per delegation.
+	SubBits int
+	// SeedLinks is how many delegation links round 0's MLD queries
+	// sample, spread evenly across the pool (default 32, clamped to the
+	// delegation count). This models the on-link adversary's real
+	// constraint: it hears only links it sits on, and learns the rest.
+	SeedLinks int
+	// LearnSpan is the vendor suffix window swept around each confirmed
+	// device suffix (default 64).
+	LearnSpan uint32
+	// MaxRounds bounds the snowball (default 16).
+	MaxRounds int
+	// MaxProbes is the probe budget: no new round starts once the
+	// snowball has spent it (a round in flight completes). 0 means
+	// unbounded. The blind reference always receives at least the
+	// snowball's final spend, so comparisons stay budget-fair.
+	MaxProbes uint64
+	// BlindOUIs is the registry the blind reference sweeps (default the
+	// builtin registry's every OUI — "guess every vendor").
+	BlindOUIs []ip6.OUI
+	// Salt seeds probe order.
+	Salt uint64
+}
+
+// ouiWindowBound caps the per-discovery expansion (delegations x
+// LearnSpan) the feedback rounds materialize.
+const ouiWindowBound = 1 << 22
+
+func (c *OUISnowballConfig) fill() (subs uint64, err error) {
+	if c.SubBits == 0 {
+		c.SubBits = 56
+	}
+	if c.SeedLinks == 0 {
+		c.SeedLinks = 32
+	}
+	if c.LearnSpan == 0 {
+		c.LearnSpan = 64
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 16
+	}
+	if len(c.BlindOUIs) == 0 {
+		c.BlindOUIs = oui.Builtin().All()
+	}
+	if c.Prefix.Bits() > c.SubBits || c.SubBits > 64 {
+		return 0, fmt.Errorf("experiments: delegation /%d invalid for %s", c.SubBits, c.Prefix)
+	}
+	if c.SeedLinks < 0 {
+		return 0, fmt.Errorf("experiments: negative seed-link count %d", c.SeedLinks)
+	}
+	// Divide rather than multiply: subs*LearnSpan could wrap a uint64
+	// for wide prefixes, silently passing the very bound it checks.
+	subs, ok := c.Prefix.NumSubprefixes(c.SubBits)
+	if !ok || subs > ouiWindowBound/uint64(c.LearnSpan) {
+		return 0, fmt.Errorf("experiments: vendor windows of %s at /%d x span %d exceed the materialization bound",
+			c.Prefix, c.SubBits, c.LearnSpan)
+	}
+	if uint64(c.SeedLinks) > subs {
+		c.SeedLinks = int(subs)
+	}
+	return subs, nil
+}
+
+// OUISnowballResult is the completed study.
+type OUISnowballResult struct {
+	// Rounds reports round 0 (the MLD seed) and each learned NDP round;
+	// NewPeriphery counts listeners first heard that round.
+	Rounds []AdaptiveRound
+	// ByFrom maps every confirmed listener address to its last result.
+	ByFrom map[ip6.Addr]zmap.Result
+	// LearnedOUIs are the distinct vendor OUIs confirmed EUI-64
+	// listeners revealed, in ascending order.
+	LearnedOUIs []ip6.OUI
+	// SnowballProbes is the snowball's total probe cost (MLD + NDP).
+	SnowballProbes uint64
+	// Blind and BlindProbes are the guess-every-vendor-everywhere
+	// reference: a registry-wide candidate sweep from suffix 0, given at
+	// least SnowballProbes of budget.
+	Blind       int
+	BlindProbes uint64
+}
+
+// Snowball is the snowball's total discovery completeness.
+func (r *OUISnowballResult) Snowball() int { return len(r.ByFrom) }
+
+// OUISnowball runs the OUI-learning snowball against the environment's
+// scanner. Deterministic for a fixed (world, salt, config), and
+// worker-count-invariant: the on-link answer paths carry no loss or
+// rate limiting, and feedback rounds are sorted and deduplicated
+// (TestOUISnowballWorkerInvariant).
+func OUISnowball(ctx context.Context, env *Env, cfg OUISnowballConfig) (*OUISnowballResult, error) {
+	subs, err := cfg.fill()
+	if err != nil {
+		return nil, err
+	}
+	// The handlers below mutate plain maps, so force the serializing
+	// merge stage even if the environment's scanner opted into
+	// concurrent handler delivery.
+	mld := *env.Scanner
+	mld.Config.ConcurrentHandlers = false
+	mld.Config.Module = zmap.MLDModule{}
+	ndp := mld
+	ndp.Config.Module = zmap.NDPModule{}
+
+	res := &OUISnowballResult{ByFrom: make(map[ip6.Addr]zmap.Result)}
+	fs := zmap.NewFeedbackSource(zmap.OUIExpansion(cfg.Prefix, cfg.SubBits, cfg.LearnSpan))
+	record := func(r zmap.Result) {
+		if !cfg.Prefix.Contains(r.From) {
+			return
+		}
+		res.ByFrom[r.From] = r
+		fs.Push(r.From)
+	}
+
+	// Round 0: MLD listener discovery on SeedLinks delegations, spread
+	// evenly (link i*subs/SeedLinks: a deterministic, order-free sample
+	// covering the whole pool even when SeedLinks does not divide subs —
+	// a truncated stride would clump the seeds at the pool's start and
+	// never sample its tail).
+	var seeds zmap.AddrTargets
+	for i := 0; i < cfg.SeedLinks; i++ {
+		seeds = append(seeds, cfg.Prefix.Subprefix(uint64(i)*subs/uint64(cfg.SeedLinks), cfg.SubBits).Addr())
+	}
+	stats, err := mld.Scan(ctx, seeds, cfg.Salt^0x01d, record)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: MLD seed round: %w", err)
+	}
+	res.SnowballProbes = stats.Sent
+	res.Rounds = append(res.Rounds, AdaptiveRound{
+		Round: 0, Targets: len(seeds), Sent: stats.Sent, NewPeriphery: len(res.ByFrom),
+	})
+
+	// Learned rounds: the vendors' suffix neighborhoods, via NDP.
+	for round := 1; round < cfg.MaxRounds; round++ {
+		if cfg.MaxProbes > 0 && res.SnowballProbes >= cfg.MaxProbes {
+			break
+		}
+		n := fs.NextRound()
+		if n == 0 {
+			break
+		}
+		before := len(res.ByFrom)
+		stats, err := ndp.ScanSource(ctx, fs, cfg.Salt^uint64(round+1)<<8, record)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: learned round %d: %w", round, err)
+		}
+		res.SnowballProbes += stats.Sent
+		res.Rounds = append(res.Rounds, AdaptiveRound{
+			Round: round, Targets: n, Sent: stats.Sent,
+			NewPeriphery: len(res.ByFrom) - before,
+		})
+	}
+
+	// The learned vendor set.
+	seen := map[ip6.OUI]bool{}
+	for a := range res.ByFrom {
+		if mac, ok := ip6.MACFromAddr(a); ok && !seen[mac.OUI()] {
+			seen[mac.OUI()] = true
+			res.LearnedOUIs = append(res.LearnedOUIs, mac.OUI())
+		}
+	}
+	sort.Slice(res.LearnedOUIs, func(i, j int) bool {
+		return bytes.Compare(res.LearnedOUIs[i][:], res.LearnedOUIs[j][:]) < 0
+	})
+
+	// The blind reference: every registry vendor, suffixes from 0, span
+	// sized so the blind sweep gets at least the snowball's budget.
+	nouis := uint64(len(cfg.BlindOUIs))
+	span := (res.SnowballProbes + subs*nouis - 1) / (subs * nouis)
+	if span == 0 {
+		span = 1
+	}
+	if span > 1<<24 {
+		span = 1 << 24
+	}
+	blindSrc := &zmap.CandidateSource{
+		Prefix: cfg.Prefix, SubBits: cfg.SubBits,
+		OUIs: cfg.BlindOUIs, SuffixSpan: uint32(span),
+	}
+	blind := make(map[ip6.Addr]bool)
+	blindStats, err := ndp.ScanSource(ctx, blindSrc, cfg.Salt^0xb11d, func(r zmap.Result) {
+		if cfg.Prefix.Contains(r.From) {
+			blind[r.From] = true
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: blind reference: %w", err)
+	}
+	res.Blind = len(blind)
+	res.BlindProbes = blindStats.Sent
+	return res, nil
+}
+
+// OUISnowballRender prints the per-round table, the learned vendor set
+// and the blind-sweep comparison — the artifact behind
+// `scent snowball -learn-oui`.
+func OUISnowballRender(res *OUISnowballResult, w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "round  targets  probes  new-listeners  hit-rate\n"); err != nil {
+		return err
+	}
+	for _, r := range res.Rounds {
+		kind := "ndp"
+		if r.Round == 0 {
+			kind = "mld"
+		}
+		if _, err := fmt.Fprintf(w, "%2d %s  %7d  %6d  %13d  %7.1f%%\n",
+			r.Round, kind, r.Targets, r.Sent, r.NewPeriphery, 100*r.HitRate()); err != nil {
+			return err
+		}
+	}
+	vendors := make([]string, 0, len(res.LearnedOUIs))
+	for _, o := range res.LearnedOUIs {
+		vendors = append(vendors, fmt.Sprintf("%s (%s)", o, oui.Builtin().NameOrUnknown(o)))
+	}
+	if _, err := fmt.Fprintf(w, "learned OUIs: %v\n", vendors); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"oui-learning snowball: %4d listeners in %6d probes\nblind vendor sweep:    %4d listeners in %6d probes\n",
+		res.Snowball(), res.SnowballProbes, res.Blind, res.BlindProbes)
+	return err
+}

@@ -83,6 +83,10 @@ func TypeName(typ, code uint8) string {
 		return "neighbor-solicitation"
 	case TypeNeighborAdvertisement:
 		return "neighbor-advertisement"
+	case TypeMLDQuery:
+		return "mld-query"
+	case TypeMLDv2Report:
+		return "mldv2-report"
 	case TypeTCPRstAck:
 		return "tcp/rst-ack"
 	}
@@ -117,10 +121,11 @@ func (h *Header) MarshalTo(b []byte) {
 
 // Errors returned by the parsers.
 var (
-	ErrTruncated   = errors.New("icmp6: truncated packet")
-	ErrNotIPv6     = errors.New("icmp6: not an IPv6 packet")
-	ErrNotICMPv6   = errors.New("icmp6: next header is not ICMPv6")
-	ErrBadChecksum = errors.New("icmp6: bad checksum")
+	ErrTruncated     = errors.New("icmp6: truncated packet")
+	ErrNotIPv6       = errors.New("icmp6: not an IPv6 packet")
+	ErrNotICMPv6     = errors.New("icmp6: next header is not ICMPv6")
+	ErrBadChecksum   = errors.New("icmp6: bad checksum")
+	ErrNoRouterAlert = errors.New("icmp6: hop-by-hop header lacks the Router Alert option")
 )
 
 // Unmarshal parses the 40-byte fixed header from b.

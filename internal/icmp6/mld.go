@@ -1,0 +1,236 @@
+package icmp6
+
+import (
+	"encoding/binary"
+
+	"followscent/internal/ip6"
+)
+
+// This file carries the Multicast Listener Discovery v2 (RFC 3810)
+// message subset used by the on-link listener-discovery module: General
+// Queries and the Reports listeners answer them with. Both are ordinary
+// ICMPv6 messages checksummed by the proto-generic machinery — but on
+// the wire every MLD message travels behind a Hop-by-Hop Options
+// extension header carrying the Router Alert option (RFC 3810 §5,
+// RFC 2711), so the IPv6 Next Header field is 0, not 58. That is why
+// MLD responses reach a probe module through the RawValidator extension
+// rather than the engine's generic ICMPv6 parse, and why this file owns
+// its own full-packet parser (UnmarshalMLD).
+
+// MLD message types (RFC 3810 §5; the v1 report/done types are out of
+// scope for this toolkit).
+const (
+	TypeMLDQuery    = 130
+	TypeMLDv2Report = 143
+)
+
+// ProtoHopByHop is the IPv6 Next Header value of the Hop-by-Hop Options
+// extension header every MLD message is required to carry.
+const ProtoHopByHop = 0
+
+// MLDHopLimit is the hop limit RFC 3810 §5 requires on every MLD
+// message. Routers never forward link-scope multicast, and a hop limit
+// of 1 could not have survived a forwarding step anyway, so a received
+// value of 1 proves the message originated on the local link — MLD's
+// equivalent of Neighbor Discovery's hop-limit-255 boundary.
+const MLDHopLimit = 1
+
+// AllMLDv2Routers is ff02::16, the link-scope group every MLDv2 report
+// is addressed to (RFC 3810 §5.2.14).
+var AllMLDv2Routers = ip6.MustParseAddr("ff02::16")
+
+// hopByHopLen is the 8-byte Hop-by-Hop Options header this toolkit
+// emits: next header, zero length (one 8-octet unit), the 4-byte Router
+// Alert option with value 0 ("packet contains MLD", RFC 2711 §2.1), and
+// a PadN option filling the remaining 2 octets.
+const hopByHopLen = 8
+
+// mldQueryBodyLen is the fixed MLDv2 Query body: Maximum Response Code
+// (2), reserved (2), multicast address (16), S/QRV (1), QQIC (1) and
+// the number of sources (2) — this toolkit queries with no source list.
+const mldQueryBodyLen = 24
+
+// mldRecordLen is one source-free multicast address record in a v2
+// report: record type (1), aux data length (1), number of sources (2)
+// and the multicast address (16).
+const mldRecordLen = 20
+
+// mldModeIsExclude is the record type a listener reports for a group it
+// joined with an any-source EXCLUDE() filter — the shape every
+// solicited-node membership takes (RFC 3810 §5.2.12).
+const mldModeIsExclude = 2
+
+// marshalHopByHop writes the 8-byte router-alert Hop-by-Hop header.
+func marshalHopByHop(b []byte, next uint8) {
+	_ = b[hopByHopLen-1]
+	b[0] = next
+	b[1] = 0          // header extension length: one 8-octet unit total
+	b[2] = 5          // Router Alert option type
+	b[3] = 2          // option length
+	b[4], b[5] = 0, 0 // value 0: packet contains MLD
+	b[6], b[7] = 1, 0 // PadN filling the unit
+}
+
+// parseHopByHop validates an 8-octet-unit Hop-by-Hop header starting at
+// b, requiring the Router Alert option somewhere in its option area,
+// and returns the inner next-header value and the header's length.
+func parseHopByHop(b []byte) (next uint8, n int, err error) {
+	if len(b) < hopByHopLen {
+		return 0, 0, ErrTruncated
+	}
+	n = 8 * (1 + int(b[1]))
+	if len(b) < n {
+		return 0, 0, ErrTruncated
+	}
+	alert := false
+	for opts := b[2:n]; len(opts) > 0; {
+		switch opts[0] {
+		case 0: // Pad1
+			opts = opts[1:]
+			continue
+		case 5:
+			alert = true
+		}
+		if len(opts) < 2 || len(opts) < 2+int(opts[1]) {
+			return 0, 0, ErrTruncated
+		}
+		opts = opts[2+int(opts[1]):]
+	}
+	if !alert {
+		return 0, 0, ErrNoRouterAlert
+	}
+	return b[0], n, nil
+}
+
+// appendMLD appends a full IPv6 + Hop-by-Hop(Router Alert) + ICMPv6
+// packet with the given MLD type and body length, returning the
+// extended slice and the ICMPv6 region for the caller to fill. The
+// checksum is the caller's last step (the pseudo-header's upper-layer
+// length is the ICMPv6 length alone — extension headers are excluded,
+// RFC 8200 §8.1).
+func appendMLD(dst []byte, typ uint8, src, to ip6.Addr, bodyLen int) ([]byte, []byte) {
+	icmpLen := 4 + bodyLen
+	h := Header{
+		PayloadLen: uint16(hopByHopLen + icmpLen),
+		NextHeader: ProtoHopByHop,
+		HopLimit:   MLDHopLimit,
+		Src:        src,
+		Dst:        to,
+	}
+	off := len(dst)
+	dst = append(dst, make([]byte, HeaderLen+hopByHopLen+icmpLen)...)
+	h.MarshalTo(dst[off:])
+	marshalHopByHop(dst[off+HeaderLen:], ProtoICMPv6)
+	p := dst[off+HeaderLen+hopByHopLen:]
+	p[0] = typ
+	return dst, p
+}
+
+// AppendMLDQuery appends a full MLDv2 Query probe for group, originated
+// by the link-local address src and addressed to the (prefix-scoped)
+// all-nodes group at to. A zero group is the General Query: "every
+// listener on this link, report what you are listening to".
+func AppendMLDQuery(dst []byte, src, to, group ip6.Addr) []byte {
+	dst, p := appendMLD(dst, TypeMLDQuery, src, to, mldQueryBodyLen)
+	binary.BigEndian.PutUint16(p[4:6], 1000) // Maximum Response Code: 1 s
+	gb := group.As16()
+	copy(p[8:24], gb[:])
+	p[24] = 2   // S flag clear, Querier's Robustness Variable 2
+	p[25] = 125 // QQIC: the RFC's default 125 s query interval
+	// bytes 26-27: number of sources, zero
+	cs := Checksum(src, to, p)
+	binary.BigEndian.PutUint16(p[2:4], cs)
+	return dst
+}
+
+// AppendMLDv2Report appends the MLDv2 Report with which src answers a
+// General Query, naming every group in groups as a source-free
+// EXCLUDE-mode membership — for a CPE, its solicited-node group(s).
+// Reports are addressed to the all-MLDv2-routers group (querying is a
+// router's job, which is exactly why an on-link prober can play one).
+func AppendMLDv2Report(dst []byte, src, to ip6.Addr, groups []ip6.Addr) []byte {
+	dst, p := appendMLD(dst, TypeMLDv2Report, src, to, 4+len(groups)*mldRecordLen)
+	binary.BigEndian.PutUint16(p[6:8], uint16(len(groups)))
+	rec := p[8:]
+	for _, g := range groups {
+		rec[0] = mldModeIsExclude
+		gb := g.As16()
+		copy(rec[4:20], gb[:])
+		rec = rec[mldRecordLen:]
+	}
+	cs := Checksum(src, to, p)
+	binary.BigEndian.PutUint16(p[2:4], cs)
+	return dst
+}
+
+// UnmarshalMLD parses a full IPv6 + Hop-by-Hop + ICMPv6 packet — the
+// wire shape of every MLD message — verifying the Router Alert option
+// and the ICMPv6 checksum. The Message body aliases b.
+func (p *Packet) UnmarshalMLD(b []byte) error {
+	if err := p.Header.Unmarshal(b); err != nil {
+		return err
+	}
+	if p.Header.NextHeader != ProtoHopByHop {
+		return ErrNotICMPv6
+	}
+	payload := b[HeaderLen:]
+	if len(payload) < int(p.Header.PayloadLen) {
+		return ErrTruncated
+	}
+	payload = payload[:p.Header.PayloadLen]
+	next, n, err := parseHopByHop(payload)
+	if err != nil {
+		return err
+	}
+	if next != ProtoICMPv6 {
+		return ErrNotICMPv6
+	}
+	icmp := payload[n:]
+	if Checksum(p.Header.Src, p.Header.Dst, icmp) != 0 {
+		return ErrBadChecksum
+	}
+	return p.Message.UnmarshalMessage(icmp)
+}
+
+// MLDGroup returns the multicast address field of an MLD Query body
+// (zero for a General Query), and ok=false for other types or
+// truncated bodies.
+func (m *Message) MLDGroup() (ip6.Addr, bool) {
+	if m.Type != TypeMLDQuery || len(m.Body) < mldQueryBodyLen {
+		return ip6.Addr{}, false
+	}
+	return ip6.AddrFromBytes(m.Body[4:20]), true
+}
+
+// MLDReportGroups returns the multicast addresses named by an MLDv2
+// Report's records, and ok=false for other types, truncated bodies, or
+// a record count that does not match the body.
+func (m *Message) MLDReportGroups() ([]ip6.Addr, bool) {
+	if m.Type != TypeMLDv2Report || len(m.Body) < 4 {
+		return nil, false
+	}
+	n := int(binary.BigEndian.Uint16(m.Body[2:4]))
+	rec := m.Body[4:]
+	// Cap the allocation at what the body could possibly hold: the
+	// record count is attacker-controlled network input, and a forged
+	// 0xffff in a tiny report must not cost a ~1 MB allocation per
+	// packet on the receive path before the length checks reject it.
+	capHint := n
+	if most := len(rec) / mldRecordLen; capHint > most {
+		capHint = most
+	}
+	groups := make([]ip6.Addr, 0, capHint)
+	for i := 0; i < n; i++ {
+		if len(rec) < mldRecordLen {
+			return nil, false
+		}
+		srcs := int(binary.BigEndian.Uint16(rec[2:4]))
+		skip := mldRecordLen + 16*srcs + 4*int(rec[1])
+		if len(rec) < skip {
+			return nil, false
+		}
+		groups = append(groups, ip6.AddrFromBytes(rec[4:20]))
+		rec = rec[skip:]
+	}
+	return groups, true
+}

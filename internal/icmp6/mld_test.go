@@ -1,0 +1,144 @@
+package icmp6
+
+import (
+	"testing"
+
+	"followscent/internal/ip6"
+)
+
+// TestMLDQueryRoundTrip pins the MLDv2 Query wire shape: IPv6 next
+// header 0 (Hop-by-Hop), the Router Alert option, hop limit 1, and a
+// body the parser recovers with a verifying checksum.
+func TestMLDQueryRoundTrip(t *testing.T) {
+	src := ip6.LinkLocal(0x53)
+	link := ip6.MustParsePrefix("2001:db8:1:2::/64")
+	to := ip6.AllNodesGroup(link)
+
+	b := AppendMLDQuery(nil, src, to, ip6.Addr{})
+	if b[6] != ProtoHopByHop {
+		t.Fatalf("next header = %d, want hop-by-hop", b[6])
+	}
+	if b[7] != MLDHopLimit {
+		t.Fatalf("hop limit = %d, want %d", b[7], MLDHopLimit)
+	}
+	var p Packet
+	if err := p.UnmarshalMLD(b); err != nil {
+		t.Fatal(err)
+	}
+	if p.Header.Src != src || p.Header.Dst != to {
+		t.Fatalf("header = %+v", p.Header)
+	}
+	if p.Message.Type != TypeMLDQuery || p.Message.Code != 0 {
+		t.Fatalf("message = %d/%d", p.Message.Type, p.Message.Code)
+	}
+	group, ok := p.Message.MLDGroup()
+	if !ok || !group.IsZero() {
+		t.Fatalf("MLDGroup = %s, %v; want a general query", group, ok)
+	}
+
+	// A group-specific query carries the group.
+	g := ip6.SolicitedNode(ip6.MustParseAddr("2001:db8::aa:bbcc"))
+	var q Packet
+	if err := q.UnmarshalMLD(AppendMLDQuery(nil, src, to, g)); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := q.Message.MLDGroup(); !ok || got != g {
+		t.Fatalf("MLDGroup = %s, %v; want %s", got, ok, g)
+	}
+}
+
+// TestMLDReportRoundTrip pins the MLDv2 Report shape the listener
+// answers with: one EXCLUDE-mode record per group, parsed back exactly.
+func TestMLDReportRoundTrip(t *testing.T) {
+	wan := ip6.MustParseAddr("2001:db8:40::3a10:d5ff:fe00:7")
+	groups := []ip6.Addr{ip6.SolicitedNode(wan), ip6.MustParseAddr("ff02::fb")}
+
+	b := AppendMLDv2Report(nil, wan, AllMLDv2Routers, groups)
+	var p Packet
+	if err := p.UnmarshalMLD(b); err != nil {
+		t.Fatal(err)
+	}
+	if p.Header.Src != wan || p.Header.Dst != AllMLDv2Routers || p.Header.HopLimit != MLDHopLimit {
+		t.Fatalf("header = %+v", p.Header)
+	}
+	if p.Message.Type != TypeMLDv2Report {
+		t.Fatalf("type = %d", p.Message.Type)
+	}
+	got, ok := p.Message.MLDReportGroups()
+	if !ok || len(got) != len(groups) {
+		t.Fatalf("MLDReportGroups = %v, %v", got, ok)
+	}
+	for i := range groups {
+		if got[i] != groups[i] {
+			t.Fatalf("group %d = %s, want %s", i, got[i], groups[i])
+		}
+	}
+
+	// The generic ICMPv6 parser must reject the hop-by-hop packet — the
+	// property that routes MLD responses to a module's RawValidator.
+	var q Packet
+	if err := q.Unmarshal(b); err != ErrNotICMPv6 {
+		t.Fatalf("generic Unmarshal = %v, want ErrNotICMPv6", err)
+	}
+}
+
+// TestMLDRejectsMalformed covers the parser's failure modes: corrupted
+// checksums, a missing Router Alert, truncation, and accessor misuse.
+func TestMLDRejectsMalformed(t *testing.T) {
+	src := ip6.LinkLocal(1)
+	to := ip6.AllNodesGroup(ip6.MustParsePrefix("2001:db8::/64"))
+	good := AppendMLDQuery(nil, src, to, ip6.Addr{})
+
+	bad := append([]byte(nil), good...)
+	bad[HeaderLen+hopByHopLen+5] ^= 0xff // flip a Maximum Response Code bit
+	var p Packet
+	if err := p.UnmarshalMLD(bad); err != ErrBadChecksum {
+		t.Fatalf("corrupted query = %v, want ErrBadChecksum", err)
+	}
+
+	noAlert := append([]byte(nil), good...)
+	noAlert[HeaderLen+2] = 1 // PadN where the Router Alert type was
+	noAlert[HeaderLen+3] = 2
+	if err := p.UnmarshalMLD(noAlert); err != ErrNoRouterAlert {
+		t.Fatalf("alert-less query = %v, want ErrNoRouterAlert", err)
+	}
+
+	if err := p.UnmarshalMLD(good[:HeaderLen+4]); err != ErrTruncated {
+		t.Fatalf("truncated query = %v, want ErrTruncated", err)
+	}
+
+	// A plain ICMPv6 packet is not an MLD packet.
+	echo := AppendEchoRequest(nil, src, to, 1, 2, nil)
+	if err := p.UnmarshalMLD(echo); err != ErrNotICMPv6 {
+		t.Fatalf("echo as MLD = %v, want ErrNotICMPv6", err)
+	}
+
+	// Accessors refuse the wrong message type.
+	if err := p.UnmarshalMLD(good); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Message.MLDReportGroups(); ok {
+		t.Error("MLDReportGroups accepted a query")
+	}
+	report := AppendMLDv2Report(nil, src, AllMLDv2Routers, []ip6.Addr{to})
+	if err := p.UnmarshalMLD(report); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Message.MLDGroup(); ok {
+		t.Error("MLDGroup accepted a report")
+	}
+	// A record count overrunning the body is a parse failure, not a
+	// slice panic.
+	long := append([]byte(nil), report...)
+	icmp := long[HeaderLen+hopByHopLen:]
+	icmp[7] = 9 // claim 9 records
+	icmp[2], icmp[3] = 0, 0
+	cs := Checksum(src, AllMLDv2Routers, icmp)
+	icmp[2], icmp[3] = byte(cs>>8), byte(cs)
+	if err := p.UnmarshalMLD(long); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Message.MLDReportGroups(); ok {
+		t.Error("overrunning record count accepted")
+	}
+}

@@ -16,6 +16,13 @@ type OUI [3]byte
 // OUI returns the manufacturer portion of the MAC.
 func (m MAC) OUI() OUI { return OUI{m[0], m[1], m[2]} }
 
+// Suffix returns the 24-bit device portion of the MAC — the inverse of
+// MACFromOUI's suffix argument, and the quantity vendor-neighborhood
+// sweeps window on.
+func (m MAC) Suffix() uint32 {
+	return uint32(m[3])<<16 | uint32(m[4])<<8 | uint32(m[5])
+}
+
 // String formats the MAC in canonical colon-separated form.
 func (m MAC) String() string {
 	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])

@@ -33,7 +33,8 @@ func ExamplePrefix_Subprefix() {
 	// Enumerate customer delegations: the third /56 of a provider /48.
 	p48 := ip6.MustParsePrefix("2800:4f00:10::/48")
 	fmt.Println(p48.Subprefix(2, 56))
-	fmt.Println(p48.NumSubprefixes(56), "delegations")
+	n, _ := p48.NumSubprefixes(56)
+	fmt.Println(n, "delegations")
 	// Output:
 	// 2800:4f00:10:200::/56
 	// 256 delegations

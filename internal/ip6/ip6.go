@@ -116,6 +116,48 @@ func SolicitedNode(a Addr) Addr {
 	return Addr{uint128.New(0xff02_0000_0000_0000, 0x1_ff00_0000|a.u.Lo&0xff_ffff)}
 }
 
+// LinkLocal returns the link-local unicast address fe80::/64 with the
+// given interface identifier — the mandatory source of MLD queries
+// (RFC 3810 §5.1.14) and the address family an on-link prober speaks
+// from.
+func LinkLocal(iid uint64) Addr {
+	return Addr{uint128.New(0xfe80_0000_0000_0000, iid)}
+}
+
+// IsLinkLocal reports whether a is a canonical fe80::/64 link-local
+// unicast address (RFC 4291 §2.5.6 requires the 54 bits after the
+// fe80::/10 prefix to be zero).
+func (a Addr) IsLinkLocal() bool { return a.u.Hi == 0xfe80_0000_0000_0000 }
+
+// Link-scope multicast cannot be routed by a destination address alone:
+// ff02::1 names "all nodes on whatever link the packet is on", and the
+// simulator's HandlePacket sees only packets. The toolkit therefore
+// expresses link attachment through RFC 3306 unicast-prefix-based
+// multicast addresses, which embed the link's /64 in the group: where a
+// real on-link prober would send to ff02::1 on its attached link, the
+// simulated vantage sends to AllNodesGroup(link). The layout is
+// ff32:0:40:<prefix-high-32>:<prefix-low-32>:<group-id>: flags 3 (P and
+// T set), the link-local scope value 2, plen 64, then the 64-bit link
+// prefix and the 32-bit group ID (1, mirroring ff02::1's group).
+const allNodesGroupHi = 0xff32_0040_0000_0000
+
+// AllNodesGroup returns the prefix-scoped all-nodes multicast group of
+// the /64 link containing p's base address — the simulator's routable
+// stand-in for ff02::1 on that link.
+func AllNodesGroup(link Prefix) Addr {
+	hi := link.addr.u.Hi
+	return Addr{uint128.New(allNodesGroupHi|hi>>32, hi<<32|1)}
+}
+
+// GroupLink recovers the /64 link a prefix-scoped all-nodes group names,
+// and ok=false for any other address.
+func GroupLink(a Addr) (Prefix, bool) {
+	if a.u.Hi&0xffff_ffff_0000_0000 != allNodesGroupHi || a.u.Lo&0xffff_ffff != 1 {
+		return Prefix{}, false
+	}
+	return PrefixFrom(Addr{uint128.New(a.u.Hi<<32|a.u.Lo>>32, 0)}, 64), true
+}
+
 // Slash64 returns the /64 prefix containing a.
 func (a Addr) Slash64() Prefix {
 	return Prefix{addr: Addr{uint128.New(a.u.Hi, 0)}, bits: 64}
@@ -206,23 +248,27 @@ func (p Prefix) Overlaps(q Prefix) bool {
 }
 
 // NumSubprefixes returns the number of sub-prefixes of length subBits
-// inside p, capped at 2^63-1. It panics if subBits < p.Bits().
-func (p Prefix) NumSubprefixes(subBits int) uint64 {
+// inside p. ok is false when the count does not fit a uint64 (a span of
+// 64 or more bits — e.g. ::/0 at /64); n is then 0 and callers must
+// treat the space as overflowing rather than use it as a bound. A /1
+// root at /64 is the widest countable span: exactly 2^63 sub-prefixes.
+// It panics if subBits < p.Bits().
+func (p Prefix) NumSubprefixes(subBits int) (n uint64, ok bool) {
 	if subBits < p.bits {
 		panic(fmt.Sprintf("ip6: NumSubprefixes(%d) of %s", subBits, p))
 	}
 	d := subBits - p.bits
-	if d >= 63 {
-		return 1<<63 - 1
+	if d >= 64 {
+		return 0, false
 	}
-	return 1 << uint(d)
+	return 1 << uint(d), true
 }
 
 // Subprefix returns the i-th sub-prefix of length subBits within p
-// (0-indexed, in address order). It panics if i is out of range.
+// (0-indexed, in address order). It panics if i is out of range; when
+// the sub-prefix count overflows a uint64 every index is in range.
 func (p Prefix) Subprefix(i uint64, subBits int) Prefix {
-	n := p.NumSubprefixes(subBits)
-	if i >= n {
+	if n, ok := p.NumSubprefixes(subBits); ok && i >= n {
 		panic(fmt.Sprintf("ip6: Subprefix(%d) of %s at /%d, only %d exist", i, p, subBits, n))
 	}
 	off := uint128.From64(i).Lsh(uint(128 - subBits))

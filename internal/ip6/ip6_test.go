@@ -98,8 +98,8 @@ func TestPrefixContains(t *testing.T) {
 
 func TestSubprefixEnumeration(t *testing.T) {
 	p := MustParsePrefix("2001:db8::/48")
-	if n := p.NumSubprefixes(64); n != 65536 {
-		t.Fatalf("NumSubprefixes(64) = %d", n)
+	if n, ok := p.NumSubprefixes(64); !ok || n != 65536 {
+		t.Fatalf("NumSubprefixes(64) = %d, %v", n, ok)
 	}
 	first := p.Subprefix(0, 64)
 	if first.String() != "2001:db8::/64" {
@@ -127,10 +127,76 @@ func TestSubprefixPanicsOutOfRange(t *testing.T) {
 	MustParsePrefix("2001:db8::/48").Subprefix(65536, 64)
 }
 
-func TestNumSubprefixesCap(t *testing.T) {
-	p := MustParsePrefix("2001::/16")
-	if n := p.NumSubprefixes(128); n != 1<<63-1 {
-		t.Errorf("NumSubprefixes(128) of /16 = %d, want cap", n)
+// TestNumSubprefixesOverflow is the regression test for the old
+// silent saturation to 2^63-1: a 63-bit span must count exactly (a /1
+// root at /64 really has 2^63 sub-prefixes), a 64-bit-or-wider span
+// must report overflow explicitly, and Subprefix must accept the top
+// indices of an overflowing space instead of panicking against the
+// stale cap.
+func TestNumSubprefixesOverflow(t *testing.T) {
+	if n, ok := MustParsePrefix("8000::/1").NumSubprefixes(64); !ok || n != 1<<63 {
+		t.Errorf("NumSubprefixes(64) of /1 = %d, %v; want 2^63, true", n, ok)
+	}
+	for _, tc := range []struct {
+		prefix  string
+		subBits int
+	}{
+		{"::/0", 64},
+		{"2001::/16", 128},
+		{"::/0", 128},
+	} {
+		if n, ok := MustParsePrefix(tc.prefix).NumSubprefixes(tc.subBits); ok || n != 0 {
+			t.Errorf("NumSubprefixes(%d) of %s = %d, %v; want overflow", tc.subBits, tc.prefix, n, ok)
+		}
+	}
+	// Top indices of an overflowing space are valid, not a panic.
+	p := MustParsePrefix("::/0")
+	top := p.Subprefix(^uint64(0), 64)
+	if top.String() != "ffff:ffff:ffff:ffff::/64" {
+		t.Errorf("Subprefix(2^64-1) of ::/0 = %s", top)
+	}
+	if got := p.SubprefixIndex(top.Addr(), 64); got != ^uint64(0) {
+		t.Errorf("SubprefixIndex round trip = %d", got)
+	}
+}
+
+func TestLinkLocal(t *testing.T) {
+	a := LinkLocal(0x53)
+	if a.String() != "fe80::53" {
+		t.Fatalf("LinkLocal(0x53) = %s", a)
+	}
+	if !a.IsLinkLocal() {
+		t.Error("LinkLocal address not recognized")
+	}
+	for _, s := range []string{"fe80:1::53", "2001:db8::1", "ff02::1"} {
+		if MustParseAddr(s).IsLinkLocal() {
+			t.Errorf("%s recognized as canonical link-local", s)
+		}
+	}
+}
+
+// TestAllNodesGroupRoundTrip pins the RFC 3306 prefix-scoped all-nodes
+// encoding: the group embeds the /64 link recoverably, and GroupLink
+// rejects everything else.
+func TestAllNodesGroupRoundTrip(t *testing.T) {
+	link := MustParsePrefix("2001:db8:1:2::/64")
+	g := AllNodesGroup(link)
+	if g.String() != "ff32:40:2001:db8:1:2:0:1" {
+		t.Fatalf("AllNodesGroup = %s", g)
+	}
+	back, ok := GroupLink(g)
+	if !ok || back != link {
+		t.Fatalf("GroupLink(%s) = %s, %v; want %s", g, back, ok, link)
+	}
+	for _, s := range []string{
+		"ff02::1",                  // true link-scope all-nodes: carries no link
+		"ff32:40:2001:db8:1:2::2",  // wrong group ID
+		"ff33:40:2001:db8:1:2:0:1", // wrong scope/flags byte
+		"2001:db8::1",
+	} {
+		if _, ok := GroupLink(MustParseAddr(s)); ok {
+			t.Errorf("GroupLink accepted %s", s)
+		}
 	}
 }
 

@@ -76,6 +76,17 @@ func (r *Registry) LookupOUI(o ip6.OUI) (vendor string, ok bool) {
 	return vendor, ok
 }
 
+// NameOrUnknown returns the manufacturer for an OUI, or the fixed
+// "unknown vendor" placeholder for unregistered ones — the shared
+// rendering fallback (the paper found seven unregistered MACs at
+// NetCologne; the simulator's locally-administered MACs land here too).
+func (r *Registry) NameOrUnknown(o ip6.OUI) string {
+	if vendor, ok := r.LookupOUI(o); ok {
+		return vendor
+	}
+	return "unknown vendor"
+}
+
 // OUIs returns the OUIs registered to a vendor, in registration order.
 // The returned slice is a copy.
 func (r *Registry) OUIs(vendor string) []ip6.OUI {

@@ -176,6 +176,9 @@ type ExtraCPESpec struct {
 	MAC string
 	// Mode is the addressing mode (default ModeEUI64).
 	Mode AddressingMode
+	// Silent marks the device as never answering off-link probes — the
+	// fixture for vendor fleets only the on-link modalities can hear.
+	Silent bool
 	// FromDay/UntilDay bound the device's lifetime in days since the
 	// campaign Epoch. FromDay 0 means "has always existed"; UntilDay 0
 	// means "never leaves".

@@ -31,6 +31,16 @@ import (
 //     the link itself functions, so even Silent devices (whose
 //     firewalls drop echo probes) answer, and the off-link loss and
 //     ICMPv6 rate-limit machinery does not apply.
+//   - MLD General Queries (next header 0: every MLD message rides a
+//     Router-Alert hop-by-hop header) at hop limit 1: the second
+//     on-link enumeration path. The queried link is named by the
+//     RFC 3306 prefix-scoped all-nodes group in the destination
+//     (ip6.AllNodesGroup — the simulator's routable stand-in for
+//     sending to ff02::1 on an attached link); the link's current
+//     listener answers with an MLDv2 Report naming its solicited-node
+//     membership. Multicast listening, like neighbor resolution, is
+//     how the link functions, so Silent devices report too, and the
+//     off-link loss/rate-limit machinery does not apply.
 //
 // The echo identifier/sequence (or UDP/TCP ports) salt the
 // loss/response determinism so retransmissions are independent trials.
@@ -67,6 +77,9 @@ func (w *World) HandlePacket(req []byte, buf []byte) ([]byte, bool) {
 			return w.answerSolicitation(&p, buf)
 		}
 		return buf, false
+
+	case icmp6.ProtoHopByHop:
+		return w.answerMLDQuery(req, buf)
 
 	case icmp6.ProtoUDP:
 		var h icmp6.Header
@@ -164,6 +177,79 @@ func (w *World) answerSolicitation(p *icmp6.Packet, buf []byte) ([]byte, bool) {
 	w.statResps.Add(1)
 	return icmp6.AppendNeighborAdvertisement(buf, target, p.Header.Src, target,
 		icmp6.NAFlagSolicited|icmp6.NAFlagOverride), true
+}
+
+// answerMLDQuery is the multicast-listener half of the on-link world: a
+// General Query for a link whose first /64 currently holds a WAN
+// address is answered by that listener with an MLDv2 Report naming its
+// solicited-node group; everything else is silence. RFC 3810's
+// validation rules are enforced — hop limit 1 (link-scope multicast
+// never crosses a router), a link-local querier source, the Router
+// Alert hop-by-hop header and a verifying checksum — and, like the NS
+// path, the report is derived from occupancy ground truth, so Silent
+// devices report too. The report's source is the listener's WAN
+// address (the simulated CPE's on-link identity, exactly as in the NS
+// path): one report names a full 128-bit address the prober never had
+// to guess.
+func (w *World) answerMLDQuery(req []byte, buf []byte) ([]byte, bool) {
+	w.statProbes.Add(1)
+	var p icmp6.Packet
+	if err := p.UnmarshalMLD(req); err != nil {
+		return buf, false
+	}
+	if p.Header.HopLimit != icmp6.MLDHopLimit {
+		return buf, false
+	}
+	if !p.Header.Src.IsLinkLocal() {
+		// RFC 3810 §5.1.14: queries from a non-link-local source are
+		// dropped.
+		return buf, false
+	}
+	if p.Message.Type != icmp6.TypeMLDQuery || p.Message.Code != 0 {
+		return buf, false
+	}
+	group, ok := p.Message.MLDGroup()
+	if !ok || !group.IsZero() {
+		// Only General Queries are answered; group-specific queries name
+		// listeners the prober already knows 24 bits of.
+		return buf, false
+	}
+	link, ok := ip6.GroupLink(p.Header.Dst)
+	if !ok {
+		return buf, false
+	}
+	wan, ok := w.listenerOn(link)
+	if !ok {
+		return buf, false
+	}
+	w.statResps.Add(1)
+	return icmp6.AppendMLDv2Report(buf, wan, icmp6.AllMLDv2Routers,
+		[]ip6.Addr{ip6.SolicitedNode(wan)}), true
+}
+
+// listenerOn returns the WAN address listening on the given /64 link at
+// the current virtual instant, if any: the occupant of the covering
+// allocation block, provided its WAN /64 is this link.
+func (w *World) listenerOn(link ip6.Prefix) (ip6.Addr, bool) {
+	base := link.Addr()
+	p := w.providerFor(base)
+	if p == nil {
+		return ip6.Addr{}, false
+	}
+	pool := p.poolFor(base)
+	if pool == nil {
+		return ip6.Addr{}, false
+	}
+	cache := pool.cacheAt(w.clock.sinceEpoch())
+	idx, ok := cache.occupant(pool.blockIndex(base))
+	if !ok {
+		return ip6.Addr{}, false
+	}
+	wan := cache.wan[idx]
+	if wan.Slash64() != link {
+		return ip6.Addr{}, false
+	}
+	return wan, true
 }
 
 // neighbor reports whether target is a WAN address some CPE holds at

@@ -7,9 +7,10 @@ import (
 	"followscent/internal/ip6"
 )
 
-// Wire tests for the two PR-3 probe modalities: TCP SYNs to closed
-// ports and on-link Neighbor Solicitations. Every generated response is
-// checksum-verified here, byte for byte, the way a real peer would.
+// Wire tests for the non-echo probe modalities: TCP SYNs to closed
+// ports, on-link Neighbor Solicitations and on-link MLD General
+// Queries. Every generated response is checksum-verified here, byte for
+// byte, the way a real peer would.
 
 // TestHandlePacketTCPWire covers the TCP-SYN-to-closed-port modality: a
 // vacant address elicits the CPE's periphery error, a live WAN address
@@ -185,6 +186,125 @@ func TestHandlePacketNeighborWire(t *testing.T) {
 	stray := icmp6.AppendNeighborSolicitation(nil, src, ip6.MustParseAddr("2a00:dead::1"))
 	if _, ok := w.HandlePacket(stray, nil); ok {
 		t.Fatal("unrouted target advertised itself")
+	}
+}
+
+// TestHandlePacketMLDWire covers the multicast-listener modality: a
+// General Query on a link whose first /64 holds a WAN address is
+// answered with a checksum-valid MLDv2 Report naming the listener's
+// solicited-node group from its full address, a listener-less link is
+// silence, and RFC 3810's hop-limit/link-scope validation is enforced.
+func TestHandlePacketMLDWire(t *testing.T) {
+	w := TestWorld(11)
+	pool := testPool(t, w, 65001, 0)
+	c := &pool.cpes[0]
+	now := w.Clock().Now()
+	j := pool.blockAt(c, now)
+	wan := pool.wanAddr(c, j, now)
+	link := wan.Slash64()
+	src := ip6.LinkLocal(0x53)
+
+	probe := icmp6.AppendMLDQuery(nil, src, ip6.AllNodesGroup(link), ip6.Addr{})
+	resp, ok := w.HandlePacket(probe, nil)
+	if !ok {
+		t.Fatal("no report for an occupied link")
+	}
+	var p icmp6.Packet
+	if err := p.UnmarshalMLD(resp); err != nil {
+		t.Fatal(err) // UnmarshalMLD verifies the router alert and checksum
+	}
+	if p.Header.Src != wan || p.Header.Dst != icmp6.AllMLDv2Routers || p.Header.HopLimit != icmp6.MLDHopLimit {
+		t.Fatalf("report header = %+v", p.Header)
+	}
+	if p.Message.Type != icmp6.TypeMLDv2Report || p.Message.Code != 0 {
+		t.Fatalf("report message = %d/%d", p.Message.Type, p.Message.Code)
+	}
+	groups, ok := p.Message.MLDReportGroups()
+	if !ok || len(groups) != 1 || groups[0] != ip6.SolicitedNode(wan) {
+		t.Fatalf("report groups = %v, %v; want [%s]", groups, ok, ip6.SolicitedNode(wan))
+	}
+
+	// A vacant link (not the first /64 of any occupied block) is silence.
+	vacant := pool.Block(j).Subprefix(1, 64)
+	if vacant == link {
+		t.Fatal("fixture: vacant /64 collides with the WAN /64")
+	}
+	if _, ok := w.HandlePacket(icmp6.AppendMLDQuery(nil, src, ip6.AllNodesGroup(vacant), ip6.Addr{}), nil); ok {
+		t.Fatal("listener-less link answered a query")
+	}
+	// A query that crossed a router (hop limit != 1) is invalid.
+	offLink := icmp6.AppendMLDQuery(nil, src, ip6.AllNodesGroup(link), ip6.Addr{})
+	offLink[7] = 64
+	if _, ok := w.HandlePacket(offLink, nil); ok {
+		t.Fatal("off-link query answered")
+	}
+	// A non-link-local querier source is dropped (RFC 3810 §5.1.14).
+	global := icmp6.AppendMLDQuery(nil, ip6.MustParseAddr("2620:11f:7000::53"), ip6.AllNodesGroup(link), ip6.Addr{})
+	if _, ok := w.HandlePacket(global, nil); ok {
+		t.Fatal("global-source query answered")
+	}
+	// A group-specific query is not answered in this world.
+	specific := icmp6.AppendMLDQuery(nil, src, ip6.AllNodesGroup(link), ip6.SolicitedNode(wan))
+	if _, ok := w.HandlePacket(specific, nil); ok {
+		t.Fatal("group-specific query answered")
+	}
+	// A corrupted checksum is silence.
+	bad := icmp6.AppendMLDQuery(nil, src, ip6.AllNodesGroup(link), ip6.Addr{})
+	bad[icmp6.HeaderLen+8+5] ^= 0xff
+	if _, ok := w.HandlePacket(bad, nil); ok {
+		t.Fatal("corrupted query answered")
+	}
+	// A destination that names no link (the true ff02::1, which the
+	// simulator cannot route) is silence.
+	allNodes := icmp6.AppendMLDQuery(nil, src, ip6.MustParseAddr("ff02::1"), ip6.Addr{})
+	if _, ok := w.HandlePacket(allNodes, nil); ok {
+		t.Fatal("link-less all-nodes query answered")
+	}
+	// An unrouted link is silence.
+	stray := icmp6.AppendMLDQuery(nil, src, ip6.AllNodesGroup(ip6.MustParsePrefix("2a00:dead::/64")), ip6.Addr{})
+	if _, ok := w.HandlePacket(stray, nil); ok {
+		t.Fatal("unrouted link reported a listener")
+	}
+}
+
+// TestMLDSeesSilentDevices pins the modality's edge over off-link
+// probing: a device that drops echo probes still reports its multicast
+// memberships, because listening is how the link delivers its traffic.
+func TestMLDSeesSilentDevices(t *testing.T) {
+	w := MustBuild(WorldSpec{
+		Seed: 5,
+		Providers: []ProviderSpec{{
+			ASN: 65009, Name: "SilentNet", Country: "DE",
+			Allocations:    []string{"2001:db8::/32"},
+			BorderRespProb: 0.3,
+			Pools: []PoolSpec{{
+				Prefix: "2001:db8:10::/48", AllocBits: 56,
+				Rotation:  RotationPolicy{Kind: RotateNone},
+				Occupancy: 0.5, EUIFrac: 1, SilentFrac: 1,
+			}},
+		}},
+	})
+	pool := testPool(t, w, 65009, 0)
+	c := &pool.cpes[0]
+	if !c.Silent {
+		t.Fatal("fixture device is not silent")
+	}
+	wan := pool.WANAddrNow(c)
+	src := ip6.LinkLocal(0x53)
+
+	if _, ok := w.HandlePacket(icmp6.AppendEchoRequest(nil, src, wan, 1, 2, nil), nil); ok {
+		t.Fatal("silent device answered an echo probe")
+	}
+	resp, ok := w.HandlePacket(icmp6.AppendMLDQuery(nil, src, ip6.AllNodesGroup(wan.Slash64()), ip6.Addr{}), nil)
+	if !ok {
+		t.Fatal("silent device did not report its membership")
+	}
+	var p icmp6.Packet
+	if err := p.UnmarshalMLD(resp); err != nil {
+		t.Fatal(err)
+	}
+	if p.Header.Src != wan {
+		t.Fatalf("report from %s, want %s", p.Header.Src, wan)
 	}
 }
 

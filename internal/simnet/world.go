@@ -369,6 +369,7 @@ func buildPool(w *World, p *Provider, spec *PoolSpec, pi, qi int, reg *oui.Regis
 			MAC:         ip6.MustParseMAC(e.MAC),
 			RespType:    icmp6.TypeDestinationUnreachable,
 			RespCode:    icmp6.CodeAdminProhibited,
+			Silent:      e.Silent,
 			privSeed:    mix(pool.key, 0xec9e, uint64(k)),
 		}
 		if v, ok := reg.Lookup(c.MAC); ok {

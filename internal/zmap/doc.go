@@ -20,13 +20,14 @@
 // everything probe-type specific: how a probe packet is built (Prober)
 // and how a response is authenticated and mapped back to the probed
 // target (Validate, and optionally RawValidator for responses that are
-// not ICMPv6). Five modules exist across the repository:
+// not ICMPv6). Six modules exist across the repository:
 //
 //	EchoModule        ICMPv6 Echo Request, the paper's §3.1 probe (default)
 //	yarrp.HopLimitModule  echo at TTL 1..MaxTTL, the traceroute baseline
 //	UDPModule         UDP datagram to a closed high port
 //	TCPSynModule      TCP SYN to closed ports, RST-bearing edges
 //	NDPModule         Neighbor Solicitation, the on-link vantage
+//	MLDModule         MLD General Query per link, on-link listener census
 //
 // # Writing a probe module
 //
@@ -48,10 +49,11 @@
 //     from Config.Seed and the target (zmap's trick for scanning
 //     without per-probe state), carried in whatever probe field the
 //     response echoes — the echo identifier, the UDP source port, the
-//     TCP source port plus SYN sequence number. NDP responses echo
-//     nothing, so the NDP module instead leans on the protocol's
-//     hop-limit-255 on-link boundary; new modules should prefer
-//     seed-derived fields whenever the protocol offers one.
+//     TCP source port plus SYN sequence number. NDP and MLD responses
+//     echo nothing, so those modules instead lean on their protocols'
+//     on-link boundaries (hop limit 255 for ND, hop limit 1 for MLD);
+//     new modules should prefer seed-derived fields whenever the
+//     protocol offers one.
 //
 // Modules whose probes elicit non-ICMPv6 responses additionally
 // implement RawValidator; see its documentation. The full module-author

@@ -1,0 +1,119 @@
+package zmap
+
+import (
+	"followscent/internal/icmp6"
+	"followscent/internal/ip6"
+)
+
+// MLDModule probes with MLDv2 General Queries — the second §6 on-link
+// enumeration path, complementary to the NDP module. A Neighbor
+// Solicitation asks "does address X exist?" and must guess X first (an
+// explicit list, or OUI-synthesized EUI-64 candidates); an MLD General
+// Query asks the link itself "who is listening?", and every IPv6 host
+// must answer for the solicited-node groups it joined or multicast
+// delivery — and with it neighbor resolution toward the host — breaks.
+// One query per link, and each report names a listener the prober never
+// had to guess: in the simulated world the report's source is the
+// listener's WAN address (its on-link identity, as in the NS path), so
+// a single probe can reveal a full 128-bit address, ICMP-silent devices
+// included. This is the discovery seed the OUI-learning snowball feeds
+// on (OUIExpansion).
+//
+// A target identifies the queried *link*: the query goes to the
+// prefix-scoped all-nodes group of the target's /64
+// (ip6.AllNodesGroup, the simulator's routable stand-in for ff02::1 on
+// an attached link), so BaseTargets — one base address per delegation —
+// is the natural target set, and `scent mld -prefix P -sub B` sweeps
+// one query per /B delegation.
+//
+// Like NDP, MLD echoes no prober-chosen field, so there is nowhere to
+// put a seed-derived validation id (the second sanctioned exemption,
+// DESIGN.md §5). Authenticity comes from the protocol's own boundary:
+// RFC 3810 requires hop limit 1 on every MLD message and link-scope
+// multicast never crosses a router, so a received 1 proves the report
+// originated on the local link. Reports arrive behind the mandatory
+// Router-Alert hop-by-hop header (IPv6 next header 0, not 58), which is
+// why they reach this module through the RawValidator extension rather
+// than the engine's generic ICMPv6 parse.
+type MLDModule struct{}
+
+// Multiplier implements ProbeModule: one General Query per link.
+func (MLDModule) Multiplier() int { return 1 }
+
+// NewProber implements ProbeModule. Queries are sourced from the
+// vantage's link-local address (fe80:: with Config.Source's IID) —
+// RFC 3810 §5.1.14 requires a link-local querier source, and the
+// simulator enforces it.
+func (MLDModule) NewProber(cfg *Config, worker int) Prober {
+	return &mldProber{
+		src: ip6.LinkLocal(cfg.Source.IID()),
+		buf: make([]byte, 0, icmp6.HeaderLen+64),
+	}
+}
+
+type mldProber struct {
+	src ip6.Addr
+	buf []byte
+}
+
+// MakeProbe implements Prober: a General Query on the link holding
+// target. MLD carries no field for the re-probe attempt, so
+// retransmissions are byte-identical — harmless on a link, where the
+// querier's job is periodic retransmission anyway (RFC 3810 §7.1).
+func (p *mldProber) MakeProbe(target ip6.Addr, pos, attempt int) []byte {
+	p.buf = icmp6.AppendMLDQuery(p.buf[:0], p.src, ip6.AllNodesGroup(target.Slash64()), ip6.Addr{})
+	return p.buf
+}
+
+// Validate implements ProbeModule. MLD responses never arrive as bare
+// ICMPv6 — the Router-Alert hop-by-hop header puts them on the
+// RawValidator path — so anything reaching the generic parse is not an
+// answer to this module's probes.
+func (MLDModule) Validate(cfg *Config, pkt *icmp6.Packet) (Result, bool) {
+	return Result{}, false
+}
+
+// ValidateRaw implements RawValidator: parse and verify the full
+// IPv6 + hop-by-hop + ICMPv6 report, enforce the hop-limit-1 on-link
+// boundary, and require the report to name the solicited-node group of
+// its own source — a listener reports its own memberships; a report
+// whose groups do not match its address is forged or misparsed.
+func (MLDModule) ValidateRaw(cfg *Config, b []byte) (Result, bool) {
+	var pkt icmp6.Packet
+	if err := pkt.UnmarshalMLD(b); err != nil {
+		return Result{}, false
+	}
+	if pkt.Message.Type != icmp6.TypeMLDv2Report || pkt.Message.Code != 0 {
+		return Result{}, false
+	}
+	if pkt.Header.HopLimit != icmp6.MLDHopLimit {
+		// Crossed a router: not from this link, the only spoofing
+		// boundary MLD offers.
+		return Result{}, false
+	}
+	src := pkt.Header.Src
+	if src.IsZero() {
+		return Result{}, false
+	}
+	groups, ok := pkt.Message.MLDReportGroups()
+	if !ok {
+		return Result{}, false
+	}
+	solicited := ip6.SolicitedNode(src)
+	consistent := false
+	for _, g := range groups {
+		if g == solicited {
+			consistent = true
+			break
+		}
+	}
+	if !consistent {
+		return Result{}, false
+	}
+	return Result{
+		Target: src,
+		From:   src,
+		Type:   pkt.Message.Type,
+		Code:   pkt.Message.Code,
+	}, true
+}

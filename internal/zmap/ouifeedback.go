@@ -1,0 +1,147 @@
+package zmap
+
+import (
+	"sort"
+
+	"followscent/internal/ip6"
+)
+
+// OUIExpansion returns a FeedbackSource expand hook implementing the
+// paper's follow-the-scent vendor loop: hear a device, learn its
+// vendor, sweep that vendor's suffix neighborhood. A confirmed EUI-64
+// discovery names its vendor OUI and 24-bit device suffix; the hook
+// expands it into a CandidateSource sweep of the span-wide suffix
+// window centered on the discovered suffix — that OUI only — across
+// every subBits-delegation of pool, materialized into the next feedback
+// round. IEEE assignment gives real fleets exactly this structure
+// (vendors hand out suffixes densely, ISPs deploy one vendor's fleet),
+// so one heard device points at the whole fleet's address space.
+//
+// Centering matters: a device found near a window's edge expands
+// span/2 past it, so a dense fleet run is chased end to end from a
+// single seed hit, window by window, until the run's edges stop
+// answering. The hook tracks the suffix intervals already expanded per
+// OUI and emits only the uncovered part of each window — every address
+// in a covered interval is already scheduled in the feedback source,
+// so re-materializing it would only burn allocation on duplicates the
+// round dedup discards (dense runs make windows overlap heavily).
+// Non-EUI-64 discoveries (privacy addresses, periphery routers) expand
+// to nothing.
+//
+// The hook runs inside FeedbackSource.NextRound (single-threaded, the
+// only place expand hooks run) and the union of its emissions is a
+// pure function of the *set* of discoveries expanded so far —
+// emit-uncovered-then-mark-covered commutes under set union — so
+// feedback rounds stay worker-count-invariant even though single calls
+// depend on expansion order (TestOUIExpansionDeterministic,
+// TestOUISnowballWorkerInvariant).
+func OUIExpansion(pool ip6.Prefix, subBits int, span uint32) func(ip6.Addr) []ip6.Addr {
+	if span == 0 {
+		span = 1
+	}
+	covered := make(map[ip6.OUI]*suffixIntervals)
+	return func(d ip6.Addr) []ip6.Addr {
+		mac, ok := ip6.MACFromAddr(d)
+		if !ok {
+			return nil
+		}
+		suffix := mac.Suffix()
+		lo := uint32(0)
+		if suffix > span/2 {
+			lo = suffix - span/2
+		}
+		hi := uint64(lo) + uint64(span)
+		if hi > fullSuffixSpan {
+			// The window is clamped at the top of the 24-bit space.
+			hi = fullSuffixSpan
+		}
+		iv := covered[mac.OUI()]
+		if iv == nil {
+			iv = &suffixIntervals{}
+			covered[mac.OUI()] = iv
+		}
+		var out []ip6.Addr
+		for _, w := range iv.claim(lo, uint32(hi)) {
+			out = append(out, candidateAddrs(&CandidateSource{
+				Prefix:     pool,
+				SubBits:    subBits,
+				OUIs:       []ip6.OUI{mac.OUI()},
+				SuffixBase: w[0],
+				SuffixSpan: w[1] - w[0],
+			})...)
+		}
+		return out
+	}
+}
+
+// suffixIntervals is a sorted, disjoint set of half-open [lo, hi)
+// suffix ranges already expanded for one OUI.
+type suffixIntervals struct {
+	iv [][2]uint32
+}
+
+// claim returns the sub-ranges of [lo, hi) not yet covered and marks
+// the whole range covered.
+func (s *suffixIntervals) claim(lo, hi uint32) [][2]uint32 {
+	var fresh [][2]uint32
+	at := lo
+	for _, w := range s.iv {
+		if w[1] <= at {
+			continue
+		}
+		if w[0] >= hi {
+			break
+		}
+		if at < w[0] {
+			fresh = append(fresh, [2]uint32{at, w[0]})
+		}
+		if at < w[1] {
+			at = w[1]
+		}
+	}
+	if at < hi {
+		fresh = append(fresh, [2]uint32{at, hi})
+	}
+	// Merge [lo, hi) into the covered set, coalescing neighbors.
+	merged := make([][2]uint32, 0, len(s.iv)+1)
+	nlo, nhi := lo, hi
+	for _, w := range s.iv {
+		if w[1] < nlo || w[0] > nhi {
+			merged = append(merged, w)
+			continue
+		}
+		if w[0] < nlo {
+			nlo = w[0]
+		}
+		if w[1] > nhi {
+			nhi = w[1]
+		}
+	}
+	merged = append(merged, [2]uint32{nlo, nhi})
+	sort.Slice(merged, func(i, j int) bool { return merged[i][0] < merged[j][0] })
+	s.iv = merged
+	return fresh
+}
+
+// candidateAddrs materializes a CandidateSource's (necessarily small)
+// candidate set by draining its single-worker stream. Invalid or
+// overflowing sources yield nothing — expansion hooks have no error
+// channel, and a window is bounded by construction.
+func candidateAddrs(src *CandidateSource) []ip6.Addr {
+	cfg := &Config{Workers: 1, Shards: 1, Module: EchoModule{}}
+	st, err := src.Stream(cfg, 0)
+	if err != nil {
+		return nil
+	}
+	var out []ip6.Addr
+	if n, ok := src.Positions(cfg); ok {
+		out = make([]ip6.Addr, 0, n)
+	}
+	for {
+		a, _, ok := st.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, a)
+	}
+}

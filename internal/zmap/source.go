@@ -108,15 +108,23 @@ func NewPermutedSource(ts TargetSet) *PermutedSource {
 	return &PermutedSource{ts: ts}
 }
 
-// Positions implements TargetSource.
+// Positions implements TargetSource. A position space overflowing a
+// uint64 reports unknown; the scan then fails in Stream.
 func (s *PermutedSource) Positions(cfg *Config) (uint64, bool) {
-	return s.ts.Len() * cfg.multiplier(), true
+	return mulNoOverflow(s.ts.Len(), cfg.multiplier())
 }
 
-// Stream implements TargetSource.
+// Stream implements TargetSource. A targets × multiplier product
+// overflowing a uint64 fails here: the cyclic permutation would
+// otherwise cover only the wrapped fraction of the position space — a
+// silently truncated scan (the same overflow class CandidateSource
+// rejects in total).
 func (s *PermutedSource) Stream(cfg *Config, worker int) (Stream, error) {
 	mult := cfg.multiplier()
-	domain := s.ts.Len() * mult
+	domain, ok := mulNoOverflow(s.ts.Len(), mult)
+	if !ok {
+		return nil, fmt.Errorf("zmap: %d targets x %d positions overflows", s.ts.Len(), mult)
+	}
 	s.mu.Lock()
 	if s.p == 0 || s.domain != domain {
 		p, g, err := cycleGroup(domain)
@@ -184,8 +192,13 @@ type CandidateSource struct {
 	// builtin registry's oui.Builtin().All() is the natural default for
 	// a CPE-fleet sweep.
 	OUIs []ip6.OUI
+	// SuffixBase is the first device suffix swept. The OUI-learning
+	// feedback path sets it to sweep the window around a discovered
+	// device's suffix instead of always starting at 0.
+	SuffixBase uint32
 	// SuffixSpan is how many device suffixes are swept per OUI per
-	// sub-prefix, starting at 0. 0 means the full 1<<24 space.
+	// sub-prefix, starting at SuffixBase. 0 means the rest of the 1<<24
+	// space. SuffixBase+SuffixSpan must not exceed 1<<24.
 	SuffixSpan uint32
 }
 
@@ -202,22 +215,36 @@ func (s *CandidateSource) params() (subs, nouis, span uint64, subBits int, err e
 	if len(s.OUIs) == 0 {
 		return 0, 0, 0, 0, fmt.Errorf("zmap: candidate source has no OUIs")
 	}
+	if s.SuffixBase >= fullSuffixSpan {
+		return 0, 0, 0, 0, fmt.Errorf("zmap: suffix base %d outside the 24-bit MAC suffix space", s.SuffixBase)
+	}
 	span = uint64(s.SuffixSpan)
 	if span == 0 {
-		span = fullSuffixSpan
+		span = fullSuffixSpan - uint64(s.SuffixBase)
 	}
-	if span > fullSuffixSpan {
-		return 0, 0, 0, 0, fmt.Errorf("zmap: suffix span %d exceeds the 24-bit MAC suffix space", span)
+	if uint64(s.SuffixBase)+span > fullSuffixSpan {
+		return 0, 0, 0, 0, fmt.Errorf("zmap: suffix window [%d, %d) exceeds the 24-bit MAC suffix space",
+			s.SuffixBase, uint64(s.SuffixBase)+span)
 	}
-	return s.Prefix.NumSubprefixes(subBits), uint64(len(s.OUIs)), span, subBits, nil
+	subs, ok := s.Prefix.NumSubprefixes(subBits)
+	if !ok {
+		// A sub-prefix count overflowing a uint64 cannot be enumerated by
+		// a 64-bit stream index; treat it exactly like the total overflow
+		// below rather than walking a saturated bound.
+		return 0, 0, 0, 0, fmt.Errorf("zmap: candidate space of %s at /%d overflows", s.Prefix, subBits)
+	}
+	return subs, uint64(len(s.OUIs)), span, subBits, nil
 }
 
-// total returns the pair count, saturating at MaxUint64 (known=false)
-// when the space overflows a counter — effectively unbounded.
-func (s *CandidateSource) total(cfg *Config) (uint64, bool) {
+// total returns the exact pair count of one attempt pass. A space whose
+// count overflows a uint64 is an error, not a saturated bound: the
+// stream's 64-bit index could never cover it, and walking it against a
+// clamped counter would re-emit truncated duplicates forever (the
+// pre-fix behaviour — see TestCandidateSourceOverflow).
+func (s *CandidateSource) total(cfg *Config) (uint64, error) {
 	subs, nouis, span, _, err := s.params()
 	if err != nil {
-		return 0, false
+		return 0, err
 	}
 	n, ok := mulNoOverflow(subs, nouis)
 	if ok {
@@ -227,9 +254,10 @@ func (s *CandidateSource) total(cfg *Config) (uint64, bool) {
 		n, ok = mulNoOverflow(n, cfg.multiplier())
 	}
 	if !ok {
-		return ^uint64(0), false
+		return 0, fmt.Errorf("zmap: candidate space %d sub-prefixes x %d OUIs x %d suffixes x %d positions overflows",
+			subs, nouis, span, cfg.multiplier())
 	}
-	return n, true
+	return n, nil
 }
 
 func mulNoOverflow(a, b uint64) (uint64, bool) {
@@ -237,21 +265,31 @@ func mulNoOverflow(a, b uint64) (uint64, bool) {
 	return lo, hi == 0
 }
 
-// Positions implements TargetSource.
+// Positions implements TargetSource. An overflowing space reports
+// unknown; the scan then fails in Stream with the overflow diagnostic.
 func (s *CandidateSource) Positions(cfg *Config) (uint64, bool) {
-	return s.total(cfg)
+	n, err := s.total(cfg)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
 }
 
-// Stream implements TargetSource.
+// Stream implements TargetSource. Sources whose candidate space
+// overflows a uint64 fail here rather than stream duplicates against a
+// saturated bound.
 func (s *CandidateSource) Stream(cfg *Config, worker int) (Stream, error) {
 	subs, nouis, span, subBits, err := s.params()
 	if err != nil {
 		return nil, err
 	}
-	total, _ := s.total(cfg)
+	total, err := s.total(cfg)
+	if err != nil {
+		return nil, err
+	}
 	return &candidateStream{
 		prefix: s.Prefix, subBits: subBits, ouis: s.OUIs,
-		subs: subs, nouis: nouis, span: span,
+		subs: subs, nouis: nouis, base: uint64(s.SuffixBase), span: span,
 		total: total, mult: cfg.multiplier(),
 		filter: newShardFilter(cfg, worker),
 	}, nil
@@ -263,6 +301,7 @@ type candidateStream struct {
 	ouis    []ip6.OUI
 	subs    uint64
 	nouis   uint64
+	base    uint64
 	span    uint64
 	i       uint64
 	total   uint64
@@ -287,7 +326,7 @@ func (s *candidateStream) Next() (ip6.Addr, int, bool) {
 		sub := i % s.subs
 		rest := i / s.subs
 		o := s.ouis[rest%s.nouis]
-		suffix := uint32(rest / s.nouis)
+		suffix := uint32(s.base + rest/s.nouis)
 		mac := ip6.MACFromOUI(o, suffix)
 		addr := s.prefix.Subprefix(sub, s.subBits).Addr().WithIID(ip6.EUI64FromMAC(mac))
 		return addr, pos, true

@@ -99,13 +99,180 @@ func TestCandidateSourceRejectsBadConfig(t *testing.T) {
 	cfg := Config{Workers: 1}
 	cfg.fill()
 	for name, src := range map[string]*CandidateSource{
-		"no OUIs":       {Prefix: prefix, SuffixSpan: 1},
-		"sub too short": {Prefix: prefix, SubBits: 40, OUIs: []ip6.OUI{oui}, SuffixSpan: 1},
-		"sub past IID":  {Prefix: prefix, SubBits: 72, OUIs: []ip6.OUI{oui}, SuffixSpan: 1},
+		"no OUIs":           {Prefix: prefix, SuffixSpan: 1},
+		"sub too short":     {Prefix: prefix, SubBits: 40, OUIs: []ip6.OUI{oui}, SuffixSpan: 1},
+		"sub past IID":      {Prefix: prefix, SubBits: 72, OUIs: []ip6.OUI{oui}, SuffixSpan: 1},
+		"base past suffix":  {Prefix: prefix, OUIs: []ip6.OUI{oui}, SuffixBase: 1 << 24, SuffixSpan: 1},
+		"window past space": {Prefix: prefix, OUIs: []ip6.OUI{oui}, SuffixBase: 1<<24 - 2, SuffixSpan: 4},
 	} {
 		if _, err := src.Stream(&cfg, 0); err == nil {
 			t.Errorf("%s: Stream accepted invalid source", name)
 		}
+	}
+}
+
+// TestCandidateSourceOverflow is the regression test for the saturated
+// candidate-space bug: a source whose pair count does not fit a uint64
+// used to stream against a MaxUint64 bound, decomposing indexes past
+// the real space into out-of-range suffixes that ip6.MACFromOUI
+// silently truncated — duplicate addresses forever instead of a
+// terminating pass. Such sources must now fail Stream (and report an
+// unknown length) instead of emitting anything.
+func TestCandidateSourceOverflow(t *testing.T) {
+	cfg := Config{Workers: 1}
+	cfg.fill()
+	ouis := []ip6.OUI{ip6.MustParseOUI("38:10:d5"), ip6.MustParseOUI("00:19:c6")}
+	for name, src := range map[string]*CandidateSource{
+		// 2^63 sub-prefixes x 2 OUIs x full 2^24 span: overflows the
+		// uint64 pair count.
+		"total overflow": {Prefix: ip6.MustParsePrefix("8000::/1"), OUIs: ouis},
+		// ::/0 at /64 has 2^64 sub-prefixes: even the sub-prefix count
+		// overflows (the old NumSubprefixes saturated it to 2^63-1, which
+		// was silently wrong before it ever reached the multiplication).
+		"subprefix overflow": {Prefix: ip6.MustParsePrefix("::/0"), OUIs: ouis, SuffixSpan: 1},
+	} {
+		if n, known := src.Positions(&cfg); known {
+			t.Errorf("%s: Positions = %d, known; want unknown", name, n)
+		}
+		if st, err := src.Stream(&cfg, 0); err == nil {
+			// The pre-fix behaviour: the first emissions already repeat
+			// once the suffix space wraps. Failing fast is the contract.
+			t.Errorf("%s: Stream accepted an overflowing space (stream %v)", name, st)
+		}
+	}
+
+	// The widest enumerable space still streams: 2^63 pairs is within
+	// the counter even though walking it is impractical.
+	src := &CandidateSource{Prefix: ip6.MustParsePrefix("8000::/1"), OUIs: ouis[:1], SuffixSpan: 1}
+	if n, known := src.Positions(&cfg); !known || n != 1<<63 {
+		t.Fatalf("Positions of the 2^63 space = %d, %v; want 2^63, known", n, known)
+	}
+	st, err := src.Stream(&cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := st.Next(); !ok {
+		t.Fatal("countable space did not stream")
+	}
+}
+
+// TestCandidateSourceSuffixBase pins the suffix window: the sweep
+// covers exactly [SuffixBase, SuffixBase+SuffixSpan), the OUI-learning
+// neighborhood shape.
+func TestCandidateSourceSuffixBase(t *testing.T) {
+	prefix := ip6.MustParsePrefix("2001:db8:77::/48")
+	o := ip6.MustParseOUI("38:10:d5")
+	src := &CandidateSource{Prefix: prefix, SubBits: 56, OUIs: []ip6.OUI{o},
+		SuffixBase: 0x4100, SuffixSpan: 8}
+	cfg := Config{Source: vantage, Seed: 5, Workers: 1}
+	cfg.fill()
+	if n, ok := src.Positions(&cfg); !ok || n != 256*8 {
+		t.Fatalf("Positions = %d, %v; want %d", n, ok, 256*8)
+	}
+	seen := map[uint32]bool{}
+	for _, p := range collectStream(t, src, cfg, 0) {
+		mac, ok := ip6.MACFromAddr(p.target)
+		if !ok || mac.OUI() != o {
+			t.Fatalf("candidate %s does not embed %s", p.target, o)
+		}
+		suffix := mac.Suffix()
+		if suffix < 0x4100 || suffix >= 0x4108 {
+			t.Fatalf("candidate suffix %#x outside the window", suffix)
+		}
+		seen[suffix] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("window covered %d suffixes, want 8", len(seen))
+	}
+}
+
+// TestOUIExpansionDeterministic pins the OUI-learning hook: an EUI-64
+// discovery expands into its vendor's span-wide suffix window centered
+// on the discovered suffix, across every delegation of the pool; the
+// hook tracks per-OUI coverage so overlapping windows materialize each
+// candidate exactly once — the union of emissions is a pure function
+// of the set of discoveries, the property feedback rounds need to stay
+// worker-count-invariant — and non-EUI-64 discoveries expand to
+// nothing.
+func TestOUIExpansionDeterministic(t *testing.T) {
+	pool := ip6.MustParsePrefix("2001:db8:40::/48")
+	expand := OUIExpansion(pool, 56, 16)
+
+	mac := ip6.MustParseMAC("38:10:d5:00:41:07") // suffix 0x4107
+	d := pool.Subprefix(3, 56).Addr().WithIID(ip6.EUI64FromMAC(mac))
+	got := expand(d)
+	if len(got) != 256*16 {
+		t.Fatalf("expansion yielded %d candidates, want %d", len(got), 256*16)
+	}
+	seen := map[ip6.Addr]bool{}
+	for _, a := range got {
+		if seen[a] {
+			t.Fatalf("duplicate candidate %s", a)
+		}
+		seen[a] = true
+		if !pool.Contains(a) {
+			t.Fatalf("candidate %s outside the pool", a)
+		}
+		m, ok := ip6.MACFromAddr(a)
+		if !ok || m.OUI() != mac.OUI() {
+			t.Fatalf("candidate %s does not embed the discovered OUI", a)
+		}
+		suffix := m.Suffix()
+		if suffix < 0x4107-8 || suffix >= 0x4107+8 {
+			t.Fatalf("candidate suffix %#x outside the centered window", suffix)
+		}
+	}
+	// Coverage tracking: the same window re-expands to nothing (every
+	// address is already scheduled), and an overlapping window emits
+	// only its uncovered tail.
+	d2 := pool.Subprefix(9, 56).Addr().WithIID(ip6.EUI64FromMAC(mac))
+	if out := expand(d2); out != nil {
+		t.Fatalf("fully-covered window re-emitted %d candidates", len(out))
+	}
+	edgeMAC := ip6.MustParseMAC("38:10:d5:00:41:13") // window [0x410b, 0x411b): [0x410f, 0x411b) fresh
+	edge := expand(pool.Subprefix(0, 56).Addr().WithIID(ip6.EUI64FromMAC(edgeMAC)))
+	if len(edge) != 256*12 {
+		t.Fatalf("overlapping window emitted %d candidates, want the uncovered %d", len(edge), 256*12)
+	}
+	for _, a := range edge {
+		m, _ := ip6.MACFromAddr(a)
+		if s := m.Suffix(); s < 0x4107+8 || s >= 0x411b {
+			t.Fatalf("overlap emission suffix %#x outside the uncovered tail", s)
+		}
+	}
+	// Emission union is order-free: a fresh hook expanding the same
+	// discovery set in the opposite order covers the same addresses.
+	expand2 := OUIExpansion(pool, 56, 16)
+	var union2 []ip6.Addr
+	union2 = append(union2, expand2(pool.Subprefix(0, 56).Addr().WithIID(ip6.EUI64FromMAC(edgeMAC)))...)
+	union2 = append(union2, expand2(d)...)
+	if want := len(got) + len(edge); len(union2) != want {
+		t.Fatalf("reversed-order union emitted %d candidates, want %d", len(union2), want)
+	}
+	u2 := map[ip6.Addr]bool{}
+	for _, a := range union2 {
+		u2[a] = true
+	}
+	for _, a := range append(append([]ip6.Addr(nil), got...), edge...) {
+		if !u2[a] {
+			t.Fatalf("reversed-order union missing %s", a)
+		}
+	}
+	// A privacy address names no vendor.
+	if out := expand(pool.Subprefix(0, 56).Addr().WithIID(0x49c3_c01b_8f00_2c6e)); out != nil {
+		t.Fatalf("privacy-address discovery expanded to %d candidates", len(out))
+	}
+	// Both ends of the suffix space clamp the window instead of
+	// wrapping or erroring out.
+	lowMAC := ip6.MustParseMAC("38:10:d5:00:00:01") // window [0, 16)
+	low := expand(pool.Subprefix(0, 56).Addr().WithIID(ip6.EUI64FromMAC(lowMAC)))
+	if len(low) != 256*16 {
+		t.Fatalf("low-edge expansion yielded %d candidates, want %d", len(low), 256*16)
+	}
+	topMAC := ip6.MustParseMAC("38:10:d5:ff:ff:ff") // window [0xfffff7, 0x1000000)
+	top := expand(pool.Subprefix(0, 56).Addr().WithIID(ip6.EUI64FromMAC(topMAC)))
+	if len(top) != 256*9 {
+		t.Fatalf("top-of-space expansion yielded %d candidates, want %d", len(top), 256*9)
 	}
 }
 
@@ -139,8 +306,7 @@ func TestCandidateSourceNDPEndToEnd(t *testing.T) {
 	for i := range pool.CPEs() {
 		c := &pool.CPEs()[i]
 		wan := pool.WANAddrNow(c)
-		suffix := uint32(c.MAC[3])<<16 | uint32(c.MAC[4])<<8 | uint32(c.MAC[5])
-		if c.MAC.OUI() == ip6.MustParseOUI(avm) && suffix < 16 {
+		if c.MAC.OUI() == ip6.MustParseOUI(avm) && c.MAC.Suffix() < 16 {
 			wantFound[wan] = true
 		}
 	}

@@ -49,21 +49,63 @@ func NewSubnetTargetsN(prefixes []ip6.Prefix, subBits int, seed uint64, perSubne
 	if perSubnet < 1 {
 		return nil, fmt.Errorf("zmap: perSubnet %d < 1", perSubnet)
 	}
-	st := &SubnetTargets{
+	cum, err := cumSubprefixes(prefixes, subBits)
+	if err != nil {
+		return nil, err
+	}
+	n := cum[len(prefixes)]
+	if per := uint64(perSubnet); per > 1 && n > ^uint64(0)/per {
+		// Len() is n*per: a wrapping product would silently drop
+		// repetitions (or report the misleading "empty target set").
+		return nil, fmt.Errorf("zmap: %d probes per sub-prefix over %d sub-prefixes overflows", perSubnet, n)
+	}
+	return &SubnetTargets{
 		prefixes: prefixes,
 		subBits:  subBits,
 		seed:     seed,
 		per:      uint64(perSubnet),
-		cum:      make([]uint64, len(prefixes)+1),
-	}
+		cum:      cum,
+		n:        n,
+	}, nil
+}
+
+// cumSubprefixes builds the cumulative sub-prefix count table every
+// prefix-walking target set indexes through: cum[i] is the number of
+// sub-prefixes contributed by prefixes[:i]. An uncountable space — a
+// per-prefix count or a sum overflowing a uint64 — cannot back an
+// indexable TargetSet and is a constructor error.
+func cumSubprefixes(prefixes []ip6.Prefix, subBits int) ([]uint64, error) {
+	cum := make([]uint64, len(prefixes)+1)
 	for i, p := range prefixes {
 		if p.Bits() > subBits {
 			return nil, fmt.Errorf("zmap: prefix %s longer than sub-prefix /%d", p, subBits)
 		}
-		st.cum[i+1] = st.cum[i] + p.NumSubprefixes(subBits)
+		n, ok := p.NumSubprefixes(subBits)
+		if !ok {
+			return nil, fmt.Errorf("zmap: sub-prefix count of %s at /%d does not fit a uint64", p, subBits)
+		}
+		cum[i+1] = cum[i] + n
+		if cum[i+1] < cum[i] {
+			return nil, fmt.Errorf("zmap: sub-prefix count of %v at /%d overflows", prefixes, subBits)
+		}
 	}
-	st.n = st.cum[len(prefixes)]
-	return st, nil
+	return cum, nil
+}
+
+// cumLocate finds which prefix contributes global sub-prefix index i:
+// binary search over the cumulative table, returning the prefix index
+// and the in-prefix offset.
+func cumLocate(cum []uint64, i uint64) (int, uint64) {
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid+1] <= i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, i - cum[lo]
 }
 
 // Len implements TargetSet.
@@ -73,18 +115,8 @@ func (st *SubnetTargets) Len() uint64 { return st.n * st.per }
 func (st *SubnetTargets) At(i uint64) ip6.Addr {
 	rep := i / st.n
 	i %= st.n
-	// Binary search the cumulative table.
-	lo, hi := 0, len(st.prefixes)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if st.cum[mid+1] <= i {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	p := st.prefixes[lo]
-	sub := p.Subprefix(i-st.cum[lo], st.subBits)
+	pi, off := cumLocate(st.cum, i)
+	sub := st.prefixes[pi].Subprefix(off, st.subBits)
 	// Random-but-deterministic IID within the sub-prefix: a three-round
 	// chain over (seed, repetition, sub-prefix base, index). This runs
 	// once per probe, so the chain is kept as short as mixing quality
@@ -92,6 +124,47 @@ func (st *SubnetTargets) At(i uint64) ip6.Addr {
 	h1 := hashWord(hashWord(st.seed^rep*hashSeed, sub.Addr().High64()), sub.Addr().IID())
 	h2 := hashWord(h1, i^0x1d1d)
 	return sub.RandomAddr(h1, h2)
+}
+
+// BaseTargets is the link-identifying workload: one target per
+// sub-prefix, at the sub-prefix's base address. Probe modules that
+// query a *link* rather than an address — the MLD module sends one
+// General Query per /64 — need the delegation's first /64 exactly
+// (that is where a CPE's WAN address lives), not a random IID inside
+// the block, so the usual SubnetTargets derivation would miss the link.
+// Targets are computed arithmetically; nothing is materialized.
+type BaseTargets struct {
+	prefixes []ip6.Prefix
+	subBits  int
+	cum      []uint64
+	n        uint64
+}
+
+// NewBaseTargets builds the target set with one base-address target per
+// sub-prefix of subBits. Every prefix must be no longer than subBits.
+func NewBaseTargets(prefixes []ip6.Prefix, subBits int) (*BaseTargets, error) {
+	if len(prefixes) == 0 {
+		return nil, fmt.Errorf("zmap: no prefixes")
+	}
+	cum, err := cumSubprefixes(prefixes, subBits)
+	if err != nil {
+		return nil, err
+	}
+	return &BaseTargets{
+		prefixes: prefixes,
+		subBits:  subBits,
+		cum:      cum,
+		n:        cum[len(prefixes)],
+	}, nil
+}
+
+// Len implements TargetSet.
+func (bt *BaseTargets) Len() uint64 { return bt.n }
+
+// At implements TargetSet.
+func (bt *BaseTargets) At(i uint64) ip6.Addr {
+	pi, off := cumLocate(bt.cum, i)
+	return bt.prefixes[pi].Subprefix(off, bt.subBits).Addr()
 }
 
 // AddrTargets is a plain slice-backed target set, for tracking probes of

@@ -1,0 +1,63 @@
+package zmap
+
+import (
+	"testing"
+
+	"followscent/internal/ip6"
+)
+
+// TestBaseTargetsEnumeration pins the link-identifying target set: one
+// base address per sub-prefix, in address order, across multiple roots.
+func TestBaseTargetsEnumeration(t *testing.T) {
+	bt, err := NewBaseTargets([]ip6.Prefix{
+		ip6.MustParsePrefix("2001:db8:1::/48"),
+		ip6.MustParsePrefix("2001:db8:2::/52"),
+	}, 56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.Len() != 256+16 {
+		t.Fatalf("Len = %d, want %d", bt.Len(), 256+16)
+	}
+	for _, tc := range []struct {
+		i    uint64
+		want string
+	}{
+		{0, "2001:db8:1::"},
+		{255, "2001:db8:1:ff00::"},
+		{256, "2001:db8:2::"},
+		{271, "2001:db8:2:f00::"},
+	} {
+		if got := bt.At(tc.i); got != ip6.MustParseAddr(tc.want) {
+			t.Errorf("At(%d) = %s, want %s", tc.i, got, tc.want)
+		}
+	}
+	if _, err := NewBaseTargets(nil, 56); err == nil {
+		t.Error("empty prefix list accepted")
+	}
+	if _, err := NewBaseTargets([]ip6.Prefix{ip6.MustParsePrefix("::/0")}, 64); err == nil {
+		t.Error("uncountable sub-prefix space accepted")
+	}
+}
+
+// TestSubnetTargetsLenOverflow guards the Len() product: now that
+// exactly-2^63 sub-prefix counts are representable, n*perSubnet can
+// wrap a uint64 — the constructor must reject it rather than silently
+// dropping repetitions (per=3 wraps to 2^63; per=2 wraps to 0, which a
+// scan would misreport as "empty target set").
+func TestSubnetTargetsLenOverflow(t *testing.T) {
+	root := []ip6.Prefix{ip6.MustParsePrefix("8000::/1")}
+	if _, err := NewSubnetTargetsN(root, 64, 1, 2); err == nil {
+		t.Error("wrapping Len (per=2) accepted")
+	}
+	if _, err := NewSubnetTargetsN(root, 64, 1, 3); err == nil {
+		t.Error("wrapping Len (per=3) accepted")
+	}
+	st, err := NewSubnetTargetsN(root, 64, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 1<<63 {
+		t.Fatalf("Len of the widest countable space = %d, want 2^63", st.Len())
+	}
+}
