@@ -27,7 +27,8 @@ here=$(dirname "$0")
 
 tmp=
 cmp=
-trap 'rm -f "$tmp" "$cmp"' EXIT
+ck=
+trap 'rm -f "$tmp" "$cmp" "$ck"' EXIT
 if [ -z "$out" ]; then
 	tmp=$(mktemp)
 	out=$tmp
@@ -45,15 +46,19 @@ else
 	echo "wrote $out" >&2
 fi
 
-# headline_ns extracts the headline benchmark's ns/op from a
-# `go test -json` capture. The benchmark name and its result line are
-# separate JSON events, but both carry the exact "Test" field, which is
-# what keeps BenchmarkTable1_Workers sub-benchmarks out of the match.
-headline_ns() {
-	grep '"Test":"BenchmarkTable1_RotatingPrefixDiscovery"' "$1" |
+# bench_ns extracts one benchmark's ns/op from a `go test -json`
+# capture. The benchmark name and its result line are separate JSON
+# events, but both carry the exact "Test" field, which is what keeps
+# BenchmarkTable1_Workers sub-benchmarks out of the match.
+bench_ns() {
+	grep "\"Test\":\"$1\"" "$2" |
 		grep 'ns/op' |
 		sed -n 's|.*[^0-9]\([0-9][0-9]*\) ns/op.*|\1|p' |
 		head -1
+}
+
+headline_ns() {
+	bench_ns BenchmarkTable1_RotatingPrefixDiscovery "$1"
 }
 
 baseline=$here/BENCH_table1.json
@@ -74,5 +79,30 @@ if [ "${BENCH_COMPARE:-1}" != 0 ] && [ -f "$baseline" ]; then
 		echo "bench compare: BenchmarkTable1_RotatingPrefixDiscovery $new ns/op vs baseline $base ns/op (limit $limit) — ok" >&2
 	else
 		echo "bench compare skipped: headline benchmark missing from run or baseline" >&2
+	fi
+fi
+
+# Checkpointing-overhead gate: the fault-tolerance machinery
+# (Config.Progress high-water marks plus the quarantine failure
+# policy) must cost under 5% against the unarmed headline. Both sides
+# are measured back to back in one dedicated run — a relative gate
+# this tight needs more iterations than the 25% baseline gate above,
+# hence its own BENCH_CKPT_TIME knob (default 20x).
+if [ "${BENCH_COMPARE:-1}" != 0 ]; then
+	ck=$(mktemp)
+	go test -run '^$' \
+		-bench 'BenchmarkTable1_RotatingPrefixDiscovery$|BenchmarkTable1_WithCheckpointing$' \
+		-benchtime "${BENCH_CKPT_TIME:-20x}" -json . >"$ck"
+	plain=$(bench_ns BenchmarkTable1_RotatingPrefixDiscovery "$ck")
+	armed=$(bench_ns BenchmarkTable1_WithCheckpointing "$ck")
+	if [ -n "$plain" ] && [ -n "$armed" ]; then
+		climit=$((plain + plain / 20))
+		if [ "$armed" -gt "$climit" ]; then
+			echo "bench regression: BenchmarkTable1_WithCheckpointing $armed ns/op exceeds the unarmed headline $plain ns/op by >5% (limit $climit)" >&2
+			exit 1
+		fi
+		echo "bench compare: BenchmarkTable1_WithCheckpointing $armed ns/op vs unarmed $plain ns/op (limit $climit) — ok" >&2
+	else
+		echo "checkpoint overhead gate skipped: benchmark missing from run" >&2
 	fi
 fi

@@ -95,7 +95,7 @@ func mini(b *testing.B) *experiments.Study {
 // --- Table 1 & pipeline stage counts (§4) ---
 
 func BenchmarkTable1_RotatingPrefixDiscovery(b *testing.B) {
-	benchTable1(b, 0) // Workers = GOMAXPROCS
+	benchTable1(b, 0, false) // Workers = GOMAXPROCS
 }
 
 // BenchmarkTable1_Workers pins the worker count, quantifying the
@@ -103,14 +103,28 @@ func BenchmarkTable1_RotatingPrefixDiscovery(b *testing.B) {
 func BenchmarkTable1_Workers(b *testing.B) {
 	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			benchTable1(b, workers)
+			benchTable1(b, workers, false)
 		})
 	}
 }
 
-func benchTable1(b *testing.B, workers int) {
+// BenchmarkTable1_WithCheckpointing re-runs the Table 1 headline with
+// the fault-tolerance machinery armed exactly as `scent -checkpoint`
+// arms it: a Progress tracker recording every worker's high-water
+// position plus the quarantine failure policy. Progress marks cost one
+// uncontended padded atomic store per probe, so bench.sh gates this
+// benchmark's mean within 5% of the unarmed headline.
+func BenchmarkTable1_WithCheckpointing(b *testing.B) {
+	benchTable1(b, 0, true)
+}
+
+func benchTable1(b *testing.B, workers int, checkpointing bool) {
 	env := experiments.NewSmallEnv(103)
 	env.Scanner.Config.Workers = workers
+	if checkpointing {
+		env.Scanner.Config.Progress = zmap.NewProgress()
+		env.Scanner.Config.Failure = zmap.QuarantineWorker{}
+	}
 	seeds := []ip6.Prefix{
 		ip6.MustParsePrefix("2001:db8:10::/48"),
 		ip6.MustParsePrefix("2001:db9:30::/48"),

@@ -30,10 +30,12 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -50,7 +52,8 @@ import (
 // usageText is the complete CLI synopsis. The docs-drift test asserts
 // it (and README.md's command reference) names every command and flag
 // cliFlagSets registers — edit them together.
-const usageText = `usage: scent [-seed N] [-world default|test] [-server host:port] [-workers N] <command> [args]
+const usageText = `usage: scent [-seed N] [-world default|test] [-server host:port] [-workers N]
+             [-checkpoint FILE] [-resume FILE] <command> [args]
 
 commands:
   seed                      run the stale traceroute seed campaign
@@ -89,6 +92,16 @@ commands:
                             device's vendor OUI, sweep the vendor's
                             N-suffix neighborhood across every /B-fine
                             delegation via NDP, within the probe budget
+
+fault tolerance (single-pass scans: tcp, ndp, mld):
+  -checkpoint FILE   arm quarantine-on-worker-death and, on partial
+                     completion or SIGINT, write a resume checkpoint
+  -resume FILE       skip everything a previous run's checkpoint covers
+                     (same seed, shard and -workers required)
+
+exit codes:
+  0  clean completion        2  usage error
+  1  hard failure            3  partial results, checkpoint written
 `
 
 func usage() {
@@ -104,10 +117,12 @@ func usage() {
 // README.md's command reference honest.
 
 type globalOpts struct {
-	seed    uint64
-	world   string
-	server  string
-	workers int
+	seed       uint64
+	world      string
+	server     string
+	workers    int
+	checkpoint string
+	resume     string
 }
 
 func globalFlags(fs *flag.FlagSet) *globalOpts {
@@ -116,6 +131,8 @@ func globalFlags(fs *flag.FlagSet) *globalOpts {
 	fs.StringVar(&o.world, "world", "default", "in-process world: default or test")
 	fs.StringVar(&o.server, "server", "", "probe a simnetd at host:port instead of in-process")
 	fs.IntVar(&o.workers, "workers", 0, "scan workers per pass (0 = GOMAXPROCS); each owns its own transport")
+	fs.StringVar(&o.checkpoint, "checkpoint", "", "write a resume checkpoint here on partial completion or SIGINT (tcp/ndp/mld)")
+	fs.StringVar(&o.resume, "resume", "", "resume a tcp/ndp/mld scan from a checkpoint written by -checkpoint")
 	return o
 }
 
@@ -250,7 +267,7 @@ func snowballFlags() (*flag.FlagSet, *snowballOpts) {
 	fs.BoolVar(&o.learnOUI, "learn-oui", false, "on-link vendor loop: MLD-seed some links, learn vendors from EUI-64 listeners, sweep their suffix neighborhoods via NDP")
 	fs.IntVar(&o.seedLinks, "seed-links", 32, "with -learn-oui: delegation links MLD-queried in round 0")
 	fs.IntVar(&o.learnSpan, "learn-span", 64, "with -learn-oui: MAC-suffix window swept around each learned device")
-	fs.Uint64Var(&o.budget, "budget", 0, "probe budget: no new round starts past it (0 = unbounded)")
+	fs.Uint64Var(&o.budget, "budget", 0, "hard probe budget: rounds that would overshoot are split to fit (0 = unbounded)")
 	return fs, o
 }
 
@@ -296,7 +313,14 @@ func main() {
 		log.Fatal(err)
 	}
 	env.Scanner.Config.Workers = g.workers
-	ctx := context.Background()
+	prog, err := applyCheckpointFlags(env, flag.Arg(0), g.checkpoint, g.resume)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Trap SIGINT so an interrupted scan drains in-flight responses and
+	// checkpoints instead of dying mid-packet; a second SIGINT kills.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var cmdErr error
 	switch cmd := flag.Arg(0); cmd {
@@ -324,9 +348,97 @@ func main() {
 		log.Printf("unknown command %q", cmd)
 		usage()
 	}
-	if cmdErr != nil {
-		log.Fatal(cmdErr)
+	os.Exit(finish(cmdErr, g.checkpoint, prog))
+}
+
+// applyCheckpointFlags wires -checkpoint/-resume into the scanner
+// config. Both apply only to the single-pass scan commands — the
+// multi-round studies re-derive their target sets per round, so a
+// per-worker position checkpoint has nothing stable to index into.
+// Returns the progress tracker main snapshots on SIGINT (nil when
+// -checkpoint is unset).
+func applyCheckpointFlags(env *experiments.Env, cmd, checkpoint, resume string) (*zmap.Progress, error) {
+	if checkpoint == "" && resume == "" {
+		return nil, nil
 	}
+	switch cmd {
+	case "tcp", "ndp", "mld":
+	default:
+		return nil, fmt.Errorf("-checkpoint/-resume apply to the single-pass scans (tcp, ndp, mld), not %q", cmd)
+	}
+	if resume != "" {
+		f, err := os.Open(resume)
+		if err != nil {
+			return nil, err
+		}
+		cp, err := zmap.ReadCheckpoint(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", resume, err)
+		}
+		env.Scanner.Config.Resume = cp
+	}
+	var prog *zmap.Progress
+	if checkpoint != "" {
+		prog = zmap.NewProgress()
+		env.Scanner.Config.Progress = prog
+		// A checkpointed run quarantines a dead worker instead of
+		// aborting the whole scan: survivors finish their sub-shards and
+		// the checkpoint records the casualty's remainder.
+		env.Scanner.Config.Failure = zmap.QuarantineWorker{}
+	}
+	return prog, nil
+}
+
+// finish resolves the exit-code contract once a command returns: 0 for
+// clean completion, 3 when partial results are backed by a checkpoint
+// written to checkpointPath, 1 for hard failures. (Exit code 2 — usage
+// errors — is issued by usage() and flag.ExitOnError before any
+// command runs.) Results printed so far are valid in every case.
+func finish(cmdErr error, checkpointPath string, prog *zmap.Progress) int {
+	if cmdErr == nil {
+		return 0
+	}
+	cp := resumableState(cmdErr, prog)
+	if checkpointPath == "" || cp == nil {
+		log.Print(cmdErr)
+		return 1
+	}
+	if err := writeCheckpointFile(checkpointPath, cp); err != nil {
+		log.Print(cmdErr)
+		log.Print(err)
+		return 1
+	}
+	log.Printf("%v; checkpoint written (resume with -resume %s)", cmdErr, checkpointPath)
+	return 3
+}
+
+// resumableState extracts the checkpoint a failed command left behind.
+// A quarantine PartialError carries its own; an interrupt snapshots the
+// live progress tracker. Anything else is a hard failure.
+func resumableState(err error, prog *zmap.Progress) *zmap.Checkpoint {
+	var pe *zmap.PartialError
+	if errors.As(err, &pe) {
+		return pe.Checkpoint
+	}
+	if errors.Is(err, context.Canceled) && prog != nil {
+		if cp, cerr := prog.Checkpoint(); cerr == nil {
+			return cp
+		}
+	}
+	return nil
+}
+
+func writeCheckpointFile(path string, cp *zmap.Checkpoint) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := zmap.WriteCheckpoint(f, cp); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // buildEnv assembles the probing environment. Remote probing still

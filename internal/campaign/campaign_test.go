@@ -1,0 +1,219 @@
+package campaign_test
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"followscent/internal/campaign"
+	"followscent/internal/ip6"
+	"followscent/internal/simnet"
+	"followscent/internal/zmap"
+)
+
+var vantage = ip6.MustParseAddr("2001:db8:ffff::53")
+
+// TestLeaseExpiryReissue drives the lease lifecycle on a fake clock:
+// grant, renew-extends, expiry, epoch-fenced re-issue, and stale
+// holders locked out of renew and complete.
+func TestLeaseExpiryReissue(t *testing.T) {
+	now := time.Unix(1000, 0)
+	m := campaign.NewManager(2, time.Minute, func() time.Time { return now })
+
+	l0, ok := m.Grant("a")
+	if !ok || l0.Shard != 0 || l0.Epoch != 1 {
+		t.Fatalf("first grant = %+v, %v", l0, ok)
+	}
+	l1, ok := m.Grant("a")
+	if !ok || l1.Shard != 1 {
+		t.Fatalf("second grant = %+v, %v", l1, ok)
+	}
+	if _, ok := m.Grant("b"); ok {
+		t.Fatal("grant succeeded with every shard leased")
+	}
+
+	// Renewing shard 0 at t+30s extends it to t+90s.
+	now = now.Add(30 * time.Second)
+	r0, ok := m.Renew(l0)
+	if !ok || !r0.Expiry.Equal(now.Add(time.Minute)) {
+		t.Fatalf("renew = %+v, %v", r0, ok)
+	}
+
+	// At t+75s shard 1's lease (expiry t+60s) has lapsed, shard 0's
+	// renewed lease (t+90s) has not.
+	now = now.Add(45 * time.Second)
+	lb, ok := m.Grant("b")
+	if !ok || lb.Shard != 1 || lb.Epoch != 2 {
+		t.Fatalf("re-issue = %+v, %v", lb, ok)
+	}
+	if m.Reissues() != 1 {
+		t.Fatalf("reissues = %d, want 1", m.Reissues())
+	}
+
+	// The original holder is fenced out of its lapsed lease.
+	if _, ok := m.Renew(l1); ok {
+		t.Fatal("stale lease renewed")
+	}
+	if m.Complete(l1) {
+		t.Fatal("stale lease completed its shard")
+	}
+
+	if !m.Complete(lb) || !m.Complete(r0) {
+		t.Fatal("valid holders could not complete")
+	}
+	if !m.Done() {
+		t.Fatal("campaign not done after all shards completed")
+	}
+	if _, ok := m.Grant("c"); ok {
+		t.Fatal("grant succeeded on a finished campaign")
+	}
+}
+
+func TestMergerDedupes(t *testing.T) {
+	g := campaign.NewMerger()
+	r := zmap.Result{Target: vantage, From: vantage, Type: 129, Seq: 7}
+	g.Add(r)
+	r.Worker = 3 // worker index must not defeat the dedupe
+	g.Add(r)
+	other := r
+	other.Seq = 8
+	g.Add(other)
+	if got := g.Results(); len(got) != 2 {
+		t.Fatalf("distinct results = %d, want 2", len(got))
+	}
+	if g.Dupes() != 1 {
+		t.Fatalf("dupes = %d, want 1", g.Dupes())
+	}
+}
+
+// leaseWorld is a loss-free, rate-limit-free fixture (the adaptive
+// tests' pattern): every response is a pure function of the probe
+// bytes, so a merged multi-node campaign over UDP and a single-node
+// loopback scan must produce identical result sets.
+func leaseWorld(seed uint64) *simnet.World {
+	return simnet.MustBuild(simnet.WorldSpec{
+		Seed: seed,
+		Providers: []simnet.ProviderSpec{{
+			ASN: 65051, Name: "LeaseNet", Country: "DE",
+			Allocations:    []string{"2001:db8::/32"},
+			BorderRespProb: 0.3,
+			Pools: []simnet.PoolSpec{{
+				Prefix: "2001:db8:50::/48", AllocBits: 56,
+				Rotation:  simnet.RotationPolicy{Kind: simnet.RotateNone},
+				Occupancy: 0.5, EUIFrac: 1,
+			}},
+		}},
+	})
+}
+
+func leaseTargets(t *testing.T) zmap.TargetSet {
+	t.Helper()
+	ts, err := zmap.NewSubnetTargets([]ip6.Prefix{ip6.MustParsePrefix("2001:db8:50::/48")}, 56, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+// TestCampaignSurvivesNodeKill is the campaign-level resume invariant:
+// three nodes scan a simnetd world over UDP, one node's transport dies
+// mid-shard, its lease expires and is re-issued, and the merged result
+// set still equals a single-node loopback scan of the same world.
+func TestCampaignSurvivesNodeKill(t *testing.T) {
+	ts := leaseTargets(t)
+	cfg := zmap.Config{Source: vantage, Seed: 4242, Workers: 2}
+
+	// Reference: one uninterrupted scan against a fresh same-seed world.
+	ref := campaign.NewMerger()
+	refW := leaseWorld(9)
+	if _, err := zmap.ScanWorkers(context.Background(), func(int) (zmap.Transport, error) {
+		return zmap.NewLoopback(refW, 0), nil
+	}, ts, cfg, ref.Add); err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Results()) == 0 {
+		t.Fatal("reference scan found nothing")
+	}
+
+	// Campaign world, served over UDP like a real simnetd.
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sctx, scancel := context.WithCancel(context.Background())
+	var swg sync.WaitGroup
+	swg.Add(1)
+	go func() {
+		defer swg.Done()
+		leaseWorld(9).ServeUDP(sctx, conn, 0)
+	}()
+	defer func() {
+		scancel()
+		conn.Close()
+		swg.Wait()
+	}()
+	addr := conn.LocalAddr().String()
+
+	merge := campaign.NewMerger()
+	mgr := campaign.NewManager(8, 400*time.Millisecond, nil)
+	// Pace gently (loopback UDP drops on bursts) and leave time for
+	// responses before each shard's transports close.
+	ncfg := cfg
+	ncfg.Rate = 20000
+	ncfg.Cooldown = 250 * time.Millisecond
+	node := func(name string, factory zmap.TransportFactory) *campaign.Node {
+		return &campaign.Node{
+			Name: name, Manager: mgr,
+			Source: zmap.NewPermutedSource(ts), Config: ncfg,
+			NewTransport: factory, Merge: merge,
+			Poll: 50 * time.Millisecond,
+		}
+	}
+	dial := func(int) (zmap.Transport, error) { return zmap.DialUDP(addr) }
+	// Node n0's transports die after 5 sends: it fails mid-shard on its
+	// first lease, which must then expire and be re-issued.
+	dying := func(w int) (zmap.Transport, error) {
+		tr, err := zmap.DialUDP(addr)
+		if err != nil {
+			return nil, err
+		}
+		return zmap.NewFaultTransport(tr, zmap.FaultPlan{DieAfterSends: 5}, w), nil
+	}
+
+	nodes := []*campaign.Node{node("n0", dying), node("n1", dial), node("n2", dial)}
+	errs := make([]error, len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n *campaign.Node) {
+			defer wg.Done()
+			errs[i] = n.Run(context.Background())
+		}(i, n)
+	}
+	wg.Wait()
+
+	if errs[0] == nil {
+		t.Error("dying node reported no error")
+	}
+	if errs[1] != nil || errs[2] != nil {
+		t.Fatalf("surviving nodes errored: %v, %v", errs[1], errs[2])
+	}
+	if !mgr.Done() {
+		t.Fatal("campaign not done")
+	}
+	if mgr.Reissues() == 0 {
+		t.Fatal("dead node's lease was never re-issued")
+	}
+
+	got, want := merge.Results(), ref.Results()
+	if len(got) != len(want) {
+		t.Fatalf("merged %d results, reference has %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("result %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}

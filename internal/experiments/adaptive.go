@@ -48,11 +48,12 @@ type AdaptiveConfig struct {
 	// MaxRounds bounds the snowball (default 16; the descent from
 	// CoarseBits to FineBits naturally needs ⌈(Fine-Coarse)/Step⌉+1).
 	MaxRounds int
-	// MaxProbes is the snowball's probe budget: no new round starts once
-	// SnowballProbes has reached it (a round in flight completes, so the
-	// budget can overshoot by at most one round). 0 means unbounded.
-	// Equal budgets make adaptive strategies comparable — see
-	// TestOUISnowballBeatsPlainSnowball.
+	// MaxProbes is the snowball's probe budget. A round that would
+	// overshoot it is split: only the head that fits is scheduled and
+	// the remainder carries into the next round, so the snowball never
+	// sends more than MaxProbes probes (TestAdaptiveBudgetNeverExceeded).
+	// 0 means unbounded. Equal budgets make adaptive strategies
+	// comparable — see TestOUISnowballBeatsPlainSnowball.
 	MaxProbes uint64
 	// Salt seeds target IIDs and probe order.
 	Salt uint64
@@ -96,6 +97,37 @@ func (c *AdaptiveConfig) fill() error {
 		coarse += n
 	}
 	return nil
+}
+
+// roundBudget converts a probe budget's unspent remainder into a
+// round-size cap in targets, under scanCfg's per-target probe cost
+// (ProbesPerTarget × the module's position multiplier). It returns
+// ok=false when the budget is exhausted — not even one more target
+// fits — and cap 0 (uncapped) when there is no budget at all.
+func roundBudget(maxProbes, spent uint64, scanCfg zmap.Config) (cap int, ok bool) {
+	if maxProbes == 0 {
+		return 0, true
+	}
+	if spent >= maxProbes {
+		return 0, false
+	}
+	per := uint64(1)
+	if scanCfg.ProbesPerTarget > 0 {
+		per = uint64(scanCfg.ProbesPerTarget)
+	}
+	if scanCfg.Module != nil {
+		if m := scanCfg.Module.Multiplier(); m > 1 {
+			per *= uint64(m)
+		}
+	}
+	targets := (maxProbes - spent) / per
+	if targets == 0 {
+		return 0, false
+	}
+	if targets > 1<<31 {
+		targets = 1 << 31
+	}
+	return int(targets), true
 }
 
 // maxCoarseTargets bounds the materialized round-0 target list (64 MiB
@@ -209,10 +241,11 @@ func AdaptiveDiscovery(ctx context.Context, env *Env, cfg AdaptiveConfig) (*Adap
 	}
 
 	for round := 0; round < cfg.MaxRounds; round++ {
-		if cfg.MaxProbes > 0 && res.SnowballProbes >= cfg.MaxProbes {
+		roundCap, ok := roundBudget(cfg.MaxProbes, res.SnowballProbes, sc.Config)
+		if !ok {
 			break
 		}
-		n := fs.NextRound()
+		n := fs.NextRoundCapped(roundCap)
 		if n == 0 {
 			break
 		}

@@ -177,6 +177,47 @@ func adaptiveWorld(seed uint64) *Env {
 	return envFor(w, seed)
 }
 
+// TestAdaptiveBudgetNeverExceeded pins the budget-aware round
+// scheduling: MaxProbes is a hard cap, not a stopping hint — a round
+// that would overshoot is split via NextRoundCapped and the remainder
+// carried, so the snowball's spend never passes the budget, for any
+// budget and worker count.
+func TestAdaptiveBudgetNeverExceeded(t *testing.T) {
+	cfg := AdaptiveConfig{
+		Prefixes: []ip6.Prefix{ip6.MustParsePrefix("2001:db8:40::/44")},
+		Salt:     0x6b1,
+	}
+	free, err := AdaptiveDiscovery(context.Background(), adaptiveWorld(29), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.SnowballProbes < 300 {
+		t.Fatalf("unbounded snowball spent only %d probes: fixture too small to test budgets", free.SnowballProbes)
+	}
+	for _, budget := range []uint64{100, free.SnowballProbes / 2, free.SnowballProbes - 1} {
+		for _, workers := range []int{1, 4} {
+			env := adaptiveWorld(29)
+			env.Scanner.Config.Workers = workers
+			bcfg := cfg
+			bcfg.MaxProbes = budget
+			res, err := AdaptiveDiscovery(context.Background(), env, bcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.SnowballProbes > budget {
+				t.Fatalf("budget %d, workers %d: snowball spent %d probes", budget, workers, res.SnowballProbes)
+			}
+			// The budget binds (the unbounded run spends more), and split
+			// rounds carry their remainder, so the spend lands exactly on
+			// the budget rather than stopping short at a round boundary.
+			if res.SnowballProbes != budget {
+				t.Fatalf("budget %d, workers %d: snowball spent %d, want the full budget",
+					budget, workers, res.SnowballProbes)
+			}
+		}
+	}
+}
+
 // TestAdaptiveWorkerInvariant pins the FeedbackSource determinism rule
 // end to end: per-round target sets, per-round discovery counts and the
 // final periphery set are identical for 1, 2 and 4 workers.

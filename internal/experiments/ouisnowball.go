@@ -57,10 +57,12 @@ type OUISnowballConfig struct {
 	LearnSpan uint32
 	// MaxRounds bounds the snowball (default 16).
 	MaxRounds int
-	// MaxProbes is the probe budget: no new round starts once the
-	// snowball has spent it (a round in flight completes). 0 means
-	// unbounded. The blind reference always receives at least the
-	// snowball's final spend, so comparisons stay budget-fair.
+	// MaxProbes is the probe budget. A learned round that would
+	// overshoot it is split to fit (the remainder carries forward), so
+	// the snowball never spends past the budget; the MLD seed round is
+	// the campaign's fixed cost and runs uncapped. 0 means unbounded.
+	// The blind reference always receives at least the snowball's final
+	// spend, so comparisons stay budget-fair.
 	MaxProbes uint64
 	// BlindOUIs is the registry the blind reference sweeps (default the
 	// builtin registry's every OUI — "guess every vendor").
@@ -179,10 +181,11 @@ func OUISnowball(ctx context.Context, env *Env, cfg OUISnowballConfig) (*OUISnow
 
 	// Learned rounds: the vendors' suffix neighborhoods, via NDP.
 	for round := 1; round < cfg.MaxRounds; round++ {
-		if cfg.MaxProbes > 0 && res.SnowballProbes >= cfg.MaxProbes {
+		roundCap, ok := roundBudget(cfg.MaxProbes, res.SnowballProbes, ndp.Config)
+		if !ok {
 			break
 		}
-		n := fs.NextRound()
+		n := fs.NextRoundCapped(roundCap)
 		if n == 0 {
 			break
 		}

@@ -56,6 +56,20 @@ type Config struct {
 	// per-target position multiplier. Nil means EchoModule — the
 	// paper's single full-hop-limit ICMPv6 echo per target.
 	Module ProbeModule
+	// Failure selects how the scan responds to transport errors; nil
+	// means AbortAll, the historical first-error-cancels-everything
+	// semantics. See FailurePolicy.
+	Failure FailurePolicy
+	// Progress, when non-nil, tracks per-worker high-water marks the
+	// caller can snapshot into a Checkpoint at any moment (the SIGINT
+	// path). A QuarantineWorker scan allocates one internally when nil,
+	// so its PartialError always carries a resumable remainder.
+	Progress *Progress
+	// Resume, when non-nil, skips the stream positions a previous run
+	// of the same scan already covered; it is validated against this
+	// configuration at scan start. The caller must supply the same
+	// target source — the checkpoint cannot record it.
+	Resume *Checkpoint
 }
 
 func (c *Config) fill() {
@@ -145,6 +159,11 @@ func ScanSource(ctx context.Context, factory TransportFactory, src TargetSource,
 	if cfg.Shard < 0 || cfg.Shard >= cfg.Shards {
 		return Stats{}, fmt.Errorf("zmap: shard %d of %d out of range", cfg.Shard, cfg.Shards)
 	}
+	if cfg.Resume != nil {
+		if err := cfg.Resume.compatible(&cfg); err != nil {
+			return Stats{}, err
+		}
+	}
 	if n, known := src.Positions(&cfg); known && n == 0 {
 		return Stats{}, fmt.Errorf("zmap: empty target set")
 	}
@@ -157,6 +176,28 @@ func ScanSource(ctx context.Context, factory TransportFactory, src TargetSource,
 
 	e := &engine{cfg: cfg, src: src, handler: h, abort: cancel}
 	e.raw, _ = cfg.Module.(RawValidator)
+	switch p := cfg.Failure.(type) {
+	case nil, AbortAll:
+		// First error cancels every worker — the historical default.
+	case RetryBackoff:
+		r := p.fill()
+		e.retry = &r
+	case QuarantineWorker:
+		e.quarantine = true
+		if p.Retry != nil {
+			r := p.Retry.fill()
+			e.retry = &r
+		}
+	default:
+		return Stats{}, fmt.Errorf("zmap: unknown failure policy %T", cfg.Failure)
+	}
+	e.prog = cfg.Progress
+	if e.prog == nil && e.quarantine {
+		e.prog = NewProgress()
+	}
+	if e.prog != nil {
+		e.prog.start(&cfg, cfg.Resume)
+	}
 	if h != nil && cfg.Workers > 1 && !cfg.ConcurrentHandlers {
 		// Merge stage: funnel every worker's results through one lock so
 		// the Handler sees serialized calls, as with a single worker.
@@ -219,12 +260,25 @@ func ScanSource(ctx context.Context, factory TransportFactory, src TargetSource,
 	}
 	recvWG.Wait()
 
+	err := e.firstErr()
+	if err == nil && len(e.qerrs) > 0 {
+		// Quarantined workers but no systemic error: the results stand,
+		// and the error carries exactly the remainder a resumed scan
+		// must cover. (qerrs is read lock-free: every worker goroutine
+		// has exited by now.)
+		cp, cperr := e.prog.Checkpoint()
+		if cperr != nil {
+			err = cperr
+		} else {
+			err = &PartialError{Checkpoint: cp, WorkerErrs: e.qerrs}
+		}
+	}
 	return Stats{
 		Sent:     e.sent.Load(),
 		Received: e.received.Load(),
 		Matched:  e.matched.Load(),
 		Invalid:  e.invalid.Load(),
-	}, e.firstErr()
+	}, err
 }
 
 // engine is the shared state of one scan's worker pool.
@@ -235,10 +289,16 @@ type engine struct {
 	raw     RawValidator // non-nil when the module validates non-ICMPv6 responses
 	abort   context.CancelFunc
 
+	// Failure-policy state, resolved once at scan start.
+	retry      *RetryBackoff // retry transient send errors; nil = no retries
+	quarantine bool          // record dead workers instead of aborting
+	prog       *Progress     // per-worker high-water marks; may be nil
+
 	sent, received, matched, invalid atomic.Uint64
 
 	errMu sync.Mutex
 	err   error
+	qerrs map[int]error // quarantined workers' terminal errors
 }
 
 func (e *engine) setErr(err error) {
@@ -261,6 +321,45 @@ func (e *engine) firstErr() error {
 	return e.err
 }
 
+// quarantineWorker records worker w's terminal error without aborting:
+// the surviving workers finish their sub-shards, and the scan returns a
+// *PartialError carrying the resumable remainder.
+func (e *engine) quarantineWorker(w int, err error) {
+	e.errMu.Lock()
+	if e.qerrs == nil {
+		e.qerrs = make(map[int]error)
+	}
+	e.qerrs[w] = err
+	e.errMu.Unlock()
+}
+
+// sendRetry transmits one probe, retrying transient errors with the
+// configured backoff. It returns nil on success, ctx.Err() when
+// cancelled mid-backoff, and the terminal error otherwise.
+func (e *engine) sendRetry(ctx context.Context, tr Transport, pkt []byte) error {
+	err := tr.Send(pkt)
+	if err == nil || e.retry == nil || !Transient(err) {
+		return err
+	}
+	// The backoff jitter is keyed by probe content, like the fault
+	// schedule itself: deterministic for a fixed scan, decorrelated
+	// across probes.
+	h := foldBytes(e.cfg.Seed, pkt)
+	for try := 1; try <= e.retry.Attempts; try++ {
+		t := time.NewTimer(e.retry.backoff(h, try))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+		if err = tr.Send(pkt); err == nil || !Transient(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("zmap: %d retries exhausted: %w", e.retry.Attempts, err)
+}
+
 // send is worker w's probe loop: it walks the source's per-worker
 // stream (the source owns ordering and the two-level shard partition)
 // and paces. Exactly one of tr (asynchronous transport) and ex
@@ -281,7 +380,23 @@ func (e *engine) send(ctx context.Context, w int, tr Transport, ex Exchanger) {
 	respBuf := make([]byte, 0, 2048)
 	var pkt icmp6.Packet
 	done := ctx.Done()
+	// Resuming: rm is this worker's high-water mark from the previous
+	// run — attempt passes below rm.Attempt are fully covered, and the
+	// first rm.Done positions of pass rm.Attempt are skipped. The
+	// source-layer determinism contract makes position counts a sound
+	// coordinate system: the resumed stream replays the same order.
+	var rm WorkerMark
+	if cfg.Resume != nil {
+		rm = cfg.Resume.Marks[w]
+	}
 	for attempt := 0; attempt < cfg.ProbesPerTarget; attempt++ {
+		if attempt < rm.Attempt {
+			continue
+		}
+		var skip uint64
+		if attempt == rm.Attempt {
+			skip = rm.Done
+		}
 		// A fresh stream every attempt, so each re-probe pass covers the
 		// same sub-shard of targets as the first.
 		st, err := e.src.Stream(cfg, w)
@@ -290,6 +405,7 @@ func (e *engine) send(ctx context.Context, w int, tr Transport, ex Exchanger) {
 			return
 		}
 		poll := 0
+		var consumed uint64
 		for {
 			target, pos, ok := st.Next()
 			if !ok {
@@ -308,6 +424,9 @@ func (e *engine) send(ctx context.Context, w int, tr Transport, ex Exchanger) {
 				default:
 				}
 			}
+			if consumed++; consumed <= skip {
+				continue
+			}
 			sendBuf := prober.MakeProbe(target, pos, attempt)
 			if ex != nil {
 				resp, ok := ex.Exchange(sendBuf, respBuf[:0])
@@ -318,16 +437,33 @@ func (e *engine) send(ctx context.Context, w int, tr Transport, ex Exchanger) {
 					e.deliver(w, &pkt, resp)
 				}
 			} else {
-				if err := tr.Send(sendBuf); err != nil {
+				if err := e.sendRetry(ctx, tr, sendBuf); err != nil {
 					closeStream(st)
-					e.fail(err)
+					switch {
+					case err == ctx.Err():
+						e.setErr(err)
+					case e.quarantine:
+						e.quarantineWorker(w, err)
+					default:
+						e.fail(err)
+					}
 					return
 				}
 				e.sent.Add(1)
 			}
+			// The mark is stored only after the probe reached the
+			// transport, so a checkpoint never claims unsent work — the
+			// resumed scan re-probes anything in doubt rather than
+			// skipping it.
+			if e.prog != nil {
+				e.prog.mark(w, attempt, consumed)
+			}
 			pacer.wait()
 		}
 		closeStream(st)
+		if e.prog != nil {
+			e.prog.mark(w, attempt+1, 0)
+		}
 	}
 }
 
@@ -348,6 +484,11 @@ func (e *engine) receive(w int, tr Transport) {
 	for {
 		m, err := tr.Recv(buf)
 		if err != nil {
+			if Transient(err) {
+				// An injected stall/timeout: no packet was lost, keep
+				// draining regardless of policy.
+				continue
+			}
 			if err != io.EOF {
 				// Transport failure: surface through stats only; the
 				// sender side will also fail if it matters.

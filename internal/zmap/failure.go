@@ -1,0 +1,136 @@
+package zmap
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// ErrTransient classifies recoverable transport faults: errors wrapping
+// it (a fault-injected send error, an injected recv timeout) are
+// retryable under RetryBackoff, while everything else — a closed
+// socket, a dead transport — is terminal for the worker that hit it.
+// Real transports may adopt the same convention; today only
+// FaultTransport produces transient errors, which is exactly what the
+// failure-path tests need.
+var ErrTransient = errors.New("transient transport fault")
+
+// Transient reports whether err is a recoverable transport fault.
+func Transient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// FailurePolicy selects how a scan responds to transport errors. The
+// three implementations — AbortAll, RetryBackoff, QuarantineWorker —
+// are the whole contract (the interface is sealed); nil means AbortAll.
+// DESIGN.md §9 tabulates the guarantees each policy keeps.
+type FailurePolicy interface{ failurePolicy() }
+
+// AbortAll is the historical default: the first transport error cancels
+// every worker and surfaces as the scan's error. All pre-existing
+// determinism tests run under it unmodified.
+type AbortAll struct{}
+
+func (AbortAll) failurePolicy() {}
+
+// RetryBackoff retries transient send errors with exponential backoff
+// and deterministic jitter before giving up. A non-transient error, or
+// a probe still failing after Attempts retries, aborts the scan like
+// AbortAll. Transient recv errors are always survived (the receiver
+// keeps draining), independent of policy.
+type RetryBackoff struct {
+	// Attempts is the number of re-sends per failing probe (default 3).
+	Attempts int
+	// Base is the first retry's backoff (default 1ms); each further
+	// retry doubles it, capped at Max (default 100ms). The actual sleep
+	// is jittered into [d/2, d] by a hash of (seed, probe bytes, try),
+	// so retries are deterministic for a fixed scan yet decorrelated
+	// across probes.
+	Base, Max time.Duration
+}
+
+func (RetryBackoff) failurePolicy() {}
+
+func (r RetryBackoff) fill() RetryBackoff {
+	if r.Attempts <= 0 {
+		r.Attempts = 3
+	}
+	if r.Base <= 0 {
+		r.Base = time.Millisecond
+	}
+	if r.Max <= 0 {
+		r.Max = 100 * time.Millisecond
+	}
+	if r.Max < r.Base {
+		r.Max = r.Base
+	}
+	return r
+}
+
+// backoff returns the jittered delay before retry try (1-based) of a
+// probe whose bytes hash to probeHash under the scan seed.
+func (r RetryBackoff) backoff(probeHash uint64, try int) time.Duration {
+	d := r.Max
+	if try-1 < 32 {
+		if exp := r.Base << (try - 1); exp > 0 && exp < r.Max {
+			d = exp
+		}
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(hashWord(probeHash, uint64(try))%uint64(half+1))
+}
+
+// QuarantineWorker degrades gracefully instead of aborting: a worker
+// whose transport dies is quarantined — its unfinished sub-shard is
+// recorded in the scan's checkpoint — while the surviving workers
+// finish theirs. The scan then returns its partial Stats along with a
+// *PartialError carrying the resumable remainder.
+type QuarantineWorker struct {
+	// Retry optionally retries transient errors (RetryBackoff
+	// semantics) before the terminal error quarantines the worker.
+	Retry *RetryBackoff
+}
+
+func (QuarantineWorker) failurePolicy() {}
+
+// PartialError is the error a QuarantineWorker scan returns when at
+// least one worker died: the scan's results are valid but incomplete,
+// and Checkpoint records exactly the remainder a resumed scan must
+// cover (Config.Resume).
+type PartialError struct {
+	// Checkpoint is the scan's high-water state: quarantined workers
+	// hold their last completed position, survivors are marked done.
+	Checkpoint *Checkpoint
+	// WorkerErrs maps each quarantined worker to its terminal error.
+	WorkerErrs map[int]error
+}
+
+func (e *PartialError) Error() string {
+	workers := make([]int, 0, len(e.WorkerErrs))
+	for w := range e.WorkerErrs {
+		workers = append(workers, w)
+	}
+	sort.Ints(workers)
+	first := error(nil)
+	if len(workers) > 0 {
+		first = e.WorkerErrs[workers[0]]
+	}
+	return fmt.Sprintf("zmap: partial scan: %d worker(s) %v quarantined, first: %v",
+		len(workers), workers, first)
+}
+
+// Unwrap exposes the quarantined workers' errors to errors.Is/As.
+func (e *PartialError) Unwrap() []error {
+	workers := make([]int, 0, len(e.WorkerErrs))
+	for w := range e.WorkerErrs {
+		workers = append(workers, w)
+	}
+	sort.Ints(workers)
+	errs := make([]error, len(workers))
+	for i, w := range workers {
+		errs[i] = e.WorkerErrs[w]
+	}
+	return errs
+}

@@ -358,6 +358,7 @@ type FeedbackSource struct {
 	direct      []ip6.Addr
 	expanded    map[ip6.Addr]struct{}
 	scheduled   map[ip6.Addr]struct{}
+	carried     AddrTargets
 	cur         *PermutedSource
 	curTargets  AddrTargets
 	round       int
@@ -397,7 +398,17 @@ func (f *FeedbackSource) PushTargets(addrs ...ip6.Addr) {
 // returns its size; 0 means the snowball is exhausted. Targets already
 // scheduled in any earlier round are dropped, and the survivors are
 // sorted, so the set is independent of push order.
-func (f *FeedbackSource) NextRound() int {
+func (f *FeedbackSource) NextRound() int { return f.NextRoundCapped(0) }
+
+// NextRoundCapped is NextRound under a round-size budget: when the
+// drained-and-deduplicated target set exceeds max (> 0), only the first
+// max targets (in the deterministic sorted order) form the round and
+// the remainder is carried into the next round ahead of new expansions.
+// Budget-aware drivers use it to split a round that would overshoot
+// AdaptiveConfig.MaxProbes instead of completing it past budget; the
+// carried remainder keeps the overall target set identical to the
+// uncapped schedule, only sliced differently across rounds.
+func (f *FeedbackSource) NextRoundCapped(max int) int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	fresh := f.direct
@@ -412,7 +423,10 @@ func (f *FeedbackSource) NextRound() int {
 		}
 	}
 	f.discoveries = nil
-	var next AddrTargets
+	// Carried targets entered the scheduled map when first drained, so
+	// they rejoin the round directly, ahead of this drain's dedupe.
+	next := f.carried
+	f.carried = nil
 	for _, a := range fresh {
 		if _, seen := f.scheduled[a]; seen {
 			continue
@@ -421,6 +435,10 @@ func (f *FeedbackSource) NextRound() int {
 		next = append(next, a)
 	}
 	sort.Slice(next, func(i, j int) bool { return next[i].Less(next[j]) })
+	if max > 0 && len(next) > max {
+		f.carried = append(AddrTargets(nil), next[max:]...)
+		next = next[:max]
+	}
 	f.curTargets = next
 	f.cur = NewPermutedSource(next)
 	f.round++

@@ -545,4 +545,54 @@ func TestPermutedSourceMatchesScanWorkers(t *testing.T) {
 	}
 }
 
+// TestNextRoundCappedCarriesRemainder pins the budget-splitting
+// contract: a capped round takes the head of the deterministic sorted
+// set, the tail carries into later rounds ahead of fresh pushes, and
+// the union over all rounds equals the uncapped schedule exactly.
+func TestNextRoundCappedCarriesRemainder(t *testing.T) {
+	addr := func(i int) ip6.Addr {
+		return ip6.MustParseAddr("2001:db8::1").WithIID(uint64(i + 1))
+	}
+	fs := NewFeedbackSource(nil)
+	var all []ip6.Addr
+	for i := 0; i < 10; i++ {
+		all = append(all, addr(i))
+	}
+	fs.PushTargets(all...)
+	if n := fs.NextRoundCapped(4); n != 4 {
+		t.Fatalf("first capped round = %d targets, want 4", n)
+	}
+	got := fs.RoundTargets()
+	// Late arrivals merge with the carried remainder in sorted order.
+	fs.PushTargets(addr(10), addr(0)) // addr(0) already scheduled: dropped
+	if n := fs.NextRoundCapped(4); n != 4 {
+		t.Fatalf("second capped round = %d targets, want 4", n)
+	}
+	got = append(got, fs.RoundTargets()...)
+	if n := fs.NextRoundCapped(4); n != 3 {
+		t.Fatalf("final round = %d targets, want the 3 leftovers", n)
+	}
+	got = append(got, fs.RoundTargets()...)
+	if n := fs.NextRoundCapped(4); n != 0 {
+		t.Fatalf("exhausted source produced %d targets", n)
+	}
+
+	want := append(append([]ip6.Addr(nil), all...), addr(10))
+	if len(got) != len(want) {
+		t.Fatalf("capped rounds covered %d targets, want %d", len(got), len(want))
+	}
+	seen := map[ip6.Addr]bool{}
+	for _, a := range got {
+		if seen[a] {
+			t.Fatalf("target %s scheduled twice", a)
+		}
+		seen[a] = true
+	}
+	for _, a := range want {
+		if !seen[a] {
+			t.Fatalf("target %s never scheduled", a)
+		}
+	}
+}
+
 var _ io.Closer = (*unboundedStream)(nil)
