@@ -18,6 +18,12 @@
 # the job fails. Baselines are machine-specific — refresh with
 #   BENCHTIME=5x BENCH='BenchmarkTable1|BenchmarkAdaptive' ./bench.sh BENCH_table1.json
 # when the perf trajectory moves legitimately (or on new hardware).
+#
+# The default suite pattern also covers the serving layer:
+# BenchmarkScentdQuery/{quiet,during-ingestion} records query round-trip
+# cost against a populated scentd store with and without a concurrent
+# ingestion writer, so the JSON artifact carries the snapshot-isolation
+# overhead next to the Table 1 headline.
 set -eu
 
 out=${1:-}

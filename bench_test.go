@@ -12,16 +12,20 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
 	"time"
 
+	"followscent/internal/bgp"
 	"followscent/internal/core"
 	"followscent/internal/experiments"
 	"followscent/internal/icmp6"
 	"followscent/internal/ip6"
 	"followscent/internal/oui"
+	"followscent/internal/scentd"
 	"followscent/internal/simnet"
 	"followscent/internal/yarrp"
 	"followscent/internal/zmap"
@@ -656,6 +660,123 @@ func BenchmarkAblation_DensityThreshold(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Serving layer (DESIGN.md §10) ---
+
+// scentdBenchAddr mirrors internal/scentd's synthetic fixture: device d
+// answering from /64 number p of a fixed AS8881 allocation.
+func scentdBenchAddr(d, p int) ip6.Addr {
+	mac := ip6.MAC{0x38, 0x10, 0xd5, 0, byte(d >> 8), byte(d)}
+	pfx := ip6.MustParsePrefix(fmt.Sprintf("2001:16b8:%x::/64", 0x100+p))
+	return pfx.Addr().WithIID(ip6.EUI64FromMAC(mac))
+}
+
+// scentdBenchDay commits one synthetic day: each device answers from a
+// day-dependent /64, so every commit changes every index a query reads.
+func scentdBenchDay(st *scentd.Store, day, devices int) error {
+	di, err := st.BeginDay(day)
+	if err != nil {
+		return err
+	}
+	for d := 0; d < devices; d++ {
+		a := scentdBenchAddr(d, (d+day)%7)
+		di.Record(a, a)
+	}
+	di.AddProbes(uint64(devices * 2))
+	return di.Commit()
+}
+
+// BenchmarkScentdQuery measures query round trips per second against a
+// populated corpus over scentd's real TCP wire protocol — quiet, and
+// while a writer commits day after day concurrently. The two numbers
+// should be close: queries only swap in the atomically published
+// snapshot pointer, they never wait on ingestion
+// (TestScentdSnapshotIsolationUnderRace proves the answers stay
+// byte-identical to batch; this measures what that isolation costs).
+func BenchmarkScentdQuery(b *testing.B) {
+	const days, devices = 7, 256
+	rib := bgp.New()
+	rib.Insert(bgp.Route{Prefix: ip6.MustParsePrefix("2001:16b8::/32"), ASN: 8881, Country: "DE"})
+
+	// newServer builds a store with a week of synthetic days, serves it
+	// on loopback TCP and returns a connected client.
+	newServer := func(b *testing.B) (*scentd.Store, *scentd.Client) {
+		b.Helper()
+		st, err := scentd.OpenStore(filepath.Join(b.TempDir(), "bench.journal"), rib)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for day := 0; day < days; day++ {
+			if err := scentdBenchDay(st, day, devices); err != nil {
+				b.Fatal(err)
+			}
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		srv := &scentd.Server{Store: st}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ctx, ln) }()
+		c, err := scentd.Dial(ln.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() {
+			c.Close()
+			cancel()
+			<-done
+			st.Close()
+		})
+		return st, c
+	}
+
+	query := func(b *testing.B, c *scentd.Client) {
+		b.Helper()
+		resp, err := c.Do(scentd.Request{Op: "stats"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.OK {
+			b.Fatal(resp.Error)
+		}
+	}
+
+	b.Run("quiet", func(b *testing.B) {
+		_, c := newServer(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			query(b, c)
+		}
+	})
+	b.Run("during-ingestion", func(b *testing.B) {
+		st, c := newServer(b)
+		stop := make(chan struct{})
+		writerDone := make(chan struct{})
+		go func() {
+			defer close(writerDone)
+			for day := days; ; day++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := scentdBenchDay(st, day, devices); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			query(b, c)
+		}
+		b.StopTimer()
+		close(stop)
+		<-writerDone
+	})
 }
 
 // BenchmarkAblation_PoolWidening measures the §6 "motivated adversary"

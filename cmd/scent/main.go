@@ -26,6 +26,9 @@
 //	          link, full addresses from reports — no guessing
 //	snowball  adaptive coarse-then-refine discovery of a prefix set,
 //	          or (with -learn-oui) the on-link vendor-learning loop
+//	query     ask a running scentd: corpus stats, device lookups,
+//	          prefix histories, vendor censuses, pool inferences,
+//	          live tracking
 package main
 
 import (
@@ -44,6 +47,7 @@ import (
 	"followscent/internal/icmp6"
 	"followscent/internal/ip6"
 	"followscent/internal/oui"
+	"followscent/internal/scentd"
 	"followscent/internal/seed"
 	"followscent/internal/yarrp"
 	"followscent/internal/zmap"
@@ -92,6 +96,18 @@ commands:
                             device's vendor OUI, sweep the vendor's
                             N-suffix neighborhood across every /B-fine
                             delegation via NDP, within the probe budget
+  query -op OP [-connect host:port] [-addr A] [-iid I] [-prefix P]
+        [-days N] [-salt N]
+                            ask a running scentd. Ops: stats (corpus
+                            headline numbers), lookup -addr (device
+                            behind an observed address), prefixes -iid
+                            (every /64 the IID held), vendors [-prefix]
+                            (OUI census, optionally one pool), pools
+                            (per-AS allocation/pool inferences), track
+                            -addr [-days] [-salt] (live §6 tracking).
+                            Answers carry the serving snapshot's day
+                            set; query needs no world and ignores the
+                            other global flags
 
 fault tolerance (single-pass scans: tcp, ndp, mld):
   -checkpoint FILE   arm quarantine-on-worker-death and, on partial
@@ -271,6 +287,29 @@ func snowballFlags() (*flag.FlagSet, *snowballOpts) {
 	return fs, o
 }
 
+type queryOpts struct {
+	connect string
+	op      string
+	addr    string
+	iid     string
+	prefix  string
+	days    int
+	salt    uint64
+}
+
+func queryFlags() (*flag.FlagSet, *queryOpts) {
+	o := &queryOpts{}
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	fs.StringVar(&o.connect, "connect", "127.0.0.1:4792", "scentd address")
+	fs.StringVar(&o.op, "op", "", "query op: stats, lookup, prefixes, vendors, pools or track (required)")
+	fs.StringVar(&o.addr, "addr", "", "subject address (lookup, track)")
+	fs.StringVar(&o.iid, "iid", "", "subject interface identifier, 16 hex digits (prefixes)")
+	fs.StringVar(&o.prefix, "prefix", "", "restrict the vendor census to this pool")
+	fs.IntVar(&o.days, "days", 0, "tracking days (track; 0 = server default)")
+	fs.Uint64Var(&o.salt, "salt", 0, "tracking probe salt (track; 0 = server default)")
+	return fs, o
+}
+
 // cliFlagSets returns the exact flag set each subcommand parses, keyed
 // by command name.
 func cliFlagSets() map[string]*flag.FlagSet {
@@ -283,6 +322,7 @@ func cliFlagSets() map[string]*flag.FlagSet {
 	ndpFS, _ := ndpFlags()
 	mldFS, _ := mldFlags()
 	snowballFS, _ := snowballFlags()
+	queryFS, _ := queryFlags()
 	return map[string]*flag.FlagSet{
 		"seed":     flag.NewFlagSet("seed", flag.ExitOnError),
 		"discover": discoverFS,
@@ -294,6 +334,7 @@ func cliFlagSets() map[string]*flag.FlagSet {
 		"ndp":      ndpFS,
 		"mld":      mldFS,
 		"snowball": snowballFS,
+		"query":    queryFS,
 	}
 }
 
@@ -306,6 +347,17 @@ func main() {
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
+	}
+
+	// query talks to a scentd, not to a world: no env, no checkpoints.
+	if flag.Arg(0) == "query" {
+		if g.checkpoint != "" || g.resume != "" {
+			log.Fatal("-checkpoint/-resume do not apply to query")
+		}
+		if err := runQuery(flag.Args()[1:]); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	env, err := buildEnv(g.seed, g.world, g.server)
@@ -847,6 +899,84 @@ func runSnowball(ctx context.Context, env *experiments.Env, args []string) error
 		return err
 	}
 	return experiments.AdaptiveRender(res, os.Stdout)
+}
+
+// runQuery is the scentd client: one framed request, one framed
+// response, rendered for the operator. The answer's committed-day set
+// is always printed — it is the snapshot version that produced it.
+func runQuery(args []string) error {
+	fs, o := queryFlags()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if o.op == "" {
+		return fmt.Errorf("query: -op is required (stats, lookup, prefixes, vendors, pools, track)")
+	}
+	c, err := scentd.Dial(o.connect)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	resp, err := c.Do(scentd.Request{
+		Op: o.op, Addr: o.addr, IID: o.iid, Prefix: o.prefix,
+		Days: o.days, Salt: o.salt,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("snapshot: %d committed days %v\n", len(resp.Days), resp.Days)
+	if !resp.OK {
+		return fmt.Errorf("query: %s", resp.Error)
+	}
+	switch {
+	case resp.Stats != nil:
+		s := resp.Stats
+		fmt.Printf("devices %d, probes %d, responses %d, unique addrs %d (%d EUI-64)\n",
+			s.IIDs, s.Probes, s.Responses, s.UniqueAddrs, s.UniqueEUI)
+	case resp.Lookup != nil:
+		l := resp.Lookup
+		if !l.Found {
+			fmt.Println("address never observed")
+			break
+		}
+		fmt.Printf("IID %s  MAC %s (%s)  seen %d days across %d /64s\n",
+			l.IID, l.MAC, l.Vendor, l.DaysSeen, l.Prefixes)
+	case resp.Prefixes != nil:
+		p := resp.Prefixes
+		if !p.Found {
+			fmt.Printf("IID %s never observed\n", p.IID)
+			break
+		}
+		for _, h := range p.History {
+			fmt.Printf("  day %2d  %s\n", h.Day, h.Prefix)
+		}
+		fmt.Printf("IID %s held %d (day, /64) positions\n", p.IID, len(p.History))
+	case resp.Vendors != nil:
+		for _, v := range resp.Vendors {
+			fmt.Printf("  %s  %-24s %d devices\n", v.OUI, v.Vendor, v.Devices)
+		}
+	case resp.Pools != nil:
+		for _, p := range resp.Pools {
+			fmt.Printf("  AS%-6d alloc /%d  pool /%d\n", p.ASN, p.AllocBits, p.PoolBits)
+		}
+	case resp.Track != nil:
+		t := resp.Track
+		for _, d := range t.History {
+			status := "not found"
+			if d.Found {
+				status = d.Addr
+				if d.Moved {
+					status += "  (moved)"
+				}
+			}
+			fmt.Printf("  day %d: %6d probes  %s\n", d.Day, d.Probes, status)
+		}
+		fmt.Printf("IID %s found %d/%d days, %d distinct /64s\n",
+			t.IID, t.DaysFound, len(t.History), t.Slash64s)
+	default:
+		fmt.Println("empty answer")
+	}
+	return nil
 }
 
 func runTrack(ctx context.Context, env *experiments.Env, args []string) error {

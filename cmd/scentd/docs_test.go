@@ -1,0 +1,63 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Docs-drift guard in the cmd/scent tradition: README.md's scentd
+// section must describe exactly the flags the daemon parses —
+// scentdFlags is the single source of truth.
+
+func mentionsFlag(text, name string) bool {
+	re := regexp.MustCompile(`-` + regexp.QuoteMeta(name) + `([^a-z0-9-]|$)`)
+	return re.MatchString(text)
+}
+
+// readmeScentdSection extracts README.md's scentd reference: the region
+// between the "### scentd" heading and the next heading.
+func readmeScentdSection(t *testing.T) string {
+	t.Helper()
+	b, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	start := strings.Index(s, "### scentd")
+	if start < 0 {
+		t.Fatal("README.md has no `### scentd` section")
+	}
+	rest := s[start+len("### scentd"):]
+	if end := strings.Index(rest, "\n### "); end >= 0 {
+		rest = rest[:end]
+	}
+	return rest
+}
+
+func TestREADMEDocumentsEveryScentdFlag(t *testing.T) {
+	section := readmeScentdSection(t)
+	fs := flag.NewFlagSet("scentd", flag.ContinueOnError)
+	scentdFlags(fs)
+	fs.VisitAll(func(f *flag.Flag) {
+		if !mentionsFlag(section, f.Name) {
+			t.Errorf("README scentd section does not mention -%s", f.Name)
+		}
+	})
+}
+
+func TestREADMEHasNoPhantomScentdFlags(t *testing.T) {
+	section := readmeScentdSection(t)
+	known := map[string]bool{}
+	fs := flag.NewFlagSet("scentd", flag.ContinueOnError)
+	scentdFlags(fs)
+	fs.VisitAll(func(f *flag.Flag) { known[f.Name] = true })
+	re := regexp.MustCompile("`-([a-z][a-z0-9-]*)")
+	for _, m := range re.FindAllStringSubmatch(section, -1) {
+		if !known[m[1]] {
+			t.Errorf("README documents flag -%s, which scentd does not parse", m[1])
+		}
+	}
+}

@@ -233,6 +233,14 @@ func (c *Corpus) NumIIDs() int {
 	return len(c.iids)
 }
 
+// Totals returns the global probe/response counters under the lock —
+// the consistent pair incremental ingestion needs for delta accounting.
+func (c *Corpus) Totals() (probes, responses uint64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.TotalProbes, c.TotalResponses
+}
+
 // UniqueAddrs returns (total unique response addresses, unique EUI-64
 // response addresses) — the paper's "134M unique addresses, 110M EUI-64".
 func (c *Corpus) UniqueAddrs() (total, eui int) {

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"bytes"
+	"sort"
+	"sync"
+
+	"followscent/internal/ip6"
+)
+
+// Snapshot is an immutable, self-contained view of a Corpus at one
+// ingestion boundary: a deep copy of every record plus the derived
+// indexes the serving layer queries (address → device, OUI → vendor
+// population, per-AS allocation/pool inferences). A Snapshot is safe
+// for unlimited concurrent readers while the originating Corpus keeps
+// ingesting — nothing in it aliases live corpus state — and every
+// answer it gives is byte-identical to the batch computation over the
+// day set it captured, because it *is* that batch computation over a
+// frozen copy.
+type Snapshot struct {
+	c      *Corpus // frozen: never mutated after Snapshot returns
+	days   []int
+	byAddr map[ip6.Addr]IID
+
+	// Per-AS inferences are derived lazily (once per snapshot): most
+	// commits never see a `pools` query before the next snapshot
+	// supersedes them.
+	inferOnce sync.Once
+	allocByAS map[uint32]int
+	poolByAS  map[uint32]int
+}
+
+// Snapshot deep-copies the corpus into an immutable view. The copy
+// holds the counter totals, every IID record, and the day set; the
+// per-address uniqueness sets are folded into counters (exactly as
+// Save persists them), so a snapshot costs O(records), not O(unique
+// addresses).
+func (c *Corpus) Snapshot() *Snapshot {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	cl := &Corpus{
+		rib:            c.rib,
+		iids:           make(map[IID]*IIDRecord, len(c.iids)),
+		TotalProbes:    c.TotalProbes,
+		TotalResponses: c.TotalResponses,
+		totalAddrs:     map[ip6.Addr]struct{}{},
+		euiAddrs:       map[ip6.Addr]struct{}{},
+		days:           make(map[int]struct{}, len(c.days)),
+		// Fold the live sets into the carried counters, like Save does.
+		loadedTotalAddrs: len(c.totalAddrs) + c.loadedTotalAddrs,
+		loadedEUIAddrs:   len(c.euiAddrs) + c.loadedEUIAddrs,
+	}
+	byAddr := make(map[ip6.Addr]IID)
+	for iid, rec := range c.iids {
+		nr := &IIDRecord{
+			IID:       rec.IID,
+			Days:      append([]DayObs(nil), rec.Days...),
+			MinRespHi: rec.MinRespHi,
+			MaxRespHi: rec.MaxRespHi,
+			prefixes:  make(map[uint64]struct{}, len(rec.prefixes)),
+			ASDays:    make(map[uint32]map[int]struct{}, len(rec.ASDays)),
+		}
+		for p := range rec.prefixes {
+			nr.prefixes[p] = struct{}{}
+		}
+		for asn, days := range rec.ASDays {
+			nd := make(map[int]struct{}, len(days))
+			for d := range days {
+				nd[d] = struct{}{}
+			}
+			nr.ASDays[asn] = nd
+		}
+		cl.iids[iid] = nr
+		for i := range nr.Days {
+			byAddr[nr.Days[i].Resp] = iid
+		}
+	}
+	for d := range c.days {
+		cl.days[d] = struct{}{}
+	}
+	days := make([]int, 0, len(cl.days))
+	for d := range cl.days {
+		days = append(days, d)
+	}
+	sort.Ints(days)
+	return &Snapshot{c: cl, days: days, byAddr: byAddr}
+}
+
+// Corpus exposes the frozen copy for the full batch API (TimeSeries,
+// AllocationSamples, Save, …). Callers must treat it as read-only: the
+// snapshot's isolation guarantee is exactly that nothing writes here.
+func (s *Snapshot) Corpus() *Corpus { return s.c }
+
+// Days returns the committed scan-day set the snapshot captured,
+// sorted ascending. The returned slice is shared — do not modify.
+func (s *Snapshot) Days() []int { return s.days }
+
+// NumIIDs returns the distinct EUI-64 IID count.
+func (s *Snapshot) NumIIDs() int { return s.c.NumIIDs() }
+
+// Observed resolves a response address ever seen in the corpus to its
+// IID — the address → device-history index.
+func (s *Snapshot) Observed(a ip6.Addr) (IID, bool) {
+	iid, ok := s.byAddr[a]
+	return iid, ok
+}
+
+// OUICount is one vendor-census row: how many distinct devices carry
+// MACs from one OUI block.
+type OUICount struct {
+	OUI     ip6.OUI
+	Devices int
+}
+
+// VendorCensus counts devices per vendor OUI, optionally restricted to
+// devices observed inside pool (zero Prefix = whole corpus). Rows are
+// sorted by descending population, ties by OUI, so the census is
+// deterministic.
+func (s *Snapshot) VendorCensus(pool ip6.Prefix) []OUICount {
+	counts := map[ip6.OUI]int{}
+	for _, iid := range s.c.IIDs() {
+		mac, ok := ip6.MACFromEUI64(uint64(iid))
+		if !ok {
+			continue
+		}
+		if !pool.IsZero() {
+			rec := s.c.iids[iid]
+			in := false
+			for i := range rec.Days {
+				if pool.Contains(rec.Days[i].Resp) {
+					in = true
+					break
+				}
+			}
+			if !in {
+				continue
+			}
+		}
+		counts[mac.OUI()]++
+	}
+	out := make([]OUICount, 0, len(counts))
+	for o, n := range counts {
+		out = append(out, OUICount{OUI: o, Devices: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Devices != out[j].Devices {
+			return out[i].Devices > out[j].Devices
+		}
+		return bytes.Compare(out[i].OUI[:], out[j].OUI[:]) < 0
+	})
+	return out
+}
+
+// infer runs the Algorithm 1/2 batch inferences once per snapshot:
+// allocation samples pooled over every captured day, pool samples over
+// the whole corpus, both reduced to per-AS medians.
+func (s *Snapshot) infer() {
+	s.inferOnce.Do(func() {
+		var alloc []AllocationSample
+		for _, day := range s.days {
+			alloc = append(alloc, s.c.AllocationSamples(day)...)
+		}
+		s.allocByAS = AllocationSizeByAS(alloc)
+		s.poolByAS = PoolSizeByAS(s.c.PoolSamples())
+	})
+}
+
+// AllocationByAS is Algorithm 1 over every captured day: the per-AS
+// median customer-allocation prefix length. The returned map is shared
+// — do not modify.
+func (s *Snapshot) AllocationByAS() map[uint32]int {
+	s.infer()
+	return s.allocByAS
+}
+
+// PoolByAS is Algorithm 2 over the whole captured corpus: the per-AS
+// median rotation-pool prefix length. The returned map is shared — do
+// not modify.
+func (s *Snapshot) PoolByAS() map[uint32]int {
+	s.infer()
+	return s.poolByAS
+}

@@ -1,0 +1,36 @@
+package scentd
+
+import (
+	"fmt"
+	"net"
+)
+
+// Client is a blocking request/response connection to a scentd.
+type Client struct {
+	conn net.Conn
+}
+
+// Dial connects to a scentd at addr (host:port).
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("scentd: dialing %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Do sends one request and waits for its response. A transport error
+// leaves the connection unusable.
+func (c *Client) Do(req Request) (Response, error) {
+	if err := WriteFrame(c.conn, req); err != nil {
+		return Response{}, err
+	}
+	var resp Response
+	if err := ReadFrame(c.conn, &resp); err != nil {
+		return Response{}, err
+	}
+	return resp, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,157 @@
+package scentd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"followscent/internal/bgp"
+	"followscent/internal/core"
+	"followscent/internal/ip6"
+	"followscent/internal/oui"
+	"followscent/internal/zmap"
+)
+
+// Server answers framed queries against a Store. Every request reads
+// the snapshot current at its arrival — two requests on one connection
+// may legitimately see different day sets if a commit lands between
+// them, but no request ever sees a half-ingested day.
+type Server struct {
+	Store *Store
+	// OUI resolves vendor names (nil = builtin registry).
+	OUI *oui.Registry
+	// Track enables the op=track live-probing path (nil = rejected).
+	Track *TrackBackend
+	// Logf, when set, receives per-connection lifecycle lines.
+	Logf func(format string, args ...any)
+}
+
+// TrackBackend is the live-probing half of op=track: the §6 adversary
+// run on demand, seeded with the per-AS inferences from the snapshot
+// that answered the request. Track probes share the one simulated (or
+// real) Internet and advance its clock, so runs are serialized.
+type TrackBackend struct {
+	Scanner *zmap.Scanner
+	RIB     *bgp.Table
+	Wait    func(time.Duration)
+	// WidenBits is the §6 motivated-adversary pool widening (0 = off).
+	WidenBits int
+
+	mu sync.Mutex
+}
+
+// Serve accepts and handles connections until ctx is cancelled (the
+// listener is closed to unblock Accept). Each connection gets its own
+// goroutine; Serve returns after every handler has drained.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-ctx.Done()
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("scentd: accept: %w", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			if err := s.handle(ctx, conn); err != nil && s.Logf != nil {
+				s.Logf("conn %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// handle answers one connection's requests in order until EOF.
+func (s *Server) handle(ctx context.Context, conn net.Conn) error {
+	reg := s.OUI
+	if reg == nil {
+		reg = oui.Builtin()
+	}
+	for {
+		var req Request
+		if err := ReadFrame(conn, &req); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		snap := s.Store.Snapshot()
+		var resp Response
+		if req.Op == "track" {
+			resp = s.track(ctx, snap, req)
+		} else {
+			resp = Answer(snap, reg, req)
+		}
+		if err := WriteFrame(conn, resp); err != nil {
+			return err
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+	}
+}
+
+// track runs the live §6 adversary for one device, seeded with the
+// snapshot's Algorithm 1/2 inferences.
+func (s *Server) track(ctx context.Context, snap *core.Snapshot, req Request) Response {
+	if s.Track == nil {
+		return errResponse(snap, "track: not enabled on this server")
+	}
+	a, err := ip6.ParseAddr(req.Addr)
+	if err != nil {
+		return errResponse(snap, "track: %v", err)
+	}
+	st, err := core.NewTrackState(a)
+	if err != nil {
+		return errResponse(snap, "track: %v", err)
+	}
+	days := req.Days
+	if days <= 0 {
+		days = 7
+	}
+	salt := req.Salt
+	if salt == 0 {
+		salt = 0x7ac4
+	}
+	tb := s.Track
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tracker := &core.Tracker{
+		Scanner:   tb.Scanner,
+		RIB:       tb.RIB,
+		AllocBits: snap.AllocationByAS(),
+		PoolBits:  snap.PoolByAS(),
+		WidenBits: tb.WidenBits,
+	}
+	if err := tracker.Track(ctx, st, days, salt, tb.Wait); err != nil {
+		return errResponse(snap, "track: %v", err)
+	}
+	sum := core.Summarize(st)
+	tr := &TrackResult{
+		IID:       fmt.Sprintf("%016x", uint64(st.IID)),
+		DaysFound: sum.DaysFound,
+		Slash64s:  sum.Slash64s,
+	}
+	for _, d := range st.History {
+		row := TrackRow{Day: d.Day, Found: d.Found, Moved: d.Moved, Probes: d.ProbesSent}
+		if d.Found {
+			row.Addr = d.Addr.String()
+		}
+		tr.History = append(tr.History, row)
+	}
+	return Response{OK: true, Days: snap.Days(), Track: tr}
+}
