@@ -23,7 +23,10 @@
 # BenchmarkScentdQuery/{quiet,during-ingestion} records query round-trip
 # cost against a populated scentd store with and without a concurrent
 # ingestion writer, so the JSON artifact carries the snapshot-isolation
-# overhead next to the Table 1 headline.
+# overhead next to the Table 1 headline. BenchmarkDefenseMatrix runs
+# the full modality x defense matrix (DESIGN.md §11) and logs its
+# headline, so the artifact also records the defense scorecard's shape
+# (worlds/cells metrics plus the headline Output line).
 set -eu
 
 out=${1:-}

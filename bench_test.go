@@ -837,3 +837,25 @@ func BenchmarkAblation_PoolWidening(b *testing.B) {
 		})
 	}
 }
+
+// --- Defense evaluation matrix (§8 / DESIGN.md §11) ---
+
+// BenchmarkDefenseMatrix times the full modality × defense matrix —
+// the sweep `scent experiment` emits and internal/experiments asserts
+// cell by cell — and reports its headline counts, so the bench.sh JSON
+// artifact carries the defense scorecard's shape next to the Table 1
+// timing.
+func BenchmarkDefenseMatrix(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		m, err := experiments.RunDefenseMatrix(ctx, experiments.MatrixConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(m.Worlds)), "worlds")
+		b.ReportMetric(float64(len(m.Cells)), "cells")
+		if i == 0 {
+			b.Log(m.Headline())
+		}
+	}
+}

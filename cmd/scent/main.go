@@ -29,13 +29,18 @@
 //	query     ask a running scentd: corpus stats, device lookups,
 //	          prefix histories, vendor censuses, pool inferences,
 //	          live tracking
+//	experiment
+//	          run the modality × defense evaluation matrix over the
+//	          embedded defense worlds, emit it as JSON
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -96,6 +101,17 @@ commands:
                             device's vendor OUI, sweep the vendor's
                             N-suffix neighborhood across every /B-fine
                             delegation via NDP, within the probe budget
+  experiment [-days N] [-out FILE]
+                            run the modality x defense evaluation
+                            matrix: every probe modality against every
+                            embedded defense world at two probe
+                            budgets, plus tracking and abuse-blocking
+                            rows (-days sets the blocking horizon),
+                            emitted as JSON to -out (default stdout).
+                            Worlds carry their own seeds — the global
+                            -seed overrides them only when passed
+                            explicitly — and -workers applies; the
+                            other global flags are ignored
   query -op OP [-connect host:port] [-addr A] [-iid I] [-prefix P]
         [-days N] [-salt N]
                             ask a running scentd. Ops: stats (corpus
@@ -287,6 +303,19 @@ func snowballFlags() (*flag.FlagSet, *snowballOpts) {
 	return fs, o
 }
 
+type experimentOpts struct {
+	days int
+	out  string
+}
+
+func experimentFlags() (*flag.FlagSet, *experimentOpts) {
+	o := &experimentOpts{}
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	fs.IntVar(&o.days, "days", 8, "abuse-blocking evaluation horizon in days")
+	fs.StringVar(&o.out, "out", "", "write the matrix JSON here instead of stdout")
+	return fs, o
+}
+
 type queryOpts struct {
 	connect string
 	op      string
@@ -323,18 +352,20 @@ func cliFlagSets() map[string]*flag.FlagSet {
 	mldFS, _ := mldFlags()
 	snowballFS, _ := snowballFlags()
 	queryFS, _ := queryFlags()
+	experimentFS, _ := experimentFlags()
 	return map[string]*flag.FlagSet{
-		"seed":     flag.NewFlagSet("seed", flag.ExitOnError),
-		"discover": discoverFS,
-		"grid":     gridFS,
-		"campaign": campaignFS,
-		"track":    trackFS,
-		"trace":    traceFS,
-		"tcp":      tcpFS,
-		"ndp":      ndpFS,
-		"mld":      mldFS,
-		"snowball": snowballFS,
-		"query":    queryFS,
+		"seed":       flag.NewFlagSet("seed", flag.ExitOnError),
+		"discover":   discoverFS,
+		"grid":       gridFS,
+		"campaign":   campaignFS,
+		"track":      trackFS,
+		"trace":      traceFS,
+		"tcp":        tcpFS,
+		"ndp":        ndpFS,
+		"mld":        mldFS,
+		"snowball":   snowballFS,
+		"query":      queryFS,
+		"experiment": experimentFS,
 	}
 }
 
@@ -355,6 +386,27 @@ func main() {
 			log.Fatal("-checkpoint/-resume do not apply to query")
 		}
 		if err := runQuery(flag.Args()[1:]); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	// experiment builds its own worlds from the embedded defense specs,
+	// each carrying its own seed: no shared env, no checkpoints. The
+	// global -seed overrides the spec seeds only when passed explicitly.
+	if flag.Arg(0) == "experiment" {
+		if g.checkpoint != "" || g.resume != "" {
+			log.Fatal("-checkpoint/-resume do not apply to experiment")
+		}
+		var seedVal uint64
+		flag.CommandLine.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				seedVal = g.seed
+			}
+		})
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		if err := runExperiment(ctx, seedVal, g.workers, flag.Args()[1:]); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -977,6 +1029,51 @@ func runQuery(args []string) error {
 		fmt.Println("empty answer")
 	}
 	return nil
+}
+
+// runExperiment runs the modality × defense evaluation matrix — the
+// same sweep the internal/experiments tests assert cell by cell — and
+// emits it as JSON. The headline goes to stderr so -out (or a stdout
+// pipe) stays pure JSON.
+func runExperiment(ctx context.Context, seedVal uint64, workers int, args []string) error {
+	fs, o := experimentFlags()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if o.days < 1 {
+		return fmt.Errorf("experiment: -days %d is not a usable blocking horizon", o.days)
+	}
+	m, err := experiments.RunDefenseMatrix(ctx, experiments.MatrixConfig{
+		Seed:    seedVal,
+		Workers: workers,
+		Days:    o.days,
+	})
+	if err != nil {
+		return err
+	}
+	if o.out != "" {
+		f, err := os.Create(o.out)
+		if err != nil {
+			return err
+		}
+		if err := encodeMatrix(f, m); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	} else if err := encodeMatrix(os.Stdout, m); err != nil {
+		return err
+	}
+	log.Print(m.Headline())
+	return nil
+}
+
+func encodeMatrix(w io.Writer, m *experiments.Matrix) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
 }
 
 func runTrack(ctx context.Context, env *experiments.Env, args []string) error {

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Docs-drift guard in the cmd/scent tradition: README.md's simnetd
+// section must describe exactly the flags the daemon parses —
+// simnetdFlags is the single source of truth.
+
+func mentionsFlag(text, name string) bool {
+	re := regexp.MustCompile(`-` + regexp.QuoteMeta(name) + `([^a-z0-9-]|$)`)
+	return re.MatchString(text)
+}
+
+// readmeSimnetdSection extracts README.md's simnetd reference: the
+// region between the "### simnetd" heading and the next heading.
+func readmeSimnetdSection(t *testing.T) string {
+	t.Helper()
+	b, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	start := strings.Index(s, "### simnetd")
+	if start < 0 {
+		t.Fatal("README.md has no `### simnetd` section")
+	}
+	rest := s[start+len("### simnetd"):]
+	if end := strings.Index(rest, "\n### "); end >= 0 {
+		rest = rest[:end]
+	}
+	return rest
+}
+
+func TestREADMEDocumentsEverySimnetdFlag(t *testing.T) {
+	section := readmeSimnetdSection(t)
+	fs := flag.NewFlagSet("simnetd", flag.ContinueOnError)
+	simnetdFlags(fs)
+	fs.VisitAll(func(f *flag.Flag) {
+		if !mentionsFlag(section, f.Name) {
+			t.Errorf("README simnetd section does not mention -%s", f.Name)
+		}
+	})
+}
+
+func TestREADMEHasNoPhantomSimnetdFlags(t *testing.T) {
+	section := readmeSimnetdSection(t)
+	known := map[string]bool{}
+	fs := flag.NewFlagSet("simnetd", flag.ContinueOnError)
+	simnetdFlags(fs)
+	fs.VisitAll(func(f *flag.Flag) { known[f.Name] = true })
+	re := regexp.MustCompile("`-([a-z][a-z0-9-]*)")
+	for _, m := range re.FindAllStringSubmatch(section, -1) {
+		if !known[m[1]] {
+			t.Errorf("README documents flag -%s, which simnetd does not parse", m[1])
+		}
+	}
+}

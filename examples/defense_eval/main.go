@@ -8,6 +8,12 @@
 // RFC 4941 permits with its SHOULD — and measures, for a cohort of
 // devices, how many a §6 adversary can still re-find after one rotation.
 //
+// Each scenario is a declarative simnet.WorldSpec run through the same
+// experiments.TrackOneRotation sweep the defense matrix asserts
+// (`scent experiment` emits the full modality × defense matrix; the
+// degradation curve itself is test-pinned by
+// TestPrivacyExtensionDegradation in internal/experiments).
+//
 // Run with:
 //
 //	go run ./examples/defense_eval
@@ -17,15 +23,13 @@ import (
 	"context"
 	"fmt"
 	"log"
-	"time"
 
-	"followscent/internal/ip6"
+	"followscent/internal/experiments"
 	"followscent/internal/simnet"
-	"followscent/internal/zmap"
 )
 
-func buildISP(euiFrac, staticPrivFrac float64) *simnet.World {
-	return simnet.MustBuild(simnet.WorldSpec{
+func ispSpec(euiFrac, staticPrivFrac float64) simnet.WorldSpec {
+	return simnet.WorldSpec{
 		Seed: 7,
 		Providers: []simnet.ProviderSpec{{
 			ASN: 65301, Name: "PatchedNet", Country: "DE",
@@ -40,50 +44,7 @@ func buildISP(euiFrac, staticPrivFrac float64) *simnet.World {
 				StaticPrivFrac: staticPrivFrac,
 			}},
 		}},
-	})
-}
-
-// trackable probes the pool before and after one rotation and counts how
-// many of the initially-observed devices can be re-identified by a
-// static IID (EUI-64 or non-regenerating random).
-func trackable(world *simnet.World) (refound, total int, err error) {
-	scanner := &zmap.Scanner{
-		NewTransport: func() (zmap.Transport, error) { return zmap.NewLoopback(world, 0), nil },
-		Config:       zmap.Config{Source: ip6.MustParseAddr("2620:11f:7000::53")},
 	}
-	ctx := context.Background()
-	pool := ip6.MustParsePrefix("2001:df0:10::/48")
-	targets, err := zmap.NewSubnetTargets([]ip6.Prefix{pool}, 56, 3)
-	if err != nil {
-		return 0, 0, err
-	}
-
-	// Day 0: observe every responding device's IID.
-	day0 := map[uint64]bool{}
-	if _, err := scanner.Scan(ctx, targets, 1, func(r zmap.Result) {
-		if !simnet.TransitPrefix.Contains(r.From) {
-			day0[r.From.IID()] = true
-		}
-	}); err != nil {
-		return 0, 0, err
-	}
-
-	// Day 1: after rotation, which of those IIDs are still visible?
-	world.Clock().Advance(24 * time.Hour)
-	day1 := map[uint64]bool{}
-	if _, err := scanner.Scan(ctx, targets, 2, func(r zmap.Result) {
-		if !simnet.TransitPrefix.Contains(r.From) {
-			day1[r.From.IID()] = true
-		}
-	}); err != nil {
-		return 0, 0, err
-	}
-	for iid := range day0 {
-		if day1[iid] {
-			refound++
-		}
-	}
-	return refound, len(day0), nil
 }
 
 func main() {
@@ -102,14 +63,18 @@ func main() {
 		{"10% legacy stragglers", 0.1, 0},
 		{"full RFC 4941 with per-rotation IIDs", 0, 0},
 	}
+	ctx := context.Background()
 	for _, sc := range scenarios {
-		world := buildISP(sc.euiFrac, sc.static)
-		refound, total, err := trackable(world)
+		env, err := experiments.NewSpecEnv(ispSpec(sc.euiFrac, sc.static), 0)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-44s %3d / %3d (%.0f%%)\n", sc.name, refound, total,
-			100*float64(refound)/float64(total))
+		row, err := experiments.TrackOneRotation(ctx, env, 56)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-44s %3d / %3d (%.0f%%)\n", sc.name, row.Refound, row.Observed,
+			100*float64(row.Refound)/float64(row.Observed))
 	}
 	fmt.Println()
 	fmt.Println("only regenerating the IID at every prefix change (RFC 4941 done")

@@ -48,14 +48,59 @@ func (w *World) ServeUDP(ctx context.Context, conn *net.UDPConn, timescale float
 
 	buf := make([]byte, 64<<10)
 	out := make([]byte, 0, 2048)
+
+	// Link effects (PoolSpec dup_prob/reorder_prob) are applied here, on
+	// the wire only: a duplicated response is written twice, a reordered
+	// one is held back and delivered after the next response (or flushed
+	// after a short idle so it is delayed, never lost). At most one
+	// datagram is ever in the held slot.
+	var held []byte
+	var heldPeer *net.UDPAddr
+	var heldDup bool
+	heldBuf := make([]byte, 0, 2048)
+	send := func(pkt []byte, peer *net.UDPAddr, dup bool) error {
+		if _, err := conn.WriteToUDP(pkt, peer); err != nil {
+			return err
+		}
+		if dup {
+			if _, err := conn.WriteToUDP(pkt, peer); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	flushHeld := func() error {
+		if held == nil {
+			return nil
+		}
+		err := send(held, heldPeer, heldDup)
+		held = nil
+		return err
+	}
+
 	for {
+		if held != nil {
+			_ = conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		}
 		n, peer, err := conn.ReadFromUDP(buf)
 		if err != nil {
 			if ctx.Err() != nil {
+				_ = flushHeld()
 				return nil
 			}
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
+				// Idle with a held datagram: flush it and clear the
+				// deadline. The cancellation goroutine may have raced us
+				// setting an immediate deadline, so re-check the context
+				// after clearing (it sets ctx.Err before the deadline).
+				if werr := flushHeld(); werr != nil && ctx.Err() == nil {
+					return fmt.Errorf("simnet: udp write: %w", werr)
+				}
+				_ = conn.SetReadDeadline(time.Time{})
+				if ctx.Err() != nil {
+					return nil
+				}
 				continue
 			}
 			return fmt.Errorf("simnet: udp read: %w", err)
@@ -64,7 +109,21 @@ func (w *World) ServeUDP(ctx context.Context, conn *net.UDPConn, timescale float
 		if !ok {
 			continue
 		}
-		if _, err := conn.WriteToUDP(resp, peer); err != nil {
+		dup, reorder := w.LinkFate(resp)
+		if reorder && held == nil {
+			heldBuf = append(heldBuf[:0], resp...)
+			held = heldBuf
+			heldPeer = peer
+			heldDup = dup
+			continue
+		}
+		if err := send(resp, peer, dup); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("simnet: udp write: %w", err)
+		}
+		if err := flushHeld(); err != nil {
 			if ctx.Err() != nil {
 				return nil
 			}

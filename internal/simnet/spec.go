@@ -21,6 +21,10 @@ const (
 	// random IID generated once and kept across prefix changes. Still
 	// trackable by IID, just not attributable to a vendor.
 	ModePrivacyStatic
+	// ModeDHCPv6 is stateful address assignment: the server hands out a
+	// small, dense IID from its lease pool, and a re-delegation means a
+	// fresh lease — no MAC to follow and no stable IID across rotations.
+	ModeDHCPv6
 )
 
 func (m AddressingMode) String() string {
@@ -31,6 +35,8 @@ func (m AddressingMode) String() string {
 		return "privacy"
 	case ModePrivacyStatic:
 		return "privacy-static"
+	case ModeDHCPv6:
+		return "dhcpv6"
 	}
 	return fmt.Sprintf("mode(%d)", uint8(m))
 }
@@ -112,49 +118,62 @@ func Every(interval time.Duration) RotationPolicy {
 
 // VendorShare weights a manufacturer within a pool's CPE population.
 type VendorShare struct {
-	Vendor string
-	Weight float64
+	Vendor string  `json:"vendor"`
+	Weight float64 `json:"weight"`
 }
 
 // PoolSpec describes one rotation pool: a contiguous range of customer
 // allocation blocks that rotate (or not) together.
 type PoolSpec struct {
 	// Prefix is the pool's covering prefix (e.g. a /46), in CIDR form.
-	Prefix string
+	Prefix string `json:"prefix"`
 	// AllocBits is the customer allocation size within the pool
 	// (e.g. 56 for /56 delegations). Must be > prefix length, <= 64.
-	AllocBits int
+	AllocBits int `json:"alloc_bits"`
 	// Rotation is the pool's re-delegation schedule.
-	Rotation RotationPolicy
+	Rotation RotationPolicy `json:"rotation"`
 	// Occupancy is the fraction of allocation blocks that host a CPE.
-	Occupancy float64
-	// EUIFrac is the fraction of CPE using legacy EUI-64 addressing;
-	// the rest use ModePrivacy (or ModePrivacyStatic per StaticPrivFrac).
-	EUIFrac float64
-	// StaticPrivFrac is the fraction of the *non-EUI* CPE that keep a
-	// static random IID instead of re-randomizing.
-	StaticPrivFrac float64
+	Occupancy float64 `json:"occupancy"`
+	// EUIFrac is the fraction of CPE using legacy EUI-64 addressing; the
+	// rest use ModeDHCPv6 (per DHCPv6Frac) or ModePrivacy (or
+	// ModePrivacyStatic per StaticPrivFrac).
+	EUIFrac float64 `json:"eui_frac"`
+	// DHCPv6Frac is the fraction of CPE on stateful DHCPv6 address
+	// assignment (small dense IIDs, re-leased at every re-delegation).
+	// EUIFrac + DHCPv6Frac must not exceed 1.
+	DHCPv6Frac float64 `json:"dhcpv6_frac,omitempty"`
+	// StaticPrivFrac is the fraction of the *non-EUI, non-DHCPv6* CPE
+	// that keep a static random IID instead of re-randomizing.
+	StaticPrivFrac float64 `json:"static_priv_frac,omitempty"`
 	// SilentFrac is the fraction of CPE that never answer probes.
-	SilentFrac float64
+	SilentFrac float64 `json:"silent_frac,omitempty"`
 	// LossProb is the per-probe loss probability for responsive CPE.
-	LossProb float64
-	// RateLimitPerHour caps ICMPv6 errors per CPE per virtual hour;
-	// 0 means unlimited.
-	RateLimitPerHour int
+	LossProb float64 `json:"loss_prob,omitempty"`
+	// ReorderProb is the probability that a response datagram is held
+	// back and delivered after the next one (wire serving only: the
+	// in-process transport is a perfect link).
+	ReorderProb float64 `json:"reorder_prob,omitempty"`
+	// DupProb is the probability that a response datagram is delivered
+	// twice (wire serving only, like ReorderProb).
+	DupProb float64 `json:"dup_prob,omitempty"`
+	// RateLimitPerHour caps ICMPv6 errors per CPE per virtual hour.
+	// 0 inherits the provider's RateLimitPerHour; -1 forces unlimited
+	// even when the provider sets a default.
+	RateLimitPerHour int `json:"rate_limit_per_hour,omitempty"`
 	// Vendors is the manufacturer mix; empty means a generic mix.
-	Vendors []VendorShare
+	Vendors []VendorShare `json:"vendors,omitempty"`
 	// SharedMAC, when set, forces every EUI-64 CPE in the pool to embed
 	// this same MAC — the vendor-default-MAC pathology behind the
 	// Figure 8 tail (one IID in ~30k /64s).
-	SharedMAC string
+	SharedMAC string `json:"shared_mac,omitempty"`
 	// ChurnFrac is the fraction of CPE that appear or disappear partway
 	// through the campaign (uniform over days 1..40).
-	ChurnFrac float64
+	ChurnFrac float64 `json:"churn_frac,omitempty"`
 	// ExtraCPE injects individually-specified devices on top of the
 	// occupancy-sampled population — the fixtures for the §5.5
 	// pathologies (all-zero MACs, cross-continent MAC reuse, provider
 	// switching) and for targeted-tracking tests.
-	ExtraCPE []ExtraCPESpec
+	ExtraCPE []ExtraCPESpec `json:"extra_cpe,omitempty"`
 	// ClusterWeights places devices in contiguous runs ("clusters"), one
 	// at the base of each of len(ClusterWeights) equal pool segments,
 	// sized proportionally to the weights. Real DHCPv6-PD servers hand
@@ -162,51 +181,77 @@ type PoolSpec struct {
 	// rotation walking unequal clusters produces exactly the Figure 10
 	// density wave (one /48 holding most devices, one almost none,
 	// shifting daily). Mutually exclusive with ClusterSpan.
-	ClusterWeights []float64
+	ClusterWeights []float64 `json:"cluster_weights,omitempty"`
 	// ClusterSpan, in (0,1], scatters devices uniformly over only the
 	// bottom fraction of the pool — the Figure 3c shape (a heavily
 	// pixelated lower region, an unallocated top). Zero means the whole
 	// pool. Mutually exclusive with ClusterWeights.
-	ClusterSpan float64
+	ClusterSpan float64 `json:"cluster_span,omitempty"`
 }
 
 // ExtraCPESpec pins down one specific device.
 type ExtraCPESpec struct {
 	// MAC is the device's hardware address (required).
-	MAC string
+	MAC string `json:"mac"`
 	// Mode is the addressing mode (default ModeEUI64).
-	Mode AddressingMode
+	Mode AddressingMode `json:"mode,omitempty"`
 	// Silent marks the device as never answering off-link probes — the
 	// fixture for vendor fleets only the on-link modalities can hear.
-	Silent bool
+	Silent bool `json:"silent,omitempty"`
 	// FromDay/UntilDay bound the device's lifetime in days since the
 	// campaign Epoch. FromDay 0 means "has always existed"; UntilDay 0
 	// means "never leaves".
-	FromDay, UntilDay int
+	FromDay  int `json:"from_day,omitempty"`
+	UntilDay int `json:"until_day,omitempty"`
 }
+
+// FilterModalities are the off-link probe modalities a provider's edge
+// ACL can drop (ProviderSpec.Filter). The on-link modalities (NDP, MLD)
+// cannot be filtered: neighbor resolution and multicast listening are
+// how the link functions at all.
+var FilterModalities = []string{"echo", "udp", "tcp"}
 
 // ProviderSpec describes one AS.
 type ProviderSpec struct {
-	ASN     uint32
-	Name    string
-	Country string
+	ASN     uint32 `json:"asn"`
+	Name    string `json:"name"`
+	Country string `json:"country,omitempty"`
 	// Allocations are the BGP-advertised prefixes (usually one /32).
-	Allocations []string
+	Allocations []string `json:"allocations"`
 	// Pools are the provider's rotation pools. They must sit inside the
 	// allocations.
-	Pools []PoolSpec
+	Pools []PoolSpec `json:"pools"`
 	// RouterHops is the number of static core-router hops between the
 	// vantage point and any CPE. Zero defaults to 3.
-	RouterHops int
+	RouterHops int `json:"router_hops,omitempty"`
 	// BorderRespProb is the probability that the border router answers
 	// "no route" for probes into unpooled or unoccupied space.
-	BorderRespProb float64
+	BorderRespProb float64 `json:"border_resp_prob,omitempty"`
+	// RateLimitPerHour is the default ICMPv6 error budget per CPE per
+	// virtual hour for every pool that does not set its own; 0 means
+	// unlimited.
+	RateLimitPerHour int `json:"rate_limit_per_hour,omitempty"`
+	// Filter lists the off-link probe modalities the provider's edge ACL
+	// drops before they reach customer space (members of
+	// FilterModalities). Probes expiring at the core routers still
+	// answer — the ACL sits past them — but everything at or behind the
+	// border is silence for a filtered modality.
+	Filter []string `json:"filter,omitempty"`
 }
 
 // WorldSpec is a complete simulated Internet.
 type WorldSpec struct {
-	Seed      uint64
-	Providers []ProviderSpec
+	Seed      uint64         `json:"seed"`
+	Providers []ProviderSpec `json:"providers"`
+}
+
+// fracRange checks one [0,1]-bounded spec field, naming the offending
+// field (by its JSON schema name) in the error.
+func fracRange(asn uint32, pool ip6.Prefix, field string, v float64) error {
+	if v < 0 || v > 1 {
+		return fmt.Errorf("simnet: AS%d pool %s: %s %v out of range [0,1]", asn, pool, field, v)
+	}
+	return nil
 }
 
 // Validate checks internal consistency without building.
@@ -249,6 +294,28 @@ func (ws *WorldSpec) Validate() error {
 				return fmt.Errorf("simnet: allocation %s of AS%d overlaps the reserved transit prefix %s", a, ps.ASN, TransitPrefix)
 			}
 		}
+		if ps.BorderRespProb < 0 || ps.BorderRespProb > 1 {
+			return fmt.Errorf("simnet: AS%d: border_resp_prob %v out of range [0,1]", ps.ASN, ps.BorderRespProb)
+		}
+		if ps.RateLimitPerHour < 0 {
+			return fmt.Errorf("simnet: AS%d: rate_limit_per_hour %d is negative", ps.ASN, ps.RateLimitPerHour)
+		}
+		for _, m := range ps.Filter {
+			known := false
+			for _, k := range FilterModalities {
+				if m == k {
+					known = true
+					break
+				}
+			}
+			if !known {
+				return fmt.Errorf("simnet: AS%d: filter %q is not a filterable modality (want one of %v)",
+					ps.ASN, m, FilterModalities)
+			}
+		}
+		if len(ps.Pools) == 0 {
+			return fmt.Errorf("simnet: AS%d: pools is empty", ps.ASN)
+		}
 		for j := range ps.Pools {
 			pp := &ps.Pools[j]
 			pfx, err := ip6.ParsePrefix(pp.Prefix)
@@ -269,21 +336,45 @@ func (ws *WorldSpec) Validate() error {
 				return fmt.Errorf("simnet: AS%d pool %s: alloc /%d invalid for pool /%d",
 					ps.ASN, pfx, pp.AllocBits, pfx.Bits())
 			}
-			if pp.Occupancy < 0 || pp.Occupancy > 1 || pp.EUIFrac < 0 || pp.EUIFrac > 1 ||
-				pp.SilentFrac < 0 || pp.SilentFrac > 1 || pp.LossProb < 0 || pp.LossProb >= 1 {
-				return fmt.Errorf("simnet: AS%d pool %s: fraction out of range", ps.ASN, pfx)
+			for _, f := range []struct {
+				name string
+				v    float64
+			}{
+				{"occupancy", pp.Occupancy},
+				{"eui_frac", pp.EUIFrac},
+				{"dhcpv6_frac", pp.DHCPv6Frac},
+				{"static_priv_frac", pp.StaticPrivFrac},
+				{"silent_frac", pp.SilentFrac},
+				{"reorder_prob", pp.ReorderProb},
+				{"dup_prob", pp.DupProb},
+				{"churn_frac", pp.ChurnFrac},
+			} {
+				if err := fracRange(ps.ASN, pfx, f.name, f.v); err != nil {
+					return err
+				}
+			}
+			if pp.LossProb < 0 || pp.LossProb >= 1 {
+				return fmt.Errorf("simnet: AS%d pool %s: loss_prob %v out of range [0,1)", ps.ASN, pfx, pp.LossProb)
+			}
+			if pp.EUIFrac+pp.DHCPv6Frac > 1 {
+				return fmt.Errorf("simnet: AS%d pool %s: eui_frac+dhcpv6_frac %v exceeds 1",
+					ps.ASN, pfx, pp.EUIFrac+pp.DHCPv6Frac)
+			}
+			if pp.RateLimitPerHour < -1 {
+				return fmt.Errorf("simnet: AS%d pool %s: rate_limit_per_hour %d below -1 (unlimited)",
+					ps.ASN, pfx, pp.RateLimitPerHour)
 			}
 			switch pp.Rotation.Kind {
 			case RotateNone:
 			case RotateIncrement, RotateRandom:
 				if pp.Rotation.Interval <= 0 {
-					return fmt.Errorf("simnet: AS%d pool %s: rotating without interval", ps.ASN, pfx)
+					return fmt.Errorf("simnet: AS%d pool %s: rotation interval must be positive for a rotating pool", ps.ASN, pfx)
 				}
 				if pp.Rotation.ReassignWindow < 0 || pp.Rotation.ReassignWindow >= pp.Rotation.Interval {
-					return fmt.Errorf("simnet: AS%d pool %s: reassign window >= interval", ps.ASN, pfx)
+					return fmt.Errorf("simnet: AS%d pool %s: rotation reassign_window outside [0, interval)", ps.ASN, pfx)
 				}
 				if pp.Rotation.Kind == RotateIncrement && pp.Rotation.Stride%2 == 0 && pp.Rotation.Stride != 0 {
-					return fmt.Errorf("simnet: AS%d pool %s: increment stride must be odd", ps.ASN, pfx)
+					return fmt.Errorf("simnet: AS%d pool %s: rotation stride must be odd", ps.ASN, pfx)
 				}
 			default:
 				return fmt.Errorf("simnet: AS%d pool %s: unknown rotation kind", ps.ASN, pfx)
@@ -294,6 +385,16 @@ func (ws *WorldSpec) Validate() error {
 					return fmt.Errorf("simnet: AS%d pools %s and %s overlap", ps.ASN, pfx, other)
 				}
 			}
+			var vendorWeight float64
+			for _, v := range pp.Vendors {
+				if v.Weight < 0 {
+					return fmt.Errorf("simnet: AS%d pool %s: vendors weight for %q is negative", ps.ASN, pfx, v.Vendor)
+				}
+				vendorWeight += v.Weight
+			}
+			if len(pp.Vendors) > 0 && vendorWeight == 0 {
+				return fmt.Errorf("simnet: AS%d pool %s: vendors total weight is zero", ps.ASN, pfx)
+			}
 			if pp.SharedMAC != "" {
 				if _, err := ip6.ParseMAC(pp.SharedMAC); err != nil {
 					return fmt.Errorf("simnet: AS%d pool %s: %w", ps.ASN, pfx, err)
@@ -301,18 +402,21 @@ func (ws *WorldSpec) Validate() error {
 			}
 			for _, e := range pp.ExtraCPE {
 				if _, err := ip6.ParseMAC(e.MAC); err != nil {
-					return fmt.Errorf("simnet: AS%d pool %s extra CPE: %w", ps.ASN, pfx, err)
+					return fmt.Errorf("simnet: AS%d pool %s extra_cpe mac: %w", ps.ASN, pfx, err)
+				}
+				if e.Mode > ModeDHCPv6 {
+					return fmt.Errorf("simnet: AS%d pool %s extra_cpe mode %d unknown", ps.ASN, pfx, e.Mode)
 				}
 			}
 			if len(pp.ClusterWeights) > 0 && pp.ClusterSpan != 0 {
-				return fmt.Errorf("simnet: AS%d pool %s: ClusterWeights and ClusterSpan are mutually exclusive", ps.ASN, pfx)
+				return fmt.Errorf("simnet: AS%d pool %s: cluster_weights and cluster_span are mutually exclusive", ps.ASN, pfx)
 			}
 			if pp.ClusterSpan < 0 || pp.ClusterSpan > 1 {
-				return fmt.Errorf("simnet: AS%d pool %s: ClusterSpan %v out of (0,1]", ps.ASN, pfx, pp.ClusterSpan)
+				return fmt.Errorf("simnet: AS%d pool %s: cluster_span %v out of (0,1]", ps.ASN, pfx, pp.ClusterSpan)
 			}
 			for _, cw := range pp.ClusterWeights {
 				if cw < 0 {
-					return fmt.Errorf("simnet: AS%d pool %s: negative cluster weight", ps.ASN, pfx)
+					return fmt.Errorf("simnet: AS%d pool %s: cluster_weights has a negative weight", ps.ASN, pfx)
 				}
 			}
 		}

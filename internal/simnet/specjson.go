@@ -1,0 +1,169 @@
+package simnet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// This file is the JSON face of WorldSpec: the schema cmd/simnetd loads
+// with -world spec.json and internal/experiments embeds its defense
+// worlds in. The Go structs in spec.go are the schema — their json tags
+// name every field — and three types need custom codecs: AddressingMode
+// and RotationKind travel as their String() names, and RotationPolicy's
+// durations travel as Go duration strings ("24h", "90m") rather than
+// bare nanosecond counts.
+
+// MarshalJSON encodes the mode as its schema name ("eui64", "privacy",
+// "privacy-static", "dhcpv6").
+func (m AddressingMode) MarshalJSON() ([]byte, error) {
+	if m > ModeDHCPv6 {
+		return nil, fmt.Errorf("simnet: mode %d has no schema name", uint8(m))
+	}
+	return json.Marshal(m.String())
+}
+
+// UnmarshalJSON decodes a schema mode name.
+func (m *AddressingMode) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("simnet: mode: %w", err)
+	}
+	for c := ModeEUI64; c <= ModeDHCPv6; c++ {
+		if s == c.String() {
+			*m = c
+			return nil
+		}
+	}
+	return fmt.Errorf("simnet: mode %q unknown (want eui64, privacy, privacy-static or dhcpv6)", s)
+}
+
+// MarshalJSON encodes the kind as its schema name ("none", "increment",
+// "random").
+func (k RotationKind) MarshalJSON() ([]byte, error) {
+	if k > RotateRandom {
+		return nil, fmt.Errorf("simnet: rotation kind %d has no schema name", uint8(k))
+	}
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON decodes a schema rotation-kind name.
+func (k *RotationKind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("simnet: rotation kind: %w", err)
+	}
+	for c := RotateNone; c <= RotateRandom; c++ {
+		if s == c.String() {
+			*k = c
+			return nil
+		}
+	}
+	return fmt.Errorf("simnet: rotation kind %q unknown (want none, increment or random)", s)
+}
+
+// rotationPolicyJSON is RotationPolicy's wire shape: durations as
+// strings so specs read "24h", not 86400000000000.
+type rotationPolicyJSON struct {
+	Kind           RotationKind `json:"kind"`
+	Interval       string       `json:"interval,omitempty"`
+	ReassignHour   int          `json:"reassign_hour,omitempty"`
+	ReassignWindow string       `json:"reassign_window,omitempty"`
+	Stride         uint64       `json:"stride,omitempty"`
+}
+
+// MarshalJSON encodes the policy with human-readable durations.
+func (p RotationPolicy) MarshalJSON() ([]byte, error) {
+	j := rotationPolicyJSON{
+		Kind:         p.Kind,
+		ReassignHour: p.ReassignHour,
+		Stride:       p.Stride,
+	}
+	if p.Interval != 0 {
+		j.Interval = p.Interval.String()
+	}
+	if p.ReassignWindow != 0 {
+		j.ReassignWindow = p.ReassignWindow.String()
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes the policy, rejecting unknown fields and
+// malformed durations by name. DisallowUnknownFields on an outer decoder
+// does not reach inside a custom unmarshaler, so this one brings its
+// own decoder.
+func (p *RotationPolicy) UnmarshalJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var j rotationPolicyJSON
+	if err := dec.Decode(&j); err != nil {
+		return fmt.Errorf("simnet: rotation: %w", err)
+	}
+	p.Kind = j.Kind
+	p.ReassignHour = j.ReassignHour
+	p.Stride = j.Stride
+	p.Interval = 0
+	p.ReassignWindow = 0
+	if j.Interval != "" {
+		d, err := time.ParseDuration(j.Interval)
+		if err != nil {
+			return fmt.Errorf("simnet: rotation interval: %w", err)
+		}
+		p.Interval = d
+	}
+	if j.ReassignWindow != "" {
+		d, err := time.ParseDuration(j.ReassignWindow)
+		if err != nil {
+			return fmt.Errorf("simnet: rotation reassign_window: %w", err)
+		}
+		p.ReassignWindow = d
+	}
+	return nil
+}
+
+// ParseWorldSpec decodes and validates a JSON world spec. Unknown
+// fields are errors (a typoed field name silently building the wrong
+// world is the failure mode this schema exists to prevent), and the
+// returned spec has passed Validate.
+func ParseWorldSpec(data []byte) (WorldSpec, error) {
+	var ws WorldSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ws); err != nil {
+		return WorldSpec{}, fmt.Errorf("simnet: world spec: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return WorldSpec{}, fmt.Errorf("simnet: world spec: trailing data after the spec object")
+	}
+	if err := ws.Validate(); err != nil {
+		return WorldSpec{}, err
+	}
+	return ws, nil
+}
+
+// LoadWorldSpecFile reads and parses a world spec from disk.
+func LoadWorldSpecFile(path string) (WorldSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return WorldSpec{}, fmt.Errorf("simnet: world spec: %w", err)
+	}
+	ws, err := ParseWorldSpec(data)
+	if err != nil {
+		return WorldSpec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return ws, nil
+}
+
+// MarshalWorldSpec encodes a spec as indented JSON with a trailing
+// newline — the canonical on-disk form, round-trippable through
+// ParseWorldSpec.
+func MarshalWorldSpec(ws WorldSpec) ([]byte, error) {
+	data, err := json.MarshalIndent(ws, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("simnet: world spec: %w", err)
+	}
+	return append(data, '\n'), nil
+}

@@ -1,0 +1,246 @@
+package simnet
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"followscent/internal/ip6"
+)
+
+// TestDefaultWorldSpecJSONRoundTrip proves the default world's spec is
+// expressible in the JSON schema without loss: marshal → parse → the
+// identical spec. Build is a pure function of the spec, so this is also
+// the proof that `simnetd -world <marshalled default>` serves the same
+// world as the DefaultWorld constructor.
+func TestDefaultWorldSpecJSONRoundTrip(t *testing.T) {
+	spec := DefaultWorldSpec(42)
+	data, err := MarshalWorldSpec(spec)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	parsed, err := ParseWorldSpec(data)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if !reflect.DeepEqual(parsed, spec) {
+		t.Fatalf("round trip changed the spec:\nbefore: %+v\nafter:  %+v", spec, parsed)
+	}
+}
+
+// TestSpecLoadedWorldMatchesConstructor builds a world from the
+// JSON-round-tripped default spec and checks it is observationally
+// identical to DefaultWorld: same population, same WAN addresses.
+func TestSpecLoadedWorldMatchesConstructor(t *testing.T) {
+	data, err := MarshalWorldSpec(DefaultWorldSpec(42))
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	parsed, err := ParseWorldSpec(data)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	got := MustBuild(parsed)
+	want := DefaultWorld(42)
+
+	gp, wp := got.Providers(), want.Providers()
+	if len(gp) != len(wp) {
+		t.Fatalf("provider count: got %d, want %d", len(gp), len(wp))
+	}
+	for i := range wp {
+		if len(gp[i].Pools) != len(wp[i].Pools) {
+			t.Fatalf("AS%d: pool count %d != %d", wp[i].ASN, len(gp[i].Pools), len(wp[i].Pools))
+		}
+		for j, wpool := range wp[i].Pools {
+			gpool := gp[i].Pools[j]
+			wc, gc := wpool.CPEs(), gpool.CPEs()
+			if len(gc) != len(wc) {
+				t.Fatalf("AS%d pool %s: CPE count %d != %d", wp[i].ASN, wpool.Prefix, len(gc), len(wc))
+			}
+			for k := range wc {
+				wa := wpool.WANAddrNow(&wc[k])
+				ga := gpool.WANAddrNow(&gc[k])
+				if wa != ga {
+					t.Fatalf("AS%d pool %s CPE %d: WAN %s != %s", wp[i].ASN, wpool.Prefix, k, ga, wa)
+				}
+			}
+		}
+	}
+}
+
+// specJSONTestBase is a minimal valid single-provider spec the
+// error-path table mutates one field at a time.
+func specJSONTestBase() WorldSpec {
+	return WorldSpec{
+		Seed: 1,
+		Providers: []ProviderSpec{{
+			ASN:         64512,
+			Name:        "TestNet",
+			Allocations: []string{"2001:db8::/32"},
+			Pools: []PoolSpec{{
+				Prefix:    "2001:db8:10::/48",
+				AllocBits: 56,
+				Rotation:  Daily(),
+				Occupancy: 0.5,
+				EUIFrac:   0.6,
+			}},
+		}},
+	}
+}
+
+// TestParseWorldSpecErrors drives malformed and out-of-range specs
+// through the loader and asserts every rejection names the offending
+// field.
+func TestParseWorldSpecErrors(t *testing.T) {
+	structural := []struct {
+		name   string
+		mutate func(*WorldSpec)
+		want   string
+	}{
+		{"loss rate above 1", func(ws *WorldSpec) {
+			ws.Providers[0].Pools[0].LossProb = 1.5
+		}, "loss_prob"},
+		{"adoption rate below 0", func(ws *WorldSpec) {
+			ws.Providers[0].Pools[0].EUIFrac = -0.25
+		}, "eui_frac"},
+		{"empty pools", func(ws *WorldSpec) {
+			ws.Providers[0].Pools = nil
+		}, "pools is empty"},
+		{"occupancy above 1", func(ws *WorldSpec) {
+			ws.Providers[0].Pools[0].Occupancy = 1.01
+		}, "occupancy"},
+		{"dhcpv6 fraction negative", func(ws *WorldSpec) {
+			ws.Providers[0].Pools[0].DHCPv6Frac = -0.1
+		}, "dhcpv6_frac"},
+		{"eui plus dhcpv6 above 1", func(ws *WorldSpec) {
+			ws.Providers[0].Pools[0].EUIFrac = 0.7
+			ws.Providers[0].Pools[0].DHCPv6Frac = 0.7
+		}, "eui_frac+dhcpv6_frac"},
+		{"reorder prob above 1", func(ws *WorldSpec) {
+			ws.Providers[0].Pools[0].ReorderProb = 2
+		}, "reorder_prob"},
+		{"dup prob below 0", func(ws *WorldSpec) {
+			ws.Providers[0].Pools[0].DupProb = -1
+		}, "dup_prob"},
+		{"pool rate limit below -1", func(ws *WorldSpec) {
+			ws.Providers[0].Pools[0].RateLimitPerHour = -2
+		}, "rate_limit_per_hour"},
+		{"provider rate limit negative", func(ws *WorldSpec) {
+			ws.Providers[0].RateLimitPerHour = -1
+		}, "rate_limit_per_hour"},
+		{"unfilterable modality", func(ws *WorldSpec) {
+			ws.Providers[0].Filter = []string{"ndp"}
+		}, "filter"},
+		{"border resp prob above 1", func(ws *WorldSpec) {
+			ws.Providers[0].BorderRespProb = 7
+		}, "border_resp_prob"},
+		{"negative vendor weight", func(ws *WorldSpec) {
+			ws.Providers[0].Pools[0].Vendors = []VendorShare{{Vendor: "acme", Weight: -1}}
+		}, "vendors weight"},
+		{"even rotation stride", func(ws *WorldSpec) {
+			ws.Providers[0].Pools[0].Rotation.Stride = 4
+		}, "stride"},
+		{"reassign window exceeds interval", func(ws *WorldSpec) {
+			ws.Providers[0].Pools[0].Rotation.ReassignWindow = 25 * 60 * 60 * 1e9
+		}, "reassign_window"},
+	}
+	for _, tc := range structural {
+		t.Run(tc.name, func(t *testing.T) {
+			ws := specJSONTestBase()
+			tc.mutate(&ws)
+			data, err := MarshalWorldSpec(ws)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			if _, err := ParseWorldSpec(data); err == nil {
+				t.Fatalf("spec accepted, want error naming %q", tc.want)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name %q", err, tc.want)
+			}
+		})
+	}
+
+	textual := []struct {
+		name string
+		json string
+		want string
+	}{
+		{"not json", `nonsense`, "world spec"},
+		{"unknown top-level field", `{"seed": 1, "provider": []}`, "unknown field"},
+		{"unknown pool field", `{"seed":1,"providers":[{"asn":64512,"name":"x","allocations":["2001:db8::/32"],"pools":[{"prefix":"2001:db8:10::/48","alloc_bits":56,"rotation":{"kind":"none"},"occupancy":0.5,"eui_frac":0.5,"loss_rate":0.1}]}]}`, "unknown field"},
+		{"unknown rotation field", `{"seed":1,"providers":[{"asn":64512,"name":"x","allocations":["2001:db8::/32"],"pools":[{"prefix":"2001:db8:10::/48","alloc_bits":56,"rotation":{"kind":"none","cadence":"24h"},"occupancy":0.5,"eui_frac":0.5}]}]}`, "unknown field"},
+		{"unknown addressing mode", `{"seed":1,"providers":[{"asn":64512,"name":"x","allocations":["2001:db8::/32"],"pools":[{"prefix":"2001:db8:10::/48","alloc_bits":56,"rotation":{"kind":"none"},"occupancy":0.5,"eui_frac":0.5,"extra_cpe":[{"mac":"00:11:22:33:44:55","mode":"tempaddr"}]}]}]}`, `mode "tempaddr" unknown`},
+		{"unknown rotation kind", `{"seed":1,"providers":[{"asn":64512,"name":"x","allocations":["2001:db8::/32"],"pools":[{"prefix":"2001:db8:10::/48","alloc_bits":56,"rotation":{"kind":"hourly"},"occupancy":0.5,"eui_frac":0.5}]}]}`, `rotation kind "hourly" unknown`},
+		{"malformed interval", `{"seed":1,"providers":[{"asn":64512,"name":"x","allocations":["2001:db8::/32"],"pools":[{"prefix":"2001:db8:10::/48","alloc_bits":56,"rotation":{"kind":"increment","interval":"daily"},"occupancy":0.5,"eui_frac":0.5}]}]}`, "rotation interval"},
+		{"trailing data", `{"seed":1,"providers":[{"asn":64512,"name":"x","allocations":["2001:db8::/32"],"pools":[{"prefix":"2001:db8:10::/48","alloc_bits":56,"rotation":{"kind":"none"},"occupancy":0.5,"eui_frac":0.5}]}]} {}`, "trailing data"},
+	}
+	for _, tc := range textual {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseWorldSpec([]byte(tc.json)); err == nil {
+				t.Fatalf("spec accepted, want error containing %q", tc.want)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// FuzzWorldSpec fuzzes the JSON loader: any input either errors or
+// yields a validated spec that (a) round-trips through the canonical
+// marshalled form unchanged and (b) can be handed to Build without a
+// panic or a hang (worlds small enough to construct in fuzz time).
+func FuzzWorldSpec(f *testing.F) {
+	if seed, err := MarshalWorldSpec(DefaultWorldSpec(42)); err == nil {
+		f.Add(seed)
+	}
+	small := specJSONTestBase()
+	if seed, err := MarshalWorldSpec(small); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte(`{"seed":1,"providers":[{"asn":64512,"name":"x","allocations":["2001:db8::/32"],"pools":[{"prefix":"2001:db8:10::/48","alloc_bits":56,"rotation":{"kind":"increment","interval":"24h","reassign_window":"6h","stride":3},"occupancy":0.25,"eui_frac":0.5,"dhcpv6_frac":0.25,"loss_prob":0.1,"reorder_prob":0.1,"dup_prob":0.1,"rate_limit_per_hour":-1,"extra_cpe":[{"mac":"00:11:22:33:44:55","mode":"dhcpv6","from_day":3}]}],"rate_limit_per_hour":10,"filter":["udp","tcp"]}]}`))
+	f.Add([]byte(`{"seed":0,"providers":[]}`))
+	f.Add([]byte(`{"seed":1,"providers":[{"asn":1,"name":"y","allocations":["2001:db9::/32"],"pools":[{"prefix":"2001:db9::/62","alloc_bits":64,"rotation":{"kind":"random","interval":"48h"},"occupancy":1,"eui_frac":1,"cluster_span":0.5}]}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ws, err := ParseWorldSpec(data)
+		if err != nil {
+			return
+		}
+		canon, err := MarshalWorldSpec(ws)
+		if err != nil {
+			t.Fatalf("validated spec failed to marshal: %v", err)
+		}
+		again, err := ParseWorldSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form failed to re-parse: %v\n%s", err, canon)
+		}
+		if !reflect.DeepEqual(ws, again) {
+			t.Fatalf("round trip changed the spec:\nbefore: %+v\nafter:  %+v", ws, again)
+		}
+
+		// Build only worlds small enough to construct quickly: block
+		// enumeration is linear in pool size, so cap both the per-pool
+		// block count and the total device count.
+		devices := 0.0
+		for _, ps := range ws.Providers {
+			for _, pp := range ps.Pools {
+				pfx, err := ip6.ParsePrefix(pp.Prefix)
+				if err != nil {
+					return
+				}
+				blockBits := pp.AllocBits - pfx.Bits()
+				if blockBits > 14 {
+					return
+				}
+				devices += float64(uint64(1)<<blockBits)*pp.Occupancy + float64(len(pp.ExtraCPE))
+			}
+		}
+		if devices > 8192 {
+			return
+		}
+		// A validated spec may still fail Build for semantic reasons
+		// (cluster overflow, extra-CPE collisions) — that must be an
+		// error, never a panic.
+		_, _ = Build(ws)
+	})
+}

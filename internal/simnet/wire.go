@@ -65,7 +65,7 @@ func (w *World) HandlePacket(req []byte, buf []byte) ([]byte, bool) {
 			}
 			salt := uint64(id)<<16 | uint64(seq)
 			var resp Response
-			if !w.queryCounted(&resp, p.Header.Dst, int(p.Header.HopLimit), salt) {
+			if !w.queryCounted(&resp, modalityEcho, p.Header.Dst, int(p.Header.HopLimit), salt) {
 				return buf, false
 			}
 			if resp.Echo {
@@ -100,7 +100,7 @@ func (w *World) HandlePacket(req []byte, buf []byte) ([]byte, bool) {
 		}
 		salt := uint64(sport)<<16 | uint64(dport)
 		var resp Response
-		if !w.queryCounted(&resp, h.Dst, int(h.HopLimit), salt) {
+		if !w.queryCounted(&resp, modalityUDP, h.Dst, int(h.HopLimit), salt) {
 			return buf, false
 		}
 		if resp.Echo {
@@ -135,7 +135,7 @@ func (w *World) HandlePacket(req []byte, buf []byte) ([]byte, bool) {
 		}
 		salt := uint64(th.SrcPort)<<16 | uint64(th.DstPort)
 		var resp Response
-		if !w.queryCounted(&resp, h.Dst, int(h.HopLimit), salt) {
+		if !w.queryCounted(&resp, modalityTCP, h.Dst, int(h.HopLimit), salt) {
 			return buf, false
 		}
 		if resp.Echo {

@@ -39,6 +39,9 @@ type World struct {
 	// to shave two mixer rounds off every probe that reaches them.
 	hBorder uint64
 	hLoss   uint64
+	// hLink seeds the per-datagram duplication/reordering fate of
+	// LinkFate (the wire-serving link effects).
+	hLink uint64
 }
 
 // rateStripes is the number of independent rate-limit lock stripes; a
@@ -64,6 +67,35 @@ type rateKey struct {
 	cpe  int32
 }
 
+// probeModality classifies an off-link probe for the per-provider
+// filtering policy (ProviderSpec.Filter). The on-link answer paths
+// (NDP, MLD) never consult it: a link cannot ACL away its own
+// neighbor resolution or multicast listening.
+type probeModality uint8
+
+const (
+	modalityEcho probeModality = iota
+	modalityUDP
+	modalityTCP
+)
+
+// filterMaskOf compiles a ProviderSpec.Filter list (validated) into a
+// per-modality bitmask.
+func filterMaskOf(filter []string) uint8 {
+	var mask uint8
+	for _, m := range filter {
+		switch m {
+		case "echo":
+			mask |= 1 << modalityEcho
+		case "udp":
+			mask |= 1 << modalityUDP
+		case "tcp":
+			mask |= 1 << modalityTCP
+		}
+	}
+	return mask
+}
+
 // Provider is a built AS.
 type Provider struct {
 	ASN     uint32
@@ -75,8 +107,11 @@ type Provider struct {
 
 	routerHops     int
 	borderRespProb float64
-	routers        []ip6.Addr // static transit/core router addresses
-	world          *World
+	// filterMask has bit m set when probeModality m is dropped by the
+	// provider's edge ACL (past the core routers, before the border).
+	filterMask uint8
+	routers    []ip6.Addr // static transit/core router addresses
+	world      *World
 }
 
 // Pool is a built rotation pool.
@@ -96,8 +131,10 @@ type Pool struct {
 	cpes   []CPE
 	byBase map[uint64]int32
 
-	lossProb  float64
-	rateLimit int
+	lossProb    float64
+	reorderProb float64
+	dupProb     float64
+	rateLimit   int
 
 	// occ caches the pool's occupancy over one validity window (see
 	// occCache). Scans freeze the clock, so a whole scan pass hits one
@@ -175,6 +212,7 @@ func Build(ws WorldSpec) (*World, error) {
 		rib:     bgp.New(),
 		hBorder: mix(ws.Seed, 0xb0de),
 		hLoss:   mix(ws.Seed, 0x1055),
+		hLink:   mix(ws.Seed, 0x117e),
 	}
 	reg := oui.Builtin()
 	macs := newMACAllocator(ws.Seed)
@@ -186,6 +224,7 @@ func Build(ws WorldSpec) (*World, error) {
 			Country:        ps.Country,
 			routerHops:     ps.RouterHops,
 			borderRespProb: ps.BorderRespProb,
+			filterMask:     filterMaskOf(ps.Filter),
 			world:          w,
 		}
 		if p.routerHops == 0 {
@@ -205,7 +244,7 @@ func Build(ws WorldSpec) (*World, error) {
 			p.routers = append(p.routers, r)
 		}
 		for qi := range ps.Pools {
-			pool, err := buildPool(w, p, &ps.Pools[qi], pi, qi, reg, macs)
+			pool, err := buildPool(w, p, &ps.Pools[qi], pi, qi, ps.RateLimitPerHour, reg, macs)
 			if err != nil {
 				return nil, err
 			}
@@ -232,23 +271,34 @@ func MustBuild(ws WorldSpec) *World {
 	return w
 }
 
-func buildPool(w *World, p *Provider, spec *PoolSpec, pi, qi int, reg *oui.Registry, macs *macAllocator) (*Pool, error) {
+func buildPool(w *World, p *Provider, spec *PoolSpec, pi, qi, defaultRateLimit int, reg *oui.Registry, macs *macAllocator) (*Pool, error) {
 	pfx := ip6.MustParsePrefix(spec.Prefix)
 	blockBits := uint(spec.AllocBits - pfx.Bits())
 	if blockBits > 32 {
 		return nil, fmt.Errorf("simnet: AS%d pool %s: %d block bits is too many to simulate", p.ASN, pfx, blockBits)
 	}
+	// Rate-limit inheritance: 0 takes the provider default, -1 opts the
+	// pool out of a provider-wide limit.
+	rateLimit := spec.RateLimitPerHour
+	if rateLimit == 0 {
+		rateLimit = defaultRateLimit
+	}
+	if rateLimit < 0 {
+		rateLimit = 0
+	}
 	pool := &Pool{
-		Provider:  p,
-		Prefix:    pfx,
-		AllocBits: spec.AllocBits,
-		Rotation:  spec.Rotation,
-		blocks:    uint64(1) << blockBits,
-		blockBits: blockBits,
-		key:       mix(w.seed, uint64(p.ASN), uint64(pi)<<16|uint64(qi)),
-		byBase:    make(map[uint64]int32),
-		lossProb:  spec.LossProb,
-		rateLimit: spec.RateLimitPerHour,
+		Provider:    p,
+		Prefix:      pfx,
+		AllocBits:   spec.AllocBits,
+		Rotation:    spec.Rotation,
+		blocks:      uint64(1) << blockBits,
+		blockBits:   blockBits,
+		key:         mix(w.seed, uint64(p.ASN), uint64(pi)<<16|uint64(qi)),
+		byBase:      make(map[uint64]int32),
+		lossProb:    spec.LossProb,
+		reorderProb: spec.ReorderProb,
+		dupProb:     spec.DupProb,
+		rateLimit:   rateLimit,
 	}
 	pool.spanLimit = pool.blocks
 	if spec.ClusterSpan > 0 && spec.ClusterSpan < 1 {
@@ -299,10 +349,16 @@ func buildPool(w *World, p *Provider, spec *PoolSpec, pi, qi int, reg *oui.Regis
 		// otherwise; the year-old seed campaign must be able to see them.
 		c := CPE{base: base, activeFrom: math.MinInt32, activeUntil: -1}
 
-		// Addressing mode.
+		// Addressing mode. EUI-64 and DHCPv6 split one uniform draw, so
+		// the EUI population at eui_frac e is a subset of the one at any
+		// e' > e — the nesting TestPrivacyExtensionDegradation relies on —
+		// and a dhcpv6_frac of zero leaves historical worlds bit-identical.
+		u := unitFloat(mix(h, 1))
 		switch {
-		case unitFloat(mix(h, 1)) < spec.EUIFrac:
+		case u < spec.EUIFrac:
 			c.Mode = ModeEUI64
+		case u < spec.EUIFrac+spec.DHCPv6Frac:
+			c.Mode = ModeDHCPv6
 		case unitFloat(mix(h, 2)) < spec.StaticPrivFrac:
 			c.Mode = ModePrivacyStatic
 		default:
@@ -787,6 +843,11 @@ func (p *Pool) wanAddr(c *CPE, j uint64, t time.Time) ip6.Addr {
 		iid = ip6.EUI64FromMAC(c.MAC)
 	case ModePrivacyStatic:
 		iid = c.privSeed
+	case ModeDHCPv6:
+		// A fresh lease out of a small dense server pool at every
+		// re-delegation: low IIDs as real DHCPv6 servers assign, and
+		// nothing stable to follow across rotations.
+		iid = 1 + mix(c.privSeed, uint64(p.epochOf(c, t)))&0xffff
 	default: // ModePrivacy: fresh IID every epoch
 		iid = mix(c.privSeed, uint64(p.epochOf(c, t)))
 	}
@@ -834,22 +895,22 @@ type Response struct {
 	Echo bool
 }
 
-// Query answers a single probe sent to target with the given hop limit.
-// salt distinguishes retransmissions so that loss is not perfectly
-// correlated across retries. ok=false means the probe was dropped
-// (no route, silent device, loss, or rate limiting).
+// Query answers a single ICMPv6 echo probe sent to target with the
+// given hop limit. salt distinguishes retransmissions so that loss is
+// not perfectly correlated across retries. ok=false means the probe was
+// dropped (no route, filtering, silent device, loss, or rate limiting).
 func (w *World) Query(target ip6.Addr, hopLimit int, salt uint64) (Response, bool) {
 	var r Response
-	ok := w.queryCounted(&r, target, hopLimit, salt)
+	ok := w.queryCounted(&r, modalityEcho, target, hopLimit, salt)
 	return r, ok
 }
 
 // queryCounted is the accounting wrapper shared by Query and the wire
 // path: out-parameter form so the per-probe hot path moves one Response
 // instead of two.
-func (w *World) queryCounted(r *Response, target ip6.Addr, hopLimit int, salt uint64) bool {
+func (w *World) queryCounted(r *Response, m probeModality, target ip6.Addr, hopLimit int, salt uint64) bool {
 	w.statProbes.Add(1)
-	if !w.query(r, target, hopLimit, salt) {
+	if !w.query(r, m, target, hopLimit, salt) {
 		return false
 	}
 	w.statResps.Add(1)
@@ -858,7 +919,7 @@ func (w *World) queryCounted(r *Response, target ip6.Addr, hopLimit int, salt ui
 
 // query answers into r (an out-parameter so the hot path moves one
 // Response instead of two) and reports whether a response exists.
-func (w *World) query(r *Response, target ip6.Addr, hopLimit int, salt uint64) bool {
+func (w *World) query(r *Response, m probeModality, target ip6.Addr, hopLimit int, salt uint64) bool {
 	if hopLimit <= 0 {
 		return false
 	}
@@ -881,6 +942,13 @@ func (w *World) query(r *Response, target ip6.Addr, hopLimit int, salt uint64) b
 			Hops: hopLimit,
 		}
 		return true
+	}
+
+	// Edge ACL: a filtered modality is dropped past the core routers,
+	// before anything at or behind the border can answer — including the
+	// border's own no-route errors.
+	if p.filterMask&(1<<m) != 0 {
+		return false
 	}
 
 	pool := p.poolFor(target)
@@ -940,6 +1008,52 @@ func (w *World) query(r *Response, target ip6.Addr, hopLimit int, salt uint64) b
 	}
 	*r = Response{From: wan, Type: c.RespType, Code: c.RespCode, Hops: hops}
 	return true
+}
+
+// LinkFate decides the duplication and reordering fate of one response
+// datagram about to leave the simulated network, from the pool of the
+// response's source address (dup_prob / reorder_prob). It is applied
+// only on the wire path (ServeUDP): the in-process transport is a
+// perfect link, so loopback scans stay the deterministic ground truth
+// and the link effects exercise exactly the real-socket machinery.
+// Responses from transit space (core and border routers) are never
+// duplicated or reordered. The fate is a pure function of the world
+// seed and the datagram bytes, so equal worlds serve equal links.
+func (w *World) LinkFate(resp []byte) (dup, reorder bool) {
+	var h icmp6.Header
+	if h.Unmarshal(resp) != nil {
+		return false, false
+	}
+	p := w.providerFor(h.Src)
+	if p == nil {
+		return false, false
+	}
+	pool := p.poolFor(h.Src)
+	if pool == nil || (pool.dupProb == 0 && pool.reorderProb == 0) {
+		return false, false
+	}
+	fate := splitmix64(w.hLink ^ contentHash(resp))
+	dup = unitFloat(splitmix64(fate^0xd0b)) < pool.dupProb
+	reorder = unitFloat(splitmix64(fate^0x0af)) < pool.reorderProb
+	return dup, reorder
+}
+
+// contentHash folds a datagram into one word for LinkFate: cheap, and
+// dependent on every byte so retransmitted (salted) responses are
+// independent trials.
+func contentHash(b []byte) uint64 {
+	var h uint64 = uint64(len(b))
+	for len(b) >= 8 {
+		w := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+			uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+		h = splitmix64(h ^ w)
+		b = b[8:]
+	}
+	var tail uint64
+	for i, c := range b {
+		tail |= uint64(c) << (8 * i)
+	}
+	return splitmix64(h ^ tail)
 }
 
 // allowRate implements the per-CPE hourly token count. The table is

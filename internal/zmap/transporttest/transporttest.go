@@ -1,0 +1,286 @@
+// Package transporttest is a conformance suite for zmap.Transport
+// implementations. A transport under test is described by a Harness —
+// a factory plus probe recipes — and Run drives every behavior the
+// scan engine relies on: Send/Recv delivery, blocking Recv,
+// close-unblocks-recv, sticky io.EOF after close-and-drain, and the
+// optional Exchanger and receive-deadline extensions, each exercised
+// only when the transport implements it.
+//
+// The shipped transports (the in-process Loopback and the UDP wire
+// path to a simnetd) both pass the suite — see this package's tests —
+// and a new transport earns the same guarantees by calling Run from
+// its own tests.
+package transporttest
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"followscent/internal/zmap"
+)
+
+// Harness describes one transport implementation to Run.
+type Harness struct {
+	// New returns a fresh transport connected to a live responder. The
+	// suite calls it once per subtest and closes what it returns.
+	New func(t *testing.T) zmap.Transport
+	// Probe returns a probe packet the responder answers with exactly
+	// one deterministic response packet (the responder's state must not
+	// change between calls: frozen clock, no loss).
+	Probe func() []byte
+	// Quiet returns a probe packet the responder never answers —
+	// typically a probe into unrouted space. Optional; nil skips the
+	// silence subtest.
+	Quiet func() []byte
+	// Buffered reports whether responses queued inside the transport
+	// survive Close and are drained by subsequent Recv calls (the
+	// Loopback contract). Wire transports lose kernel-buffered
+	// datagrams at close, so they set it false and the
+	// drain-after-close subtest is skipped.
+	Buffered bool
+}
+
+// recvDeadliner is the optional receive-deadline extension the engine's
+// cooldown phase uses (implemented by zmap.UDP).
+type recvDeadliner interface {
+	SetRecvDeadline(t time.Time) error
+}
+
+// Run exercises every Transport contract against h, as subtests of t.
+func Run(t *testing.T, h Harness) {
+	if h.New == nil || h.Probe == nil {
+		t.Fatal("transporttest: Harness.New and Harness.Probe are required")
+	}
+
+	t.Run("SendRecv", func(t *testing.T) {
+		tr := open(t, h)
+		if err := tr.Send(h.Probe()); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+		n, err := recvWait(t, tr)
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		if n == 0 {
+			t.Fatal("Recv returned an empty response")
+		}
+	})
+
+	t.Run("RecvSeesEveryResponse", func(t *testing.T) {
+		tr := open(t, h)
+		const probes = 3
+		for i := 0; i < probes; i++ {
+			if err := tr.Send(h.Probe()); err != nil {
+				t.Fatalf("Send %d: %v", i, err)
+			}
+		}
+		for i := 0; i < probes; i++ {
+			n, err := recvWait(t, tr)
+			if err != nil {
+				t.Fatalf("Recv %d: %v", i, err)
+			}
+			if n == 0 {
+				t.Fatalf("Recv %d returned an empty response", i)
+			}
+		}
+	})
+
+	t.Run("EOFAfterCloseAndDrain", func(t *testing.T) {
+		tr := open(t, h)
+		if err := tr.Send(h.Probe()); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+		if _, err := recvWait(t, tr); err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		// io.EOF must be sticky: every Recv after close-and-drain.
+		for i := 0; i < 2; i++ {
+			if _, err := recvWait(t, tr); !errors.Is(err, io.EOF) {
+				t.Fatalf("Recv %d after close: err = %v, want io.EOF", i, err)
+			}
+		}
+	})
+
+	t.Run("CloseUnblocksRecv", func(t *testing.T) {
+		tr := open(t, h)
+		got := make(chan error, 1)
+		go func() {
+			_, err := tr.Recv(make([]byte, 4096))
+			got <- err
+		}()
+		// Let the receiver block on an idle transport, then close it out
+		// from under them — the engine's shutdown path.
+		select {
+		case err := <-got:
+			t.Fatalf("Recv returned early with %v", err)
+		case <-time.After(50 * time.Millisecond):
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		select {
+		case err := <-got:
+			if !errors.Is(err, io.EOF) {
+				t.Fatalf("Recv after close: err = %v, want io.EOF", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Close did not unblock the pending Recv")
+		}
+	})
+
+	if h.Buffered {
+		t.Run("DrainAfterClose", func(t *testing.T) {
+			tr := open(t, h)
+			const probes = 2
+			for i := 0; i < probes; i++ {
+				if err := tr.Send(h.Probe()); err != nil {
+					t.Fatalf("Send %d: %v", i, err)
+				}
+			}
+			if err := tr.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			for i := 0; i < probes; i++ {
+				n, err := recvWait(t, tr)
+				if err != nil {
+					t.Fatalf("Recv %d after close: %v — buffered responses must drain first", i, err)
+				}
+				if n == 0 {
+					t.Fatalf("Recv %d drained an empty response", i)
+				}
+			}
+			if _, err := recvWait(t, tr); !errors.Is(err, io.EOF) {
+				t.Fatalf("Recv past the drained queue: err = %v, want io.EOF", err)
+			}
+		})
+	}
+
+	if h.Quiet != nil {
+		t.Run("QuietProbeStaysSilent", func(t *testing.T) {
+			tr := open(t, h)
+			if err := tr.Send(h.Quiet()); err != nil {
+				t.Fatalf("Send: %v", err)
+			}
+			got := make(chan recvResult, 1)
+			go func() {
+				n, err := tr.Recv(make([]byte, 4096))
+				got <- recvResult{n, err}
+			}()
+			select {
+			case r := <-got:
+				t.Fatalf("quiet probe produced Recv = (%d, %v), want silence", r.n, r.err)
+			case <-time.After(150 * time.Millisecond):
+			}
+			if err := tr.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			select {
+			case r := <-got:
+				if !errors.Is(r.err, io.EOF) {
+					t.Fatalf("Recv after close: (%d, %v), want io.EOF", r.n, r.err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("Close did not unblock the pending Recv")
+			}
+		})
+	}
+
+	t.Run("Exchanger", func(t *testing.T) {
+		tr := open(t, h)
+		ex, ok := tr.(zmap.Exchanger)
+		if !ok {
+			t.Skip("transport does not implement zmap.Exchanger")
+		}
+		resp, ok := ex.Exchange(h.Probe(), nil)
+		if !ok || len(resp) == 0 {
+			t.Fatalf("Exchange = (%d bytes, %v), want a response", len(resp), ok)
+		}
+		// The synchronous path must produce the same bytes as Send+Recv
+		// for the same probe against the same responder state.
+		want := append([]byte(nil), resp...)
+		if err := tr.Send(h.Probe()); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+		buf := make([]byte, 4096)
+		n, err := tr.Recv(buf)
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		if !bytes.Equal(buf[:n], want) {
+			t.Fatalf("Exchange and Send/Recv responses differ: %d vs %d bytes", len(want), n)
+		}
+	})
+
+	t.Run("RecvDeadline", func(t *testing.T) {
+		tr := open(t, h)
+		d, ok := tr.(recvDeadliner)
+		if !ok {
+			t.Skip("transport does not implement SetRecvDeadline")
+		}
+		// A deadline already in the past: Recv must report io.EOF (the
+		// cooldown contract — an expired wait reads as end-of-scan, not
+		// an error).
+		if err := d.SetRecvDeadline(time.Now().Add(-time.Second)); err != nil {
+			t.Fatalf("SetRecvDeadline: %v", err)
+		}
+		if _, err := tr.Recv(make([]byte, 4096)); !errors.Is(err, io.EOF) {
+			t.Fatalf("Recv past the deadline: err = %v, want io.EOF", err)
+		}
+		// Clearing the deadline restores normal delivery.
+		if err := d.SetRecvDeadline(time.Time{}); err != nil {
+			t.Fatalf("SetRecvDeadline(zero): %v", err)
+		}
+		if err := tr.Send(h.Probe()); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+		n, err := recvWait(t, tr)
+		if err != nil {
+			t.Fatalf("Recv after clearing the deadline: %v", err)
+		}
+		if n == 0 {
+			t.Fatal("Recv after clearing the deadline returned an empty response")
+		}
+	})
+}
+
+type recvResult struct {
+	n   int
+	err error
+}
+
+// open builds a fresh transport and arranges best-effort cleanup (a
+// second Close from the cleanup is allowed to error).
+func open(t *testing.T, h Harness) zmap.Transport {
+	t.Helper()
+	tr := h.New(t)
+	if tr == nil {
+		t.Fatal("Harness.New returned nil")
+	}
+	t.Cleanup(func() { _ = tr.Close() })
+	return tr
+}
+
+// recvWait runs one Recv with a hang guard: a conforming transport
+// either delivers, or returns io.EOF once closed/expired — it never
+// blocks forever while the suite holds both ends.
+func recvWait(t *testing.T, tr zmap.Transport) (int, error) {
+	t.Helper()
+	got := make(chan recvResult, 1)
+	go func() {
+		n, err := tr.Recv(make([]byte, 4096))
+		got <- recvResult{n, err}
+	}()
+	select {
+	case r := <-got:
+		return r.n, r.err
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv blocked for 5s; expected delivery or io.EOF")
+		return 0, nil
+	}
+}
