@@ -9,6 +9,8 @@
 #   BENCH               -bench pattern (default ., the whole suite)
 #   BENCH_COMPARE       set to 0 to skip the baseline comparison
 #   BENCH_COMPARE_TIME  -benchtime for the comparison run (default 5x)
+#   BENCH_CKPT_TIME     -benchtime for the checkpoint-overhead gate (default 20x)
+#   BENCH_WIRE_TIME     -benchtime for the batched wire-path gate (default 3x)
 #
 # Baseline comparison: after the suite run, if the committed baseline
 # BENCH_table1.json exists next to this script, the headline
@@ -37,7 +39,8 @@ here=$(dirname "$0")
 tmp=
 cmp=
 ck=
-trap 'rm -f "$tmp" "$cmp" "$ck"' EXIT
+wp=
+trap 'rm -f "$tmp" "$cmp" "$ck" "$wp"' EXIT
 if [ -z "$out" ]; then
 	tmp=$(mktemp)
 	out=$tmp
@@ -63,6 +66,15 @@ bench_ns() {
 	grep "\"Test\":\"$1\"" "$2" |
 		grep 'ns/op' |
 		sed -n 's|.*[^0-9]\([0-9][0-9]*\) ns/op.*|\1|p' |
+		head -1
+}
+
+# bench_metric extracts a custom b.ReportMetric value (unit $2, which
+# may be fractional) for benchmark $1 from capture $3.
+bench_metric() {
+	grep "\"Test\":\"$1\"" "$3" |
+		grep " $2" |
+		sed -n "s|.*[^0-9.]\([0-9][0-9.]*\) $2.*|\1|p" |
 		head -1
 }
 
@@ -113,5 +125,29 @@ if [ "${BENCH_COMPARE:-1}" != 0 ]; then
 		echo "bench compare: BenchmarkTable1_WithCheckpointing $armed ns/op vs unarmed $plain ns/op (limit $climit) — ok" >&2
 	else
 		echo "checkpoint overhead gate skipped: benchmark missing from run" >&2
+	fi
+fi
+
+# Batched wire-path gate: BenchmarkWirePPS drives full scans against an
+# in-process simnetd UDP server and reports probes/sec, per-packet
+# (batch=0) vs vectored/offloaded (batch=64). The batched path must
+# hold at least a 5x probes-per-second advantage at one worker — the
+# configuration where the syscall-amortisation win is purest — or the
+# job fails. BENCH_WIRE_TIME sets the per-variant iteration count
+# (default 3x; each iteration is a whole scan, so counts stay small).
+if [ "${BENCH_COMPARE:-1}" != 0 ]; then
+	wp=$(mktemp)
+	go test -run '^$' -bench 'BenchmarkWirePPS/workers=1,' \
+		-benchtime "${BENCH_WIRE_TIME:-3x}" -json . >"$wp"
+	single=$(bench_metric 'BenchmarkWirePPS/workers=1,batch=0' pps "$wp")
+	batch=$(bench_metric 'BenchmarkWirePPS/workers=1,batch=64' pps "$wp")
+	if [ -n "$single" ] && [ -n "$batch" ]; then
+		if ! awk -v b="$batch" -v s="$single" 'BEGIN{exit !(b >= 5 * s)}'; then
+			echo "bench regression: BenchmarkWirePPS batched path $batch pps is under 5x the per-packet baseline $single pps" >&2
+			exit 1
+		fi
+		echo "bench compare: BenchmarkWirePPS $batch pps batched vs $single pps per-packet (>=5x) — ok" >&2
+	else
+		echo "wire pps gate skipped: benchmark missing from run" >&2
 	fi
 fi

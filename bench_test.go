@@ -402,6 +402,69 @@ func BenchmarkLoopbackRoundTrip(b *testing.B) {
 	}
 }
 
+// --- Batched wire path (DESIGN.md §12) ---
+
+// BenchmarkWirePPS measures raw wire throughput — probes per second
+// into a live simnetd-style UDP server — per-packet vs vectored
+// sendmmsg/recvmmsg batches (Config.Batch), at 1, 2 and 4 workers with
+// one socket each. The pps metric counts sent probes over the scan's
+// active phase (cooldown excluded); bench.sh gates on batched pps
+// staying >= 5x the per-packet loop at workers=1, where the syscall
+// count is the whole difference. Results are byte-identical across the
+// grid (TestScanBatchUDPEquivalence); this measures what the syscalls
+// cost.
+func BenchmarkWirePPS(b *testing.B) {
+	w := simnet.TestWorld(61)
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- w.ServeUDP(ctx, conn, 0) }()
+	b.Cleanup(func() {
+		cancel()
+		if err := <-done; err != nil {
+			b.Errorf("ServeUDP: %v", err)
+		}
+		conn.Close()
+	})
+	addr := conn.LocalAddr().String()
+
+	p, _ := w.ProviderByASN(65001)
+	ts, err := zmap.NewSubnetTargets([]ip6.Prefix{p.Pools[0].Prefix}, 60, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const cooldown = 100 * time.Millisecond
+	for _, workers := range []int{1, 2, 4} {
+		for _, batch := range []int{0, 64} {
+			b.Run(fmt.Sprintf("workers=%d,batch=%d", workers, batch), func(b *testing.B) {
+				b.ReportAllocs()
+				var pps float64
+				for i := 0; i < b.N; i++ {
+					cfg := zmap.Config{
+						Source:   ip6.MustParseAddr("2620:11f:7000::53"),
+						Seed:     uint64(i) + 1,
+						Workers:  workers,
+						Batch:    batch,
+						Cooldown: cooldown,
+					}
+					st, err := zmap.ScanWorkers(context.Background(), zmap.UDPFactory(addr), ts, cfg, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					// Stats.SendTime is the engine's own send-phase clock:
+					// subtracting the cooldown from wall time instead would
+					// fold several ms of timer slop into a window this short.
+					pps += float64(st.Sent) / st.SendTime.Seconds()
+				}
+				b.ReportMetric(pps/float64(b.N), "pps")
+			})
+		}
+	}
+}
+
 // --- Ablations (DESIGN.md §4) ---
 
 // BenchmarkAblation_ZmapVsYarrp quantifies §3.1's probing-cost claim:

@@ -62,7 +62,7 @@ import (
 // it (and README.md's command reference) names every command and flag
 // cliFlagSets registers — edit them together.
 const usageText = `usage: scent [-seed N] [-world default|test] [-server host:port] [-workers N]
-             [-checkpoint FILE] [-resume FILE] <command> [args]
+             [-batch N] [-checkpoint FILE] [-resume FILE] <command> [args]
 
 commands:
   seed                      run the stale traceroute seed campaign
@@ -125,6 +125,12 @@ commands:
                             set; query needs no world and ignores the
                             other global flags
 
+wire path:
+  -batch N           move N probes per wire operation (vectored
+                     sendmmsg/recvmmsg against a -server; the in-process
+                     world loops). Results are byte-identical to -batch 0
+                     — only the syscall count changes
+
 fault tolerance (single-pass scans: tcp, ndp, mld):
   -checkpoint FILE   arm quarantine-on-worker-death and, on partial
                      completion or SIGINT, write a resume checkpoint
@@ -153,6 +159,7 @@ type globalOpts struct {
 	world      string
 	server     string
 	workers    int
+	batch      int
 	checkpoint string
 	resume     string
 }
@@ -163,6 +170,7 @@ func globalFlags(fs *flag.FlagSet) *globalOpts {
 	fs.StringVar(&o.world, "world", "default", "in-process world: default or test")
 	fs.StringVar(&o.server, "server", "", "probe a simnetd at host:port instead of in-process")
 	fs.IntVar(&o.workers, "workers", 0, "scan workers per pass (0 = GOMAXPROCS); each owns its own transport")
+	fs.IntVar(&o.batch, "batch", 0, "probes per wire operation (vectored I/O; 0/1 = one per syscall, results identical)")
 	fs.StringVar(&o.checkpoint, "checkpoint", "", "write a resume checkpoint here on partial completion or SIGINT (tcp/ndp/mld)")
 	fs.StringVar(&o.resume, "resume", "", "resume a tcp/ndp/mld scan from a checkpoint written by -checkpoint")
 	return o
@@ -417,6 +425,7 @@ func main() {
 		log.Fatal(err)
 	}
 	env.Scanner.Config.Workers = g.workers
+	env.Scanner.Config.Batch = g.batch
 	prog, err := applyCheckpointFlags(env, flag.Arg(0), g.checkpoint, g.resume)
 	if err != nil {
 		log.Fatal(err)

@@ -2,7 +2,10 @@
 // datagram is one raw IPv6+ICMPv6 probe packet, answered byte-exactly as
 // the simulated network would. It is the wire-level counterpart to the
 // in-process transport — point the scent CLI (or any prober built on
-// internal/zmap's UDP transport) at it.
+// internal/zmap's UDP transport) at it. The serve loop is vectored
+// (recvmmsg/sendmmsg via internal/netbatch) where the platform allows,
+// but simulation semantics are strictly per-datagram: a world answers
+// bit-identically whether probes arrive singly or in batches.
 //
 // Usage:
 //

@@ -1,0 +1,227 @@
+package icmp6
+
+import (
+	"encoding/binary"
+
+	"followscent/internal/ip6"
+)
+
+// This file extends EchoTemplate's prebuilt-packet trick to every other
+// probe shape the modules send: the fixed IPv6 header and all static
+// upper-layer fields are marshalled once at construction, their
+// ones-complement checksum contribution is folded into a base sum, and
+// each Packet call patches only the per-probe fields and finishes the
+// checksum arithmetically — no per-probe marshalling, no allocation.
+// Every template's output is byte-identical to the corresponding
+// Append* builder (asserted in template_test.go), so the simulator and
+// the validation paths cannot tell which constructor a probe used.
+//
+// Like EchoTemplate, the returned slices alias the template's internal
+// buffer (valid until the next Packet call) and a template must not be
+// shared across goroutines — the engine builds one per worker.
+
+// payloadSum is the ones-complement accumulator over b as big-endian
+// 64-bit words — checksumProto's inner loop, exposed so templates can
+// fold their static payload bytes into a base sum at construction.
+func payloadSum(b []byte) uint64 {
+	var sum uint64
+	for len(b) >= 8 {
+		sum = add64c(sum, binary.BigEndian.Uint64(b))
+		b = b[8:]
+	}
+	if len(b) > 0 {
+		var tail [8]byte
+		copy(tail[:], b)
+		sum = add64c(sum, binary.BigEndian.Uint64(tail[:]))
+	}
+	return sum
+}
+
+// UDPProbeTemplate crafts minimal (no-payload) UDP probes by patching a
+// prebuilt packet; the produced bytes are identical to
+// AppendUDPProbe(nil, src, target, sport, dport, nil).
+type UDPProbeTemplate struct {
+	buf    [HeaderLen + UDPHeaderLen]byte
+	csBase uint64
+}
+
+// NewUDPProbeTemplate returns a template for probes originated by src.
+func NewUDPProbeTemplate(src ip6.Addr) *UDPProbeTemplate {
+	t := &UDPProbeTemplate{}
+	h := Header{
+		PayloadLen: UDPHeaderLen,
+		NextHeader: ProtoUDP,
+		HopLimit:   DefaultHopLimit,
+		Src:        src,
+	}
+	h.MarshalTo(t.buf[:])
+	p := t.buf[HeaderLen:]
+	binary.BigEndian.PutUint16(p[4:6], UDPHeaderLen)
+	su := src.Uint128()
+	t.csBase = add64c(add64c(su.Hi, su.Lo), uint64(UDPHeaderLen)+ProtoUDP)
+	t.csBase = add64c(t.csBase, payloadSum(p))
+	return t
+}
+
+// Packet returns the full probe packet for one target and port pair.
+func (t *UDPProbeTemplate) Packet(target ip6.Addr, sport, dport uint16) []byte {
+	b := t.buf[:]
+	du := target.Uint128()
+	binary.BigEndian.PutUint64(b[24:32], du.Hi)
+	binary.BigEndian.PutUint64(b[32:40], du.Lo)
+	p := b[HeaderLen:]
+	binary.BigEndian.PutUint16(p[0:2], sport)
+	binary.BigEndian.PutUint16(p[2:4], dport)
+	// The ports sit in the first payload word's top halves; the stale
+	// checksum bytes never enter the arithmetic (a checksum is computed
+	// over a zeroed checksum field by definition).
+	ports := uint64(sport)<<48 | uint64(dport)<<32
+	sum := add64c(add64c(t.csBase, du.Hi), add64c(du.Lo, ports))
+	cs := ^fold16(sum)
+	if cs == 0 {
+		cs = 0xffff // RFC 768 zero-means-no-checksum substitution
+	}
+	binary.BigEndian.PutUint16(p[6:8], cs)
+	return b
+}
+
+// TCPSynTemplate crafts option-less TCP SYN probes by patching a
+// prebuilt packet; the produced bytes are identical to
+// AppendTCPSyn(nil, src, target, sport, dport, seq).
+type TCPSynTemplate struct {
+	buf    [HeaderLen + TCPHeaderLen]byte
+	csBase uint64
+}
+
+// NewTCPSynTemplate returns a template for probes originated by src.
+func NewTCPSynTemplate(src ip6.Addr) *TCPSynTemplate {
+	t := &TCPSynTemplate{}
+	h := Header{
+		PayloadLen: TCPHeaderLen,
+		NextHeader: ProtoTCP,
+		HopLimit:   DefaultHopLimit,
+		Src:        src,
+	}
+	h.MarshalTo(t.buf[:])
+	p := t.buf[HeaderLen:]
+	p[12] = 5 << 4 // data offset: 5 words, no options
+	p[13] = TCPFlagSyn
+	binary.BigEndian.PutUint16(p[14:16], 0xffff) // window, as AppendTCPSyn
+	su := src.Uint128()
+	t.csBase = add64c(add64c(su.Hi, su.Lo), uint64(TCPHeaderLen)+ProtoTCP)
+	t.csBase = add64c(t.csBase, payloadSum(p))
+	return t
+}
+
+// Packet returns the full SYN segment for one target, port pair and
+// sequence number.
+func (t *TCPSynTemplate) Packet(target ip6.Addr, sport, dport uint16, seq uint32) []byte {
+	b := t.buf[:]
+	du := target.Uint128()
+	binary.BigEndian.PutUint64(b[24:32], du.Hi)
+	binary.BigEndian.PutUint64(b[32:40], du.Lo)
+	p := b[HeaderLen:]
+	binary.BigEndian.PutUint16(p[0:2], sport)
+	binary.BigEndian.PutUint16(p[2:4], dport)
+	binary.BigEndian.PutUint32(p[4:8], seq)
+	w0 := uint64(sport)<<48 | uint64(dport)<<32 | uint64(seq)
+	sum := add64c(add64c(t.csBase, du.Hi), add64c(du.Lo, w0))
+	binary.BigEndian.PutUint16(p[16:18], ^fold16(sum))
+	return b
+}
+
+// NeighborSolicitTemplate crafts Neighbor Solicitation probes by
+// patching a prebuilt packet; the produced bytes are identical to
+// AppendNeighborSolicitation(nil, src, target). The destination is
+// derived per probe (the target's solicited-node group), so both the
+// IPv6 destination and the ND target field change between calls.
+type NeighborSolicitTemplate struct {
+	buf    [HeaderLen + 4 + ndpBodyLen]byte
+	csBase uint64
+}
+
+// NewNeighborSolicitTemplate returns a template for probes originated
+// by src (a link-local address, per RFC 4861).
+func NewNeighborSolicitTemplate(src ip6.Addr) *NeighborSolicitTemplate {
+	t := &NeighborSolicitTemplate{}
+	h := Header{
+		PayloadLen: 4 + ndpBodyLen,
+		NextHeader: ProtoICMPv6,
+		HopLimit:   NDPHopLimit,
+		Src:        src,
+	}
+	h.MarshalTo(t.buf[:])
+	p := t.buf[HeaderLen:]
+	p[0] = TypeNeighborSolicitation
+	su := src.Uint128()
+	t.csBase = add64c(add64c(su.Hi, su.Lo), uint64(4+ndpBodyLen)+ProtoICMPv6)
+	t.csBase = add64c(t.csBase, payloadSum(p))
+	return t
+}
+
+// Packet returns the full solicitation for one target, addressed to the
+// target's solicited-node multicast group.
+func (t *NeighborSolicitTemplate) Packet(target ip6.Addr) []byte {
+	b := t.buf[:]
+	du := ip6.SolicitedNode(target).Uint128()
+	binary.BigEndian.PutUint64(b[24:32], du.Hi)
+	binary.BigEndian.PutUint64(b[32:40], du.Lo)
+	p := b[HeaderLen:]
+	tu := target.Uint128()
+	binary.BigEndian.PutUint64(p[8:16], tu.Hi)
+	binary.BigEndian.PutUint64(p[16:24], tu.Lo)
+	sum := add64c(add64c(t.csBase, du.Hi), add64c(du.Lo, add64c(tu.Hi, tu.Lo)))
+	binary.BigEndian.PutUint16(p[2:4], ^fold16(sum))
+	return b
+}
+
+// MLDQueryTemplate crafts MLDv2 Query probes (IPv6 + router-alert
+// Hop-by-Hop + query) by patching a prebuilt packet; the produced bytes
+// are identical to AppendMLDQuery(nil, src, to, group). The checksum
+// covers the ICMPv6 region alone — the pseudo-header's upper-layer
+// length excludes the extension header (RFC 8200 §8.1) — which is why
+// the base sum is built over just that region.
+type MLDQueryTemplate struct {
+	buf    [HeaderLen + hopByHopLen + 4 + mldQueryBodyLen]byte
+	csBase uint64
+}
+
+// NewMLDQueryTemplate returns a template for queries originated by the
+// link-local address src.
+func NewMLDQueryTemplate(src ip6.Addr) *MLDQueryTemplate {
+	t := &MLDQueryTemplate{}
+	const icmpLen = 4 + mldQueryBodyLen
+	h := Header{
+		PayloadLen: hopByHopLen + icmpLen,
+		NextHeader: ProtoHopByHop,
+		HopLimit:   MLDHopLimit,
+		Src:        src,
+	}
+	h.MarshalTo(t.buf[:])
+	marshalHopByHop(t.buf[HeaderLen:], ProtoICMPv6)
+	p := t.buf[HeaderLen+hopByHopLen:]
+	p[0] = TypeMLDQuery
+	binary.BigEndian.PutUint16(p[4:6], 1000) // Maximum Response Code: 1 s
+	p[24] = 2                                // S clear, QRV 2
+	p[25] = 125                              // QQIC: default 125 s
+	su := src.Uint128()
+	t.csBase = add64c(add64c(su.Hi, su.Lo), uint64(icmpLen)+ProtoICMPv6)
+	t.csBase = add64c(t.csBase, payloadSum(p))
+	return t
+}
+
+// Packet returns the full query addressed to the (prefix-scoped)
+// all-nodes group at to, for group (zero = General Query).
+func (t *MLDQueryTemplate) Packet(to, group ip6.Addr) []byte {
+	b := t.buf[:]
+	du := to.Uint128()
+	binary.BigEndian.PutUint64(b[24:32], du.Hi)
+	binary.BigEndian.PutUint64(b[32:40], du.Lo)
+	p := b[HeaderLen+hopByHopLen:]
+	gu := group.Uint128()
+	binary.BigEndian.PutUint64(p[8:16], gu.Hi)
+	binary.BigEndian.PutUint64(p[16:24], gu.Lo)
+	sum := add64c(add64c(t.csBase, du.Hi), add64c(du.Lo, add64c(gu.Hi, gu.Lo)))
+	binary.BigEndian.PutUint16(p[2:4], ^fold16(sum))
+	return b
+}

@@ -1,0 +1,328 @@
+//go:build linux && (amd64 || arm64)
+
+package netbatch
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// The GSO fast path must be invisible: a batch of equal-size packets
+// sent as segmented super-datagrams arrives as exactly the same
+// individual datagrams, in order, as per-packet sends would produce.
+
+func TestGSORun(t *testing.T) {
+	mk := func(sizes ...int) [][]byte {
+		pkts := make([][]byte, len(sizes))
+		for i, n := range sizes {
+			pkts[i] = make([]byte, n)
+		}
+		return pkts
+	}
+	a := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 1}
+	b := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 2}
+	sameAsA := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 1}
+	cases := []struct {
+		sizes   []int
+		addrs   []*net.UDPAddr
+		i       int
+		wantRun int
+		wantSeg int
+	}{
+		{[]int{104, 104, 104}, nil, 0, 3, 104},
+		{[]int{104, 104, 40}, nil, 0, 3, 104},  // short tail rides along
+		{[]int{104, 40, 104}, nil, 0, 2, 104},  // short middle ends the run
+		{[]int{104, 104, 120}, nil, 0, 2, 104}, // long tail starts a new one
+		{[]int{104, 120}, nil, 0, 0, 0},        // no pair, no run
+		{[]int{104}, nil, 0, 0, 0},             // singles gain nothing
+		{[]int{0, 0}, nil, 0, 0, 0},            // empty segments cannot be GSO'd
+		{[]int{104, 0}, nil, 0, 0, 0},
+		// Destination changes cut runs; value-equal addresses do not.
+		{[]int{96, 96, 96}, []*net.UDPAddr{a, a, b}, 0, 2, 96},
+		{[]int{96, 96, 96}, []*net.UDPAddr{a, sameAsA, a}, 0, 3, 96},
+		{[]int{96, 96, 96}, []*net.UDPAddr{a, b, b}, 1, 2, 96},
+		{[]int{96, 96}, []*net.UDPAddr{a, b}, 0, 0, 0},
+	}
+	for _, c := range cases {
+		run, seg := gsoRun(mk(c.sizes...), c.addrs, c.i)
+		if run != c.wantRun || seg != c.wantSeg {
+			t.Errorf("gsoRun(%v, addrs=%v, %d) = (%d, %d), want (%d, %d)",
+				c.sizes, c.addrs != nil, c.i, run, seg, c.wantRun, c.wantSeg)
+		}
+	}
+}
+
+// TestGSOBatchDeliversIndividualDatagrams pushes several GSO chunks'
+// worth of distinct fixed-size packets through a connected socket and
+// checks the receiver sees every packet as its own datagram, unsplit,
+// unmerged, in order.
+func TestGSOBatchDeliversIndividualDatagrams(t *testing.T) {
+	server, client, _ := pair(t)
+	// 130 packets of 104 bytes: two full 64-segment super-datagrams plus
+	// a 2-segment tail.
+	const total, size = 130, 104
+	pkts := make([][]byte, total)
+	for i := range pkts {
+		pkts[i] = bytes.Repeat([]byte{byte(i)}, size)
+		binary.BigEndian.PutUint32(pkts[i], uint32(i))
+	}
+	type res struct {
+		got [][]byte
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		got, _, err := drainErr(server, total)
+		done <- res{got, err}
+	}()
+	if n, err := client.WriteBatch(pkts, nil); err != nil || n != total {
+		t.Fatalf("WriteBatch = (%d, %v), want (%d, nil)", n, err, total)
+	}
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("drain: %v", r.err)
+	}
+	for i := range pkts {
+		if !bytes.Equal(r.got[i], pkts[i]) {
+			t.Fatalf("datagram %d: got %d bytes (first %x), want %d bytes (first %x)",
+				i, len(r.got[i]), r.got[i][:4], len(pkts[i]), pkts[i][:4])
+		}
+	}
+}
+
+// TestGSOShortTailSegment covers the one legal size irregularity: the
+// final packet of a batch may be shorter than the segment size.
+func TestGSOShortTailSegment(t *testing.T) {
+	server, client, _ := pair(t)
+	const full, size, tail = 65, 96, 40
+	pkts := make([][]byte, full)
+	for i := range pkts {
+		n := size
+		if i == full-1 {
+			n = tail
+		}
+		pkts[i] = bytes.Repeat([]byte{byte(i + 1)}, n)
+	}
+	type res struct {
+		got [][]byte
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		got, _, err := drainErr(server, full)
+		done <- res{got, err}
+	}()
+	if n, err := client.WriteBatch(pkts, nil); err != nil || n != full {
+		t.Fatalf("WriteBatch = (%d, %v), want (%d, nil)", n, err, full)
+	}
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("drain: %v", r.err)
+	}
+	for i := range pkts {
+		if !bytes.Equal(r.got[i], pkts[i]) {
+			t.Fatalf("datagram %d: got %d bytes, want %d", i, len(r.got[i]), len(pkts[i]))
+		}
+	}
+}
+
+// TestGROSplitsAndQueuesLeftovers forces coalesced receives to carry
+// more datagrams than one ReadBatch call asks for: the surplus must
+// queue and come back, in order, through later narrow ReadBatch calls
+// and through single-datagram Read.
+func TestGROSplitsAndQueuesLeftovers(t *testing.T) {
+	server, client, clientAddr := pair(t)
+	const total, size = 96, 104
+	pkts := make([][]byte, total)
+	for i := range pkts {
+		pkts[i] = bytes.Repeat([]byte{byte(i)}, size)
+		binary.BigEndian.PutUint32(pkts[i], uint32(i))
+	}
+	if n, err := client.WriteBatch(pkts, nil); err != nil || n != total {
+		t.Fatalf("WriteBatch = (%d, %v), want (%d, nil)", n, err, total)
+	}
+	server.udp.SetReadDeadline(time.Now().Add(5 * time.Second))
+	defer server.udp.SetReadDeadline(time.Time{})
+
+	// Two-wide batch reads for the first half: with GSO+GRO in play a
+	// single kernel read can surface dozens of datagrams, so these must
+	// drain the queue two at a time.
+	bufs := [][]byte{make([]byte, 2048), make([]byte, 2048)}
+	sizes := make([]int, 2)
+	addrs := make([]net.UDPAddr, 2)
+	seen := 0
+	for seen < total/2 {
+		n, err := server.ReadBatch(bufs, sizes, addrs)
+		if err != nil {
+			t.Fatalf("ReadBatch after %d datagrams: %v", seen, err)
+		}
+		for i := 0; i < n; i++ {
+			if sizes[i] != size {
+				t.Fatalf("datagram %d: %d bytes, want %d", seen, sizes[i], size)
+			}
+			if got := binary.BigEndian.Uint32(bufs[i][:4]); got != uint32(seen) {
+				t.Fatalf("datagram order: got #%d at position %d", got, seen)
+			}
+			if addrs[i].Port != clientAddr.Port {
+				t.Fatalf("datagram %d: peer port %d, want %d", seen, addrs[i].Port, clientAddr.Port)
+			}
+			seen++
+		}
+	}
+	// The rest one at a time through the single-datagram path.
+	buf := make([]byte, 2048)
+	for ; seen < total; seen++ {
+		n, err := server.Read(buf)
+		if err != nil {
+			t.Fatalf("Read after %d datagrams: %v", seen, err)
+		}
+		if n != size {
+			t.Fatalf("Read %d bytes, want %d", n, size)
+		}
+		if got := binary.BigEndian.Uint32(buf[:4]); got != uint32(seen) {
+			t.Fatalf("single-read order: got #%d at position %d", got, seen)
+		}
+	}
+}
+
+// TestAddressedGSORunsSplitByPeer drives the server-side shape: one
+// unconnected socket answering two peers with equal-size packets in
+// runs and interleaves. Every datagram must reach the right peer with
+// the right bytes, whichever mix of GSO runs and sendmmsg spans the
+// writer picks.
+func TestAddressedGSORunsSplitByPeer(t *testing.T) {
+	server, clientA, addrA := pair(t)
+	ccB, err := net.DialUDP("udp", nil, server.udp.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ccB.Close() })
+	clientB, err := NewConn(ccB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB := ccB.LocalAddr().(*net.UDPAddr)
+
+	// Runs of 3 to A, 3 to B, then strict alternation — uniform size
+	// throughout, so destination changes alone bound the GSO runs.
+	var pkts [][]byte
+	var dests []*net.UDPAddr
+	var wantA, wantB [][]byte
+	push := func(dst *net.UDPAddr, tag byte, i int) {
+		p := bytes.Repeat([]byte{tag}, 64)
+		p[1] = byte(i)
+		pkts = append(pkts, p)
+		dests = append(dests, dst)
+		if dst == addrA {
+			wantA = append(wantA, p)
+		} else {
+			wantB = append(wantB, p)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		push(addrA, 'a', i)
+	}
+	for i := 0; i < 3; i++ {
+		push(addrB, 'b', i)
+	}
+	for i := 0; i < 4; i++ {
+		push(addrA, 'A', i)
+		push(addrB, 'B', i)
+	}
+	if n, err := server.WriteBatch(pkts, dests); err != nil || n != len(pkts) {
+		t.Fatalf("WriteBatch = (%d, %v), want (%d, nil)", n, err, len(pkts))
+	}
+	gotA, _ := drain(t, clientA, len(wantA))
+	gotB, _ := drain(t, clientB, len(wantB))
+	for i := range wantA {
+		if !bytes.Equal(gotA[i], wantA[i]) {
+			t.Fatalf("peer A datagram %d = %x…, want %x…", i, gotA[i][:2], wantA[i][:2])
+		}
+	}
+	for i := range wantB {
+		if !bytes.Equal(gotB[i], wantB[i]) {
+			t.Fatalf("peer B datagram %d = %x…, want %x…", i, gotB[i][:2], wantB[i][:2])
+		}
+	}
+}
+
+// TestMixedSizeBatchSkipsGSO sends a batch whose sizes disqualify GSO;
+// it must still arrive intact via the sendmmsg path.
+func TestMixedSizeBatchSkipsGSO(t *testing.T) {
+	server, client, _ := pair(t)
+	pkts := [][]byte{
+		[]byte("short"),
+		bytes.Repeat([]byte{0xAB}, 300),
+		[]byte("mid-sized packet"),
+	}
+	if n, err := client.WriteBatch(pkts, nil); err != nil || n != len(pkts) {
+		t.Fatalf("WriteBatch = (%d, %v), want (%d, nil)", n, err, len(pkts))
+	}
+	got, _ := drain(t, server, len(pkts))
+	for i := range pkts {
+		if !bytes.Equal(got[i], pkts[i]) {
+			t.Fatalf("datagram %d = %q, want %q", i, got[i], pkts[i])
+		}
+	}
+}
+
+// BenchmarkSendPath measures the raw per-packet cost of the three send
+// strategies over loopback: one sendto per packet, sendmmsg batches,
+// and GSO super-datagrams (what WriteBatch picks for uniform batches).
+func BenchmarkSendPath(b *testing.B) {
+	newPair := func(b *testing.B) (*net.UDPConn, *Conn) {
+		b.Helper()
+		sc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { sc.Close() })
+		sc.SetReadBuffer(8 << 20)
+		cc, err := net.DialUDP("udp", nil, sc.LocalAddr().(*net.UDPAddr))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { cc.Close() })
+		nb, err := NewConn(cc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		go func() { // discard reader so the server buffer never wedges
+			buf := make([]byte, 2048)
+			for {
+				if _, _, err := sc.ReadFromUDP(buf); err != nil {
+					return
+				}
+			}
+		}()
+		return cc, nb
+	}
+	const size, width = 104, 64
+	b.Run("single", func(b *testing.B) {
+		cc, _ := newPair(b)
+		pkt := make([]byte, size)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cc.Write(pkt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("batch=%d", width), func(b *testing.B) {
+		_, nb := newPair(b)
+		pkts := make([][]byte, width)
+		for i := range pkts {
+			pkts[i] = make([]byte, size)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i += width {
+			if _, err := nb.WriteBatch(pkts, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

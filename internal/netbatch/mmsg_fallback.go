@@ -1,0 +1,47 @@
+//go:build !linux || !(amd64 || arm64)
+
+package netbatch
+
+import "net"
+
+// Platforms without sendmmsg/recvmmsg (or whose stdlib Msghdr layout
+// this package does not cover) fall back to one syscall per datagram.
+// Semantics are identical; only the syscall count differs.
+const batched = false
+
+type sysConn struct{}
+
+func (c *sysConn) init(u *net.UDPConn) error { return nil }
+
+func (c *sysConn) read(u *net.UDPConn, buf []byte) (int, error) {
+	return u.Read(buf)
+}
+
+func (c *sysConn) readBatch(u *net.UDPConn, bufs [][]byte, sizes []int, addrs []net.UDPAddr) (int, error) {
+	// One blocking read per call: coalescing further reads would need a
+	// way to peek without blocking, which the portable API lacks.
+	n, peer, err := u.ReadFromUDP(bufs[0])
+	if err != nil {
+		return 0, err
+	}
+	sizes[0] = n
+	if addrs != nil {
+		setAddr(&addrs[0], peer.IP, peer.Port, peer.Zone)
+	}
+	return 1, nil
+}
+
+func (c *sysConn) writeBatch(u *net.UDPConn, pkts [][]byte, addrs []*net.UDPAddr) (int, error) {
+	for i, pkt := range pkts {
+		var err error
+		if addrs != nil && addrs[i] != nil {
+			_, err = u.WriteToUDP(pkt, addrs[i])
+		} else {
+			_, err = u.Write(pkt)
+		}
+		if err != nil {
+			return i, err
+		}
+	}
+	return len(pkts), nil
+}

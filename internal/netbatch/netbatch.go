@@ -1,0 +1,105 @@
+// Package netbatch provides vectored datagram I/O over a *net.UDPConn:
+// many packets per syscall via sendmmsg(2)/recvmmsg(2) where the
+// platform has them (Linux on 64-bit), and a loop over the ordinary
+// one-datagram calls everywhere else. On Linux, connected-socket
+// batches of equal-size packets additionally use UDP generic
+// segmentation offload (a UDP_SEGMENT control message per send), which
+// amortises per-datagram kernel cost, not just the syscall boundary.
+// All paths have identical semantics — a batch of n datagrams is
+// indistinguishable on the wire from n single sends — so callers layer
+// batching on top without forking their protocol logic per platform.
+//
+// The syscalls are reached through syscall.RawConn, so the connection
+// stays registered with Go's runtime poller: read deadlines set with
+// SetReadDeadline are honoured, Close unblocks pending batch reads, and
+// EAGAIN parks the goroutine instead of spinning.
+package netbatch
+
+import (
+	"net"
+)
+
+// Conn wraps a *net.UDPConn with batched send and receive. Methods on
+// each direction are independently safe for concurrent use: two
+// goroutines may call WriteBatch concurrently (each batch's datagrams
+// stay contiguous), and likewise ReadBatch.
+type Conn struct {
+	udp *net.UDPConn
+	sys sysConn // platform half: scratch mmsghdr state or nothing
+}
+
+// NewConn prepares c for batched I/O. The connection may be connected
+// (client style — WriteBatch with nil addrs) or unconnected (server
+// style — ReadBatch fills peer addresses, WriteBatch targets them).
+func NewConn(c *net.UDPConn) (*Conn, error) {
+	nb := &Conn{udp: c}
+	if err := nb.sys.init(c); err != nil {
+		return nil, err
+	}
+	return nb, nil
+}
+
+// Batched reports whether this platform coalesces a batch into a single
+// syscall (false means the fallback loop, one syscall per datagram).
+func (c *Conn) Batched() bool { return batched }
+
+// WriteBatch transmits pkts in order and returns how many were sent.
+// addrs supplies a destination per packet for unconnected sockets; nil
+// sends every packet to the connected peer. Every packet must be
+// non-empty. On error the first n packets were transmitted and the
+// returned count is exact, so a caller may retry pkts[n:].
+func (c *Conn) WriteBatch(pkts [][]byte, addrs []*net.UDPAddr) (int, error) {
+	if len(pkts) == 0 {
+		return 0, nil
+	}
+	return c.sys.writeBatch(c.udp, pkts, addrs)
+}
+
+// ReadBatch blocks until at least one datagram is readable, then fills
+// up to min(len(bufs), len(sizes)) of them, storing each datagram's
+// length in sizes[i]. When addrs is non-nil, addrs[i] is filled with
+// the sender (reusing addrs[i].IP's backing array when it has capacity,
+// so a caller-preallocated slice makes reads allocation-free). Returns
+// the number of datagrams read; n > 0 implies err == nil. Buffers must
+// be non-empty; a datagram longer than its buffer is truncated, as with
+// ReadFromUDP.
+//
+// The first ReadBatch call arms UDP generic receive offload where the
+// kernel supports it: same-flow datagrams arrive coalesced and are
+// split back into individual datagrams here, byte-identical to
+// uncoalesced delivery. A single kernel read may then surface more
+// datagrams than the call can return; the excess queues inside Conn and
+// is served, in order, by subsequent ReadBatch or Read calls before any
+// new syscall. Once ReadBatch has been used on a Conn, single-datagram
+// reads must go through Read (not the raw *net.UDPConn), which drains
+// that queue with identical semantics.
+func (c *Conn) ReadBatch(bufs [][]byte, sizes []int, addrs []net.UDPAddr) (int, error) {
+	n := len(bufs)
+	if len(sizes) < n {
+		n = len(sizes)
+	}
+	if addrs != nil && len(addrs) < n {
+		n = len(addrs)
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return c.sys.readBatch(c.udp, bufs[:n], sizes[:n], addrs)
+}
+
+// Read delivers exactly one datagram into buf, like
+// (*net.UDPConn).Read, but honouring the receive-offload queue: when a
+// prior ReadBatch armed coalescing, split-out datagrams are returned
+// one at a time before any further syscall. On a Conn whose ReadBatch
+// has never run it is a plain single-datagram read.
+func (c *Conn) Read(buf []byte) (int, error) {
+	return c.sys.read(c.udp, buf)
+}
+
+// setAddr copies src into dst, reusing dst.IP's backing array when it
+// has the capacity — the allocation-free path for preallocated slots.
+func setAddr(dst *net.UDPAddr, ip []byte, port int, zone string) {
+	dst.IP = append(dst.IP[:0], ip...)
+	dst.Port = port
+	dst.Zone = zone
+}

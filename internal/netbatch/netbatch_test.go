@@ -1,0 +1,205 @@
+package netbatch
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// pair returns an unconnected server socket and a client connected to it.
+func pair(t *testing.T) (*Conn, *Conn, *net.UDPAddr) {
+	t.Helper()
+	sc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	t.Cleanup(func() { sc.Close() })
+	// Tiny datagrams carry big kernel bookkeeping; a roomy receive
+	// buffer keeps the burst tests loss-free on loopback.
+	sc.SetReadBuffer(4 << 20)
+	cc, err := net.DialUDP("udp", nil, sc.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatalf("DialUDP: %v", err)
+	}
+	t.Cleanup(func() { cc.Close() })
+	server, err := NewConn(sc)
+	if err != nil {
+		t.Fatalf("NewConn(server): %v", err)
+	}
+	client, err := NewConn(cc)
+	if err != nil {
+		t.Fatalf("NewConn(client): %v", err)
+	}
+	return server, client, cc.LocalAddr().(*net.UDPAddr)
+}
+
+// drainErr reads until want datagrams arrived or the deadline hits; it
+// is goroutine-safe (no testing.T calls).
+func drainErr(c *Conn, want int) ([][]byte, []net.UDPAddr, error) {
+	c.udp.SetReadDeadline(time.Now().Add(5 * time.Second))
+	defer c.udp.SetReadDeadline(time.Time{})
+	bufs := make([][]byte, want)
+	for i := range bufs {
+		bufs[i] = make([]byte, 2048)
+	}
+	sizes := make([]int, want)
+	addrs := make([]net.UDPAddr, want)
+	var out [][]byte
+	var peers []net.UDPAddr
+	for len(out) < want {
+		n, err := c.ReadBatch(bufs, sizes, addrs)
+		if err != nil {
+			return out, peers, fmt.Errorf("after %d of %d datagrams: %w", len(out), want, err)
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, append([]byte(nil), bufs[i][:sizes[i]]...))
+			peers = append(peers, net.UDPAddr{IP: append(net.IP(nil), addrs[i].IP...), Port: addrs[i].Port})
+		}
+	}
+	return out, peers, nil
+}
+
+func drain(t *testing.T, c *Conn, want int) ([][]byte, []net.UDPAddr) {
+	t.Helper()
+	out, peers, err := drainErr(c, want)
+	if err != nil {
+		t.Fatalf("ReadBatch: %v", err)
+	}
+	return out, peers
+}
+
+func TestWriteBatchReadBatchRoundTrip(t *testing.T) {
+	server, client, clientAddr := pair(t)
+
+	pkts := make([][]byte, 7)
+	for i := range pkts {
+		pkts[i] = []byte(fmt.Sprintf("probe-%02d", i))
+	}
+	n, err := client.WriteBatch(pkts, nil)
+	if err != nil || n != len(pkts) {
+		t.Fatalf("WriteBatch = (%d, %v), want (%d, nil)", n, err, len(pkts))
+	}
+
+	got, peers := drain(t, server, len(pkts))
+	for i, pkt := range pkts {
+		if !bytes.Equal(got[i], pkt) {
+			t.Fatalf("datagram %d = %q, want %q", i, got[i], pkt)
+		}
+		if peers[i].Port != clientAddr.Port {
+			t.Fatalf("peer %d port = %d, want %d", i, peers[i].Port, clientAddr.Port)
+		}
+	}
+
+	// Server replies to the recorded peers; the connected client reads
+	// them back in order.
+	resp := make([][]byte, len(pkts))
+	dests := make([]*net.UDPAddr, len(pkts))
+	for i := range resp {
+		resp[i] = []byte(fmt.Sprintf("reply-%02d", i))
+		dests[i] = &peers[i]
+	}
+	if n, err := server.WriteBatch(resp, dests); err != nil || n != len(resp) {
+		t.Fatalf("server WriteBatch = (%d, %v), want (%d, nil)", n, err, len(resp))
+	}
+	back, _ := drain(t, client, len(resp))
+	for i := range resp {
+		if !bytes.Equal(back[i], resp[i]) {
+			t.Fatalf("reply %d = %q, want %q", i, back[i], resp[i])
+		}
+	}
+}
+
+func TestEmptyBatchesAreNoOps(t *testing.T) {
+	_, client, _ := pair(t)
+	if n, err := client.WriteBatch(nil, nil); n != 0 || err != nil {
+		t.Fatalf("WriteBatch(nil) = (%d, %v), want (0, nil)", n, err)
+	}
+	if n, err := client.ReadBatch(nil, nil, nil); n != 0 || err != nil {
+		t.Fatalf("ReadBatch(nil) = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+func TestReadBatchHonorsDeadline(t *testing.T) {
+	server, _, _ := pair(t)
+	server.udp.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	bufs := [][]byte{make([]byte, 64)}
+	_, err := server.ReadBatch(bufs, make([]int, 1), nil)
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("ReadBatch past deadline: err = %v, want a net.Error timeout", err)
+	}
+}
+
+func TestCloseUnblocksReadBatch(t *testing.T) {
+	server, _, _ := pair(t)
+	got := make(chan error, 1)
+	go func() {
+		bufs := [][]byte{make([]byte, 64)}
+		_, err := server.ReadBatch(bufs, make([]int, 1), nil)
+		got <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	server.udp.Close()
+	select {
+	case err := <-got:
+		if err == nil {
+			t.Fatal("ReadBatch returned nil after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not unblock ReadBatch")
+	}
+}
+
+func TestReadBatchReusesAddrStorage(t *testing.T) {
+	server, client, _ := pair(t)
+	if _, err := client.WriteBatch([][]byte{[]byte("x")}, nil); err != nil {
+		t.Fatalf("WriteBatch: %v", err)
+	}
+	addrs := make([]net.UDPAddr, 1)
+	addrs[0].IP = make(net.IP, 0, 16)
+	backing := &addrs[0].IP[:1][0]
+	server.udp.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n, err := server.ReadBatch([][]byte{make([]byte, 64)}, make([]int, 1), addrs)
+	if err != nil || n != 1 {
+		t.Fatalf("ReadBatch = (%d, %v)", n, err)
+	}
+	if len(addrs[0].IP) == 0 || &addrs[0].IP[0] != backing {
+		t.Fatalf("peer IP was not written into the preallocated backing array")
+	}
+}
+
+func TestLargeBatchSplitsAcrossChunks(t *testing.T) {
+	server, client, _ := pair(t)
+	// More packets than one syscall chunk carries; all must arrive.
+	const total = 600
+	pkts := make([][]byte, total)
+	for i := range pkts {
+		pkts[i] = []byte(fmt.Sprintf("p%04d", i))
+	}
+	// Drain concurrently so the socket buffer never wedges the writer.
+	type res struct {
+		got [][]byte
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		got, _, err := drainErr(server, total)
+		done <- res{got, err}
+	}()
+	if n, err := client.WriteBatch(pkts, nil); err != nil || n != total {
+		t.Fatalf("WriteBatch = (%d, %v), want (%d, nil)", n, err, total)
+	}
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("drain: %v", r.err)
+	}
+	got := r.got
+	for i := range pkts {
+		if !bytes.Equal(got[i], pkts[i]) {
+			t.Fatalf("datagram %d = %q, want %q", i, got[i], pkts[i])
+		}
+	}
+}

@@ -1,0 +1,10 @@
+//go:build linux
+
+package netbatch
+
+// The stdlib syscall number table predates sendmmsg(2) (Linux 3.0), so
+// the two vectored-datagram syscall numbers are spelled out per arch.
+const (
+	sysRECVMMSG = 243
+	sysSENDMMSG = 269
+)

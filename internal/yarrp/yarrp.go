@@ -63,6 +63,7 @@ type Stats struct {
 	Received uint64
 	Matched  uint64
 	Invalid  uint64
+	SendTime time.Duration // wall time of the send phase, as zmap.Stats
 }
 
 // Handler consumes hops. Calls are serialized by the engine's merge

@@ -45,15 +45,11 @@ func (MLDModule) Multiplier() int { return 1 }
 // RFC 3810 §5.1.14 requires a link-local querier source, and the
 // simulator enforces it.
 func (MLDModule) NewProber(cfg *Config, worker int) Prober {
-	return &mldProber{
-		src: ip6.LinkLocal(cfg.Source.IID()),
-		buf: make([]byte, 0, icmp6.HeaderLen+64),
-	}
+	return &mldProber{tmpl: icmp6.NewMLDQueryTemplate(ip6.LinkLocal(cfg.Source.IID()))}
 }
 
 type mldProber struct {
-	src ip6.Addr
-	buf []byte
+	tmpl *icmp6.MLDQueryTemplate
 }
 
 // MakeProbe implements Prober: a General Query on the link holding
@@ -61,8 +57,7 @@ type mldProber struct {
 // retransmissions are byte-identical — harmless on a link, where the
 // querier's job is periodic retransmission anyway (RFC 3810 §7.1).
 func (p *mldProber) MakeProbe(target ip6.Addr, pos, attempt int) []byte {
-	p.buf = icmp6.AppendMLDQuery(p.buf[:0], p.src, ip6.AllNodesGroup(target.Slash64()), ip6.Addr{})
-	return p.buf
+	return p.tmpl.Packet(ip6.AllNodesGroup(target.Slash64()), ip6.Addr{})
 }
 
 // Validate implements ProbeModule. MLD responses never arrive as bare

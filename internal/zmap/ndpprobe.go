@@ -30,15 +30,11 @@ func (NDPModule) Multiplier() int { return 1 }
 // NewProber implements ProbeModule. Solicitations always go out at hop
 // limit 255 (an ND requirement), so Config.HopLimit is ignored.
 func (NDPModule) NewProber(cfg *Config, worker int) Prober {
-	return &ndpProber{
-		src: cfg.Source,
-		buf: make([]byte, 0, icmp6.HeaderLen+24),
-	}
+	return &ndpProber{tmpl: icmp6.NewNeighborSolicitTemplate(cfg.Source)}
 }
 
 type ndpProber struct {
-	src ip6.Addr
-	buf []byte
+	tmpl *icmp6.NeighborSolicitTemplate
 }
 
 // MakeProbe implements Prober: a Neighbor Solicitation for target,
@@ -47,8 +43,7 @@ type ndpProber struct {
 // — harmless on a link, where solicitation loss is the requester's
 // problem to retry anyway (RFC 4861 §7.2.2).
 func (p *ndpProber) MakeProbe(target ip6.Addr, pos, attempt int) []byte {
-	p.buf = icmp6.AppendNeighborSolicitation(p.buf[:0], p.src, target)
-	return p.buf
+	return p.tmpl.Packet(target)
 }
 
 // Validate implements ProbeModule.

@@ -62,22 +62,20 @@ func (m TCPSynModule) Multiplier() int { return m.ports() }
 // NewProber implements ProbeModule.
 func (m TCPSynModule) NewProber(cfg *Config, worker int) Prober {
 	return &tcpProber{
-		src:      cfg.Source,
 		seed:     cfg.Seed,
 		base:     m.basePort(),
 		ports:    m.ports(),
 		hopLimit: uint8(cfg.HopLimit),
-		buf:      make([]byte, 0, icmp6.HeaderLen+icmp6.TCPHeaderLen),
+		tmpl:     icmp6.NewTCPSynTemplate(cfg.Source),
 	}
 }
 
 type tcpProber struct {
-	src      ip6.Addr
 	seed     uint64
 	base     uint16
 	ports    int
 	hopLimit uint8
-	buf      []byte
+	tmpl     *icmp6.TCPSynTemplate
 }
 
 // MakeProbe implements Prober. The destination port stays within
@@ -88,10 +86,10 @@ type tcpProber struct {
 func (p *tcpProber) MakeProbe(target ip6.Addr, pos, attempt int) []byte {
 	span := 0x10000 - uint32(p.base)
 	dport := p.base + uint16((uint32(pos)+uint32(attempt)*uint32(p.ports))%span)
-	p.buf = icmp6.AppendTCPSyn(p.buf[:0], p.src, target,
-		validationID(p.seed, target), dport, validationSeq(p.seed, target))
-	p.buf[7] = p.hopLimit // IPv6 header hop-limit byte; checksum-neutral
-	return p.buf
+	buf := p.tmpl.Packet(target, validationID(p.seed, target), dport,
+		validationSeq(p.seed, target))
+	buf[7] = p.hopLimit // IPv6 header hop-limit byte; checksum-neutral
+	return buf
 }
 
 // Validate implements ProbeModule for the ICMPv6 half of the response

@@ -6,7 +6,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"followscent/internal/netbatch"
 )
 
 // Transport carries raw IPv6+ICMPv6 packets between the prober and a
@@ -38,6 +41,29 @@ type Exchanger interface {
 	// whether a response was produced. The returned slice may use buf's
 	// backing array; the caller owns it until the next call.
 	Exchange(pkt, buf []byte) ([]byte, bool)
+}
+
+// BatchTransport is an optional Transport extension for transports that
+// can move several packets per operation (vectored I/O — sendmmsg and
+// recvmmsg on the UDP wire path). The engine detects it the way it
+// detects Exchanger, and Config.Batch > 1 selects the batched loops.
+//
+// Semantics are exactly those of the equivalent single-packet calls:
+// SendBatch(pkts) is indistinguishable from len(pkts) Sends in order,
+// and each packet RecvBatch delivers is one Recv's worth. Only the
+// syscall count changes, never what is on the wire.
+type BatchTransport interface {
+	Transport
+	// SendBatch transmits pkts in order and returns how many were sent.
+	// err == nil implies every packet went out; on error the first n
+	// were transmitted and the caller may retry pkts[n:].
+	SendBatch(pkts [][]byte) (int, error)
+	// RecvBatch blocks until at least one inbound packet is available,
+	// then fills up to min(len(bufs), len(sizes)) of them, recording
+	// each packet's length in sizes[i]. It returns the number of
+	// packets delivered; n > 0 implies err == nil. Like Recv it returns
+	// io.EOF once the transport is closed and drained.
+	RecvBatch(bufs [][]byte, sizes []int) (int, error)
 }
 
 // Loopback is the in-process transport: Send answers synchronously
@@ -107,10 +133,21 @@ func (l *Loopback) Recv(buf []byte) (int, error) {
 		return 0, fmt.Errorf("zmap: packet of %d bytes exceeds buffer", len(pkt))
 	}
 	n := copy(buf, pkt)
-	pkt = pkt[:0]
-	l.free.Put(&pkt)
+	if poolable(pkt) {
+		pkt = pkt[:0]
+		l.free.Put(&pkt)
+	}
 	return n, nil
 }
+
+// maxPooledBuf caps what Recv returns to the free pool. A response
+// larger than the standard 2 KiB buffer forced HandlePacket to allocate
+// a bigger one; re-pooling it would pin that outlier capacity forever
+// (the pool never shrinks buffers), so oversized buffers are dropped
+// for the GC instead.
+const maxPooledBuf = 2048
+
+func poolable(b []byte) bool { return cap(b) <= maxPooledBuf }
 
 // Close implements Transport.
 func (l *Loopback) Close() error {
@@ -129,12 +166,22 @@ func (l *Loopback) Close() error {
 // craft/parse/checksum and socket I/O code.
 type UDP struct {
 	conn *net.UDPConn
+	nb   *netbatch.Conn
 
 	mu     sync.Mutex
 	closed bool
+	// armed records whether SetRecvDeadline has a deadline in force.
+	// Only then is a read timeout the cooldown's end-of-scan signal
+	// (io.EOF); a timeout with no armed deadline is some other party's
+	// doing and surfaces as a transient error instead of silently
+	// ending the receive loop.
+	armed atomic.Bool
 }
 
-// DialUDP connects to a simnetd at addr (host:port).
+// DialUDP connects to a simnetd at addr (host:port). Each call opens
+// its own socket, so a per-worker factory (see UDPFactory) gives every
+// scan worker a private kernel queue — replies land on the socket of
+// the worker that probed, with no cross-worker receive contention.
 func DialUDP(addr string) (*UDP, error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
@@ -144,9 +191,21 @@ func DialUDP(addr string) (*UDP, error) {
 	if err != nil {
 		return nil, fmt.Errorf("zmap: dialing %q: %w", addr, err)
 	}
-	// A large receive buffer matters at high probe rates; best-effort.
+	// Large socket buffers matter at high probe rates; best-effort.
 	_ = conn.SetReadBuffer(4 << 20)
-	return &UDP{conn: conn}, nil
+	_ = conn.SetWriteBuffer(4 << 20)
+	nb, err := netbatch.NewConn(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("zmap: batching %q: %w", addr, err)
+	}
+	return &UDP{conn: conn, nb: nb}, nil
+}
+
+// UDPFactory returns a TransportFactory that dials addr once per
+// worker — the socket fan-out configuration for wire scans.
+func UDPFactory(addr string) TransportFactory {
+	return func(int) (Transport, error) { return DialUDP(addr) }
 }
 
 // Send implements Transport.
@@ -158,23 +217,56 @@ func (u *UDP) Send(pkt []byte) error {
 	return nil
 }
 
-// Recv implements Transport.
-func (u *UDP) Recv(buf []byte) (int, error) {
-	n, err := u.conn.Read(buf)
+// SendBatch implements BatchTransport: one sendmmsg per call where the
+// platform has it.
+func (u *UDP) SendBatch(pkts [][]byte) (int, error) {
+	n, err := u.nb.WriteBatch(pkts, nil)
 	if err != nil {
-		u.mu.Lock()
-		closed := u.closed
-		u.mu.Unlock()
-		if closed {
-			return 0, io.EOF
-		}
-		var ne net.Error
-		if errors.As(err, &ne) && ne.Timeout() {
-			return 0, io.EOF
-		}
-		return 0, fmt.Errorf("zmap: udp recv: %w", err)
+		return n, fmt.Errorf("zmap: udp send batch: %w", err)
 	}
 	return n, nil
+}
+
+// Recv implements Transport. It reads through the batch layer: once
+// RecvBatch has armed receive offload on this socket, coalesced
+// datagrams must be split back out here too, one per call — before
+// that, this is a plain single-datagram read.
+func (u *UDP) Recv(buf []byte) (int, error) {
+	n, err := u.nb.Read(buf)
+	if err != nil {
+		return 0, u.recvErr(err)
+	}
+	return n, nil
+}
+
+// RecvBatch implements BatchTransport: one recvmmsg per call where the
+// platform has it, with Recv's exact error mapping.
+func (u *UDP) RecvBatch(bufs [][]byte, sizes []int) (int, error) {
+	n, err := u.nb.ReadBatch(bufs, sizes, nil)
+	if err != nil {
+		return 0, u.recvErr(err)
+	}
+	return n, nil
+}
+
+// recvErr maps a socket read error onto the Transport contract: EOF
+// once closed, EOF on an armed cooldown deadline expiring, a transient
+// error for any other timeout, and a hard error otherwise.
+func (u *UDP) recvErr(err error) error {
+	u.mu.Lock()
+	closed := u.closed
+	u.mu.Unlock()
+	if closed {
+		return io.EOF
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		if u.armed.Load() {
+			return io.EOF
+		}
+		return fmt.Errorf("%w: udp recv timeout with no deadline armed: %v", ErrTransient, err)
+	}
+	return fmt.Errorf("zmap: udp recv: %w", err)
 }
 
 // Close implements Transport.
@@ -186,6 +278,59 @@ func (u *UDP) Close() error {
 }
 
 // SetRecvDeadline bounds how long Recv may block (used for cooldown).
+// A non-zero deadline arms the timeout→io.EOF translation; the zero
+// time clears both the deadline and the translation.
 func (u *UDP) SetRecvDeadline(t time.Time) error {
+	u.armed.Store(!t.IsZero())
 	return u.conn.SetReadDeadline(t)
+}
+
+// batchAdapter layers BatchTransport over any single-packet Transport
+// by looping. It lets the engine run one batched code path regardless
+// of the transport underneath — a Batch > 1 scan over the Loopback goes
+// through exactly the loops a wire scan does — and doubles as the
+// conformance-suite reference implementation of batch semantics.
+type batchAdapter struct {
+	tr Transport
+}
+
+// NewBatchAdapter wraps tr with loop-based SendBatch/RecvBatch. If tr
+// already implements BatchTransport it is returned unchanged.
+func NewBatchAdapter(tr Transport) BatchTransport {
+	if bt, ok := tr.(BatchTransport); ok {
+		return bt
+	}
+	return &batchAdapter{tr: tr}
+}
+
+func (a *batchAdapter) Send(pkt []byte) error        { return a.tr.Send(pkt) }
+func (a *batchAdapter) Recv(buf []byte) (int, error) { return a.tr.Recv(buf) }
+func (a *batchAdapter) Close() error                 { return a.tr.Close() }
+
+func (a *batchAdapter) SendBatch(pkts [][]byte) (int, error) {
+	for i, pkt := range pkts {
+		if err := a.tr.Send(pkt); err != nil {
+			return i, err
+		}
+	}
+	return len(pkts), nil
+}
+
+func (a *batchAdapter) RecvBatch(bufs [][]byte, sizes []int) (int, error) {
+	// One blocking receive per call: a plain Transport has no way to
+	// drain further packets without risking a block, so the adapter
+	// trades batch width for unchanged semantics.
+	n := len(bufs)
+	if len(sizes) < n {
+		n = len(sizes)
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	m, err := a.tr.Recv(bufs[0])
+	if err != nil {
+		return 0, err
+	}
+	sizes[0] = m
+	return 1, nil
 }

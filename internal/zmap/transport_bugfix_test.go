@@ -1,0 +1,129 @@
+package zmap
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// dialSilentUDP returns a UDP transport connected to a socket that
+// never answers, plus cleanup.
+func dialSilentUDP(t *testing.T) *UDP {
+	t.Helper()
+	peer, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { peer.Close() })
+	u, err := DialUDP(peer.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = u.Close() })
+	return u
+}
+
+// TestUDPRecvUnarmedTimeoutIsTransient is the regression test for the
+// timeout mapping bug: Recv translated *every* read timeout into
+// io.EOF, including timeouts nobody armed through SetRecvDeadline — so
+// a stray deadline on the socket read as "scan over" and silently ended
+// the receive loop. Only a cooldown deadline may mean EOF; any other
+// timeout is a transient fault the receiver must survive.
+func TestUDPRecvUnarmedTimeoutIsTransient(t *testing.T) {
+	u := dialSilentUDP(t)
+	buf := make([]byte, 2048)
+
+	// A deadline set directly on the socket — not via SetRecvDeadline —
+	// times out as a transient error, never as end-of-scan.
+	if err := u.conn.SetReadDeadline(time.Now().Add(10 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Recv(buf); !Transient(err) || errors.Is(err, io.EOF) {
+		t.Fatalf("unarmed timeout: Recv err = %v, want a Transient non-EOF error", err)
+	}
+
+	// The same timeout through SetRecvDeadline is the cooldown contract:
+	// io.EOF.
+	if err := u.SetRecvDeadline(time.Now().Add(10 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Recv(buf); !errors.Is(err, io.EOF) {
+		t.Fatalf("armed timeout: Recv err = %v, want io.EOF", err)
+	}
+
+	// Clearing the cooldown deadline disarms the EOF mapping again.
+	if err := u.SetRecvDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.conn.SetReadDeadline(time.Now().Add(10 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Recv(buf); !Transient(err) || errors.Is(err, io.EOF) {
+		t.Fatalf("unarmed timeout after disarm: Recv err = %v, want a Transient non-EOF error", err)
+	}
+
+	// RecvBatch shares Recv's exact mapping.
+	bufs := [][]byte{make([]byte, 2048)}
+	sizes := make([]int, 1)
+	if err := u.conn.SetReadDeadline(time.Now().Add(10 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.RecvBatch(bufs, sizes); !Transient(err) || errors.Is(err, io.EOF) {
+		t.Fatalf("unarmed timeout: RecvBatch err = %v, want a Transient non-EOF error", err)
+	}
+	if err := u.SetRecvDeadline(time.Now().Add(10 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.RecvBatch(bufs, sizes); !errors.Is(err, io.EOF) {
+		t.Fatalf("armed timeout: RecvBatch err = %v, want io.EOF", err)
+	}
+}
+
+// padResponder answers every probe with a response of a fixed size —
+// the oversized-response generator for the pool-cap test.
+type padResponder struct{ n int }
+
+func (p padResponder) HandlePacket(req, buf []byte) ([]byte, bool) {
+	buf = buf[:0]
+	for i := 0; i < p.n; i++ {
+		buf = append(buf, byte(i))
+	}
+	return buf, true
+}
+
+// TestLoopbackPoolDropsOversizedBuffers is the regression test for the
+// unbounded free-pool growth bug: a response larger than the standard
+// buffer forced HandlePacket to allocate a big one, and Recv re-pooled
+// it — pinning the outlier capacity forever and ratcheting the pool's
+// memory up to the largest response ever seen. Oversized buffers must
+// be dropped for the GC instead.
+func TestLoopbackPoolDropsOversizedBuffers(t *testing.T) {
+	if !poolable(make([]byte, 0, maxPooledBuf)) {
+		t.Fatalf("a %d-byte buffer (the standard size) must be poolable", maxPooledBuf)
+	}
+	if poolable(make([]byte, 0, maxPooledBuf+1)) {
+		t.Fatalf("a %d-byte buffer must not be re-pooled", maxPooledBuf+1)
+	}
+
+	const big = 8192
+	l := NewLoopback(padResponder{n: big}, 4)
+	defer l.Close()
+	if err := l.Send(make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2*big)
+	n, err := l.Recv(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != big {
+		t.Fatalf("Recv = %d bytes, want %d", n, big)
+	}
+	// The oversized response buffer must not have come back to the free
+	// pool: whatever the pool hands out next is standard-sized.
+	if b := l.free.Get().(*[]byte); cap(*b) > maxPooledBuf {
+		t.Fatalf("free pool retained an oversized %d-byte buffer", cap(*b))
+	}
+}

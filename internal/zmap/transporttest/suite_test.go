@@ -70,6 +70,23 @@ func TestLoopbackConformance(t *testing.T) {
 	})
 }
 
+// TestBatchAdapterConformance runs the suite against the loop-based
+// BatchTransport adapter over a Loopback — the reference implementation
+// of batch semantics. Together with TestUDPConformance (whose UDP
+// transport implements BatchTransport natively via sendmmsg/recvmmsg)
+// this pins both batched wire paths to the same contract.
+func TestBatchAdapterConformance(t *testing.T) {
+	w, target := conformanceWorld(t)
+	transporttest.Run(t, transporttest.Harness{
+		New: func(t *testing.T) zmap.Transport {
+			return zmap.NewBatchAdapter(zmap.NewLoopback(w, 8))
+		},
+		Probe:    func() []byte { return echoProbeTo(target) },
+		Quiet:    quietProbe,
+		Buffered: true,
+	})
+}
+
 func TestUDPConformance(t *testing.T) {
 	w, target := conformanceWorld(t)
 	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0})

@@ -3,8 +3,9 @@
 // a factory plus probe recipes — and Run drives every behavior the
 // scan engine relies on: Send/Recv delivery, blocking Recv,
 // close-unblocks-recv, sticky io.EOF after close-and-drain, and the
-// optional Exchanger and receive-deadline extensions, each exercised
-// only when the transport implements it.
+// optional Exchanger, BatchTransport (SendBatch/Send equivalence, short
+// batch counts, drain-then-EOF) and receive-deadline extensions, each
+// exercised only when the transport implements it.
 //
 // The shipped transports (the in-process Loopback and the UDP wire
 // path to a simnetd) both pass the suite — see this package's tests —
@@ -217,6 +218,153 @@ func Run(t *testing.T, h Harness) {
 		}
 	})
 
+	t.Run("BatchSendEquivalence", func(t *testing.T) {
+		// First establish the canonical single-packet response on the
+		// transport under test, then prove SendBatch is
+		// indistinguishable from that many Sends: same responder state,
+		// same bytes back, once per packet.
+		tr := open(t, h)
+		bt, ok := tr.(zmap.BatchTransport)
+		if !ok {
+			t.Skip("transport does not implement zmap.BatchTransport")
+		}
+		if err := bt.Send(h.Probe()); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+		want := recvBytesWait(t, bt)
+
+		const probes = 3
+		pkts := make([][]byte, probes)
+		for i := range pkts {
+			pkts[i] = h.Probe()
+		}
+		if n, err := bt.SendBatch(pkts); err != nil || n != probes {
+			t.Fatalf("SendBatch = (%d, %v), want (%d, nil)", n, err, probes)
+		}
+		for seen := 0; seen < probes; {
+			bufs := [][]byte{make([]byte, 4096), make([]byte, 4096)}
+			sizes := make([]int, len(bufs))
+			n, err := recvBatchWait(t, bt, bufs, sizes)
+			if err != nil {
+				t.Fatalf("RecvBatch after %d of %d responses: %v", seen, probes, err)
+			}
+			if n <= 0 || n > len(bufs) {
+				t.Fatalf("RecvBatch returned %d packets, want 1..%d", n, len(bufs))
+			}
+			for i := 0; i < n; i++ {
+				if !bytes.Equal(bufs[i][:sizes[i]], want) {
+					t.Fatalf("batched response %d differs from the Send/Recv response: %d vs %d bytes",
+						seen+i, sizes[i], len(want))
+				}
+			}
+			seen += n
+		}
+	})
+
+	t.Run("BatchShortCounts", func(t *testing.T) {
+		tr := open(t, h)
+		bt, ok := tr.(zmap.BatchTransport)
+		if !ok {
+			t.Skip("transport does not implement zmap.BatchTransport")
+		}
+		// Empty batches are no-ops on both sides.
+		if n, err := bt.SendBatch(nil); n != 0 || err != nil {
+			t.Fatalf("SendBatch(nil) = (%d, %v), want (0, nil)", n, err)
+		}
+		if n, err := bt.RecvBatch(nil, nil); n != 0 || err != nil {
+			t.Fatalf("RecvBatch(nil, nil) = (%d, %v), want (0, nil)", n, err)
+		}
+		// The delivery count is capped by the *shorter* of bufs and
+		// sizes, and n > 0 implies err == nil.
+		if err := bt.Send(h.Probe()); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+		bufs := [][]byte{make([]byte, 4096), make([]byte, 4096)}
+		sizes := make([]int, 1)
+		n, err := recvBatchWait(t, bt, bufs, sizes)
+		if err != nil {
+			t.Fatalf("RecvBatch: %v", err)
+		}
+		if n != 1 {
+			t.Fatalf("RecvBatch with 1 size slot delivered %d packets, want 1", n)
+		}
+		if sizes[0] == 0 {
+			t.Fatal("RecvBatch delivered an empty packet")
+		}
+	})
+
+	t.Run("BatchCloseUnblocksRecvBatch", func(t *testing.T) {
+		tr := open(t, h)
+		bt, ok := tr.(zmap.BatchTransport)
+		if !ok {
+			t.Skip("transport does not implement zmap.BatchTransport")
+		}
+		got := make(chan error, 1)
+		go func() {
+			bufs := [][]byte{make([]byte, 4096)}
+			_, err := bt.RecvBatch(bufs, make([]int, 1))
+			got <- err
+		}()
+		select {
+		case err := <-got:
+			t.Fatalf("RecvBatch returned early with %v", err)
+		case <-time.After(50 * time.Millisecond):
+		}
+		if err := bt.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		select {
+		case err := <-got:
+			if !errors.Is(err, io.EOF) {
+				t.Fatalf("RecvBatch after close: err = %v, want io.EOF", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Close did not unblock the pending RecvBatch")
+		}
+	})
+
+	if h.Buffered {
+		t.Run("BatchDrainAfterClose", func(t *testing.T) {
+			tr := open(t, h)
+			bt, ok := tr.(zmap.BatchTransport)
+			if !ok {
+				t.Skip("transport does not implement zmap.BatchTransport")
+			}
+			const probes = 3
+			pkts := make([][]byte, probes)
+			for i := range pkts {
+				pkts[i] = h.Probe()
+			}
+			if n, err := bt.SendBatch(pkts); err != nil || n != probes {
+				t.Fatalf("SendBatch = (%d, %v), want (%d, nil)", n, err, probes)
+			}
+			if err := bt.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			drained := 0
+			for drained < probes {
+				bufs := [][]byte{make([]byte, 4096), make([]byte, 4096)}
+				sizes := make([]int, len(bufs))
+				n, err := recvBatchWait(t, bt, bufs, sizes)
+				if err != nil {
+					t.Fatalf("RecvBatch after close with %d of %d drained: %v — buffered responses must drain first",
+						drained, probes, err)
+				}
+				for i := 0; i < n; i++ {
+					if sizes[i] == 0 {
+						t.Fatalf("RecvBatch drained an empty response at %d", drained+i)
+					}
+				}
+				drained += n
+			}
+			// And then sticky io.EOF, exactly like Recv.
+			bufs := [][]byte{make([]byte, 4096)}
+			if _, err := recvBatchWait(t, bt, bufs, make([]int, 1)); !errors.Is(err, io.EOF) {
+				t.Fatalf("RecvBatch past the drained queue: err = %v, want io.EOF", err)
+			}
+		})
+	}
+
 	t.Run("RecvDeadline", func(t *testing.T) {
 		tr := open(t, h)
 		d, ok := tr.(recvDeadliner)
@@ -264,6 +412,53 @@ func open(t *testing.T, h Harness) zmap.Transport {
 	}
 	t.Cleanup(func() { _ = tr.Close() })
 	return tr
+}
+
+// recvBytesWait runs one Recv with a hang guard and returns the
+// delivered bytes — the reference response for equivalence checks.
+func recvBytesWait(t *testing.T, tr zmap.Transport) []byte {
+	t.Helper()
+	type result struct {
+		pkt []byte
+		err error
+	}
+	got := make(chan result, 1)
+	go func() {
+		buf := make([]byte, 4096)
+		n, err := tr.Recv(buf)
+		got <- result{buf[:n], err}
+	}()
+	select {
+	case r := <-got:
+		if r.err != nil {
+			t.Fatalf("Recv: %v", r.err)
+		}
+		if len(r.pkt) == 0 {
+			t.Fatal("Recv returned an empty response")
+		}
+		return r.pkt
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv blocked for 5s; expected delivery")
+		return nil
+	}
+}
+
+// recvBatchWait runs one RecvBatch with a hang guard, mirroring
+// recvWait for the batched read path.
+func recvBatchWait(t *testing.T, bt zmap.BatchTransport, bufs [][]byte, sizes []int) (int, error) {
+	t.Helper()
+	got := make(chan recvResult, 1)
+	go func() {
+		n, err := bt.RecvBatch(bufs, sizes)
+		got <- recvResult{n, err}
+	}()
+	select {
+	case r := <-got:
+		return r.n, r.err
+	case <-time.After(5 * time.Second):
+		t.Fatal("RecvBatch blocked for 5s; expected delivery or io.EOF")
+		return 0, nil
+	}
 }
 
 // recvWait runs one Recv with a hang guard: a conforming transport

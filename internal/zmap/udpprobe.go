@@ -43,20 +43,18 @@ func (UDPModule) Multiplier() int { return 1 }
 // NewProber implements ProbeModule.
 func (m UDPModule) NewProber(cfg *Config, worker int) Prober {
 	return &udpProber{
-		src:      cfg.Source,
 		seed:     cfg.Seed,
 		base:     m.basePort(),
 		hopLimit: uint8(cfg.HopLimit),
-		buf:      make([]byte, 0, icmp6.HeaderLen+icmp6.UDPHeaderLen),
+		tmpl:     icmp6.NewUDPProbeTemplate(cfg.Source),
 	}
 }
 
 type udpProber struct {
-	src      ip6.Addr
 	seed     uint64
 	base     uint16
 	hopLimit uint8
-	buf      []byte
+	tmpl     *icmp6.UDPProbeTemplate
 }
 
 // MakeProbe implements Prober. The destination port stays within
@@ -66,10 +64,9 @@ type udpProber struct {
 func (p *udpProber) MakeProbe(target ip6.Addr, pos, attempt int) []byte {
 	span := 0x10000 - uint32(p.base)
 	dport := p.base + uint16(uint32(attempt)%span)
-	p.buf = icmp6.AppendUDPProbe(p.buf[:0], p.src, target,
-		validationID(p.seed, target), dport, nil)
-	p.buf[7] = p.hopLimit // IPv6 header hop-limit byte; checksum-neutral
-	return p.buf
+	buf := p.tmpl.Packet(target, validationID(p.seed, target), dport)
+	buf[7] = p.hopLimit // IPv6 header hop-limit byte; checksum-neutral
+	return buf
 }
 
 // Validate implements ProbeModule. UDP probes are only ever answered
