@@ -29,6 +29,15 @@
 # the full modality x defense matrix (DESIGN.md §11) and logs its
 # headline, so the artifact also records the defense scorecard's shape
 # (worlds/cells metrics plus the headline Output line).
+#
+# BenchmarkCampaignCoordinated (DESIGN.md §13) measures coordinator
+# overhead: one coordinated campaign day over a live UDP world at 1 and
+# 4 scanner nodes, next to the identical four shard scans run directly
+# through the engine with no coordinator. The nodes=1 vs direct gap is
+# what the lease RPCs, result framing and merge-and-dedupe cost; the
+# nodes=4 line is what the fan-out buys back. All three report the same
+# result count, so the artifact carries the distributed path's
+# correctness signal alongside its timing.
 set -eu
 
 out=${1:-}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"followscent/internal/bgp"
+	"followscent/internal/campaign"
 	"followscent/internal/core"
 	"followscent/internal/experiments"
 	"followscent/internal/icmp6"
@@ -462,6 +463,151 @@ func BenchmarkWirePPS(b *testing.B) {
 				b.ReportMetric(pps/float64(b.N), "pps")
 			})
 		}
+	}
+}
+
+// --- Distributed campaign coordination (DESIGN.md §13) ---
+
+// BenchmarkCampaignCoordinated runs one coordinated campaign day over a
+// live simnetd-style UDP world at 1 and 4 scanner nodes, next to the
+// same scan run directly through the engine with no coordinator. The
+// nodes=1 vs direct gap is the coordination overhead — lease RPCs,
+// result framing, merge-and-dedupe — and nodes=4 shows what the
+// fan-out buys back. The result sets are byte-identical across the
+// whole grid (TestCoordinatedCampaignByteIdentical); this measures
+// what the coordination costs.
+func BenchmarkCampaignCoordinated(b *testing.B) {
+	w := simnet.TestWorld(62)
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- w.ServeUDP(ctx, conn, 0) }()
+	b.Cleanup(func() {
+		cancel()
+		if err := <-done; err != nil {
+			b.Errorf("ServeUDP: %v", err)
+		}
+		conn.Close()
+	})
+	addr := conn.LocalAddr().String()
+
+	p, _ := w.ProviderByASN(65001)
+	prefix := p.Pools[0].Prefix
+	const (
+		subBits  = 64 // one probe per /64 delegation — the §5 campaign shape
+		salt     = uint64(9)
+		shards   = 4
+		cooldown = 250 * time.Millisecond // drain in-flight UDP replies after each shard
+		rate     = 50000                  // the scent -server pacing default; unpaced blast overruns the one-socket server
+	)
+	src := ip6.MustParseAddr("2620:11f:7000::53")
+
+	// The direct baseline covers the identical 4 shards as 4 sequential
+	// engine scans — the exact probe work a nodes=1 campaign leases —
+	// so the coordinated gap is lease RPCs, framing and merge, not a
+	// different scan shape.
+	b.Run("direct", func(b *testing.B) {
+		ts, err := zmap.NewSubnetTargets([]ip6.Prefix{prefix}, subBits, salt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			var n int
+			for shard := 0; shard < shards; shard++ {
+				cfg := zmap.Config{
+					Source:   src,
+					Seed:     zmap.ScanSeed(uint64(i)+1, salt),
+					Workers:  1,
+					Shard:    shard,
+					Shards:   shards,
+					Rate:     rate,
+					Cooldown: cooldown,
+				}
+				_, err := zmap.ScanWorkers(context.Background(), zmap.UDPFactory(addr), ts, cfg,
+					func(zmap.Result) { n++ })
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if n == 0 {
+				b.Fatal("no results")
+			}
+			b.ReportMetric(float64(n), "results")
+		}
+	})
+
+	for _, nodes := range []int{1, 4} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				var results int
+				coord := &campaign.Coordinator{
+					Spec: campaign.Spec{
+						Prefixes: []string{prefix.String()},
+						SubBits:  subBits,
+						Source:   src.String(),
+						Seed:     uint64(i) + 1,
+						Salt:     salt,
+						Days:     1,
+						Shards:   shards,
+					},
+					TTL:  30 * time.Second,
+					Wait: func(d time.Duration) { w.Clock().Advance(d) },
+					Record: func(day int, rs []zmap.Result, probes uint64) error {
+						results = len(rs)
+						return nil
+					},
+				}
+				cctx, stop := context.WithCancel(context.Background())
+				runErr := make(chan error, 1)
+				go func() { runErr <- coord.Run(cctx, ln) }()
+
+				errs := make([]error, nodes)
+				var wg sync.WaitGroup
+				for n := 0; n < nodes; n++ {
+					wk := &campaign.Worker{
+						Name: fmt.Sprintf("bench-n%d", n),
+						Addr: ln.Addr().String(),
+						NewTransport: func(int, int) zmap.TransportFactory {
+							return zmap.UDPFactory(addr)
+						},
+						Config: zmap.Config{Workers: 1, Rate: rate, Cooldown: cooldown},
+						Poll:   time.Millisecond,
+						// Flush each shard's results in one batch after the
+						// scan: a mid-scan flush RPC stalls the receive
+						// pipeline, and at full per-packet blast that
+						// overflows the kernel socket buffer.
+						FlushEvery: 1 << 16,
+					}
+					wg.Add(1)
+					go func(n int) {
+						defer wg.Done()
+						errs[n] = wk.Run(context.Background())
+					}(n)
+				}
+				wg.Wait()
+				for n, err := range errs {
+					if err != nil {
+						b.Fatalf("node %d: %v", n, err)
+					}
+				}
+				<-coord.Finished()
+				stop()
+				if err := <-runErr; err != nil {
+					b.Fatal(err)
+				}
+				if results == 0 {
+					b.Fatal("no results")
+				}
+				b.ReportMetric(float64(results), "results")
+			}
+		})
 	}
 }
 

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Docs-drift guard in the cmd/scent tradition: README.md's campaignd
+// section must describe exactly the flags the daemon parses —
+// campaigndFlags is the single source of truth.
+
+func mentionsFlag(text, name string) bool {
+	re := regexp.MustCompile(`-` + regexp.QuoteMeta(name) + `([^a-z0-9-]|$)`)
+	return re.MatchString(text)
+}
+
+// readmeCampaigndSection extracts README.md's campaignd reference: the
+// region between the "### campaignd" heading and the next heading.
+func readmeCampaigndSection(t *testing.T) string {
+	t.Helper()
+	b, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	start := strings.Index(s, "### campaignd")
+	if start < 0 {
+		t.Fatal("README.md has no `### campaignd` section")
+	}
+	rest := s[start+len("### campaignd"):]
+	if end := strings.Index(rest, "\n### "); end >= 0 {
+		rest = rest[:end]
+	}
+	return rest
+}
+
+func TestREADMEDocumentsEveryCampaigndFlag(t *testing.T) {
+	section := readmeCampaigndSection(t)
+	fs := flag.NewFlagSet("campaignd", flag.ContinueOnError)
+	campaigndFlags(fs)
+	fs.VisitAll(func(f *flag.Flag) {
+		if !mentionsFlag(section, f.Name) {
+			t.Errorf("README campaignd section does not mention -%s", f.Name)
+		}
+	})
+}
+
+func TestREADMEHasNoPhantomCampaigndFlags(t *testing.T) {
+	section := readmeCampaigndSection(t)
+	known := map[string]bool{}
+	fs := flag.NewFlagSet("campaignd", flag.ContinueOnError)
+	campaigndFlags(fs)
+	fs.VisitAll(func(f *flag.Flag) { known[f.Name] = true })
+	re := regexp.MustCompile("`-([a-z][a-z0-9-]*)")
+	for _, m := range re.FindAllStringSubmatch(section, -1) {
+		if !known[m[1]] {
+			t.Errorf("README documents flag -%s, which campaignd does not parse", m[1])
+		}
+	}
+}

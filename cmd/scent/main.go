@@ -17,6 +17,8 @@
 //	discover  run the §4 pipeline and print Table 1
 //	grid      scan one /48's allocation grid (Figure 3)
 //	campaign  run the §5 daily campaign and print the headline analyses
+//	work      join a distributed campaign as a scanner node, leasing
+//	          shards from a campaignd
 //	track     track one EUI-64 address for a week (§6)
 //	trace     yarrp-style hop-limit sweep of a prefix (§3.1 baseline)
 //	tcp       TCP-SYN-to-closed-port sweep of a prefix (RST-bearing edges)
@@ -47,6 +49,7 @@ import (
 	"strings"
 	"time"
 
+	"followscent/internal/campaign"
 	"followscent/internal/core"
 	"followscent/internal/experiments"
 	"followscent/internal/icmp6"
@@ -69,6 +72,17 @@ commands:
   discover [-seeds FILE]    run the discovery pipeline, print Table 1
   grid -prefix P            allocation grid of a /48 (ASCII)
   campaign [-days N]        run the daily campaign, print analyses
+  work [-coordinator host:port] [-name ID] [-quarantine] [-poll D]
+                            join a distributed campaign as one scanner
+                            node: lease shards from a campaignd, scan
+                            them through the local engine, stream the
+                            results back. -quarantine deposits a resume
+                            checkpoint with the coordinator when a scan
+                            worker dies, instead of aborting the node;
+                            -poll sets the wait between lease asks. A
+                            killed node just stops renewing — restart it
+                            (same or new -name) and the campaign
+                            converges on the same corpus
   track -addr A [-days N] [-alloc B] [-pool B]
                             track an EUI-64 address across rotations
   trace -prefix P [-max-ttl N] [-sub B]
@@ -200,6 +214,23 @@ func campaignFlags() (*flag.FlagSet, *campaignOpts) {
 	o := &campaignOpts{}
 	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
 	fs.IntVar(&o.days, "days", 7, "campaign length in days")
+	return fs, o
+}
+
+type workOpts struct {
+	coordinator string
+	name        string
+	quarantine  bool
+	poll        time.Duration
+}
+
+func workFlags() (*flag.FlagSet, *workOpts) {
+	o := &workOpts{}
+	fs := flag.NewFlagSet("work", flag.ExitOnError)
+	fs.StringVar(&o.coordinator, "coordinator", "127.0.0.1:4793", "campaignd address")
+	fs.StringVar(&o.name, "name", "", "node name in the coordinator's lease table (default: host-pid)")
+	fs.BoolVar(&o.quarantine, "quarantine", false, "deposit a resume checkpoint with the coordinator when a scan worker dies, instead of aborting the node")
+	fs.DurationVar(&o.poll, "poll", time.Second, "wait between lease asks when no shard is free")
 	return fs, o
 }
 
@@ -353,6 +384,7 @@ func cliFlagSets() map[string]*flag.FlagSet {
 	discoverFS, _ := discoverFlags()
 	gridFS, _ := gridFlags()
 	campaignFS, _ := campaignFlags()
+	workFS, _ := workFlags()
 	trackFS, _ := trackFlags()
 	traceFS, _ := traceFlags()
 	tcpFS, _ := tcpFlags()
@@ -366,6 +398,7 @@ func cliFlagSets() map[string]*flag.FlagSet {
 		"discover":   discoverFS,
 		"grid":       gridFS,
 		"campaign":   campaignFS,
+		"work":       workFS,
 		"track":      trackFS,
 		"trace":      traceFS,
 		"tcp":        tcpFS,
@@ -445,6 +478,8 @@ func main() {
 		cmdErr = runGrid(ctx, env, flag.Args()[1:])
 	case "campaign":
 		cmdErr = runCampaign(ctx, env, flag.Args()[1:])
+	case "work":
+		cmdErr = runWork(ctx, env, g, flag.Args()[1:])
 	case "track":
 		cmdErr = runTrack(ctx, env, flag.Args()[1:])
 	case "trace":
@@ -661,6 +696,56 @@ func runCampaign(ctx context.Context, env *experiments.Env, args []string) error
 		return err
 	}
 	return s.Fig4Render(100, os.Stdout)
+}
+
+// runWork joins a distributed campaign as one scanner node. The
+// campaign contract (targets, seed, salt, shards, TTL) arrives with the
+// first lease grant; this side only supplies the node name, its
+// transports and the local engine knobs (-workers, -batch, and the
+// rate limits buildEnv sets for a -server world).
+func runWork(ctx context.Context, env *experiments.Env, g *globalOpts, args []string) error {
+	fs, o := workFlags()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	name := o.name
+	if name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "node"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	w := &campaign.Worker{
+		Name:   name,
+		Addr:   o.coordinator,
+		Config: env.Scanner.Config,
+		Poll:   o.poll,
+		Logf:   log.Printf,
+		// env.Scanner.NewTransport is the loopback into the in-process
+		// world, or the simnetd UDP dialer when -server is set — exactly
+		// what the single-node commands scan through.
+		NewTransport: func(int, int) zmap.TransportFactory {
+			return func(int) (zmap.Transport, error) { return env.Scanner.NewTransport() }
+		},
+	}
+	if o.quarantine {
+		w.Failure = zmap.QuarantineWorker{}
+	}
+	if g.server == "" {
+		// In-process world: this node probes its own same-seed replica,
+		// so its clock must follow the campaign day. A shared simnetd
+		// owns its clock instead (-timescale, with campaignd -daywait).
+		last := 0
+		w.AdvanceTo = func(day int) {
+			if day > last {
+				env.Wait(time.Duration(day-last) * 24 * time.Hour)
+				last = day
+			}
+		}
+	}
+	log.Printf("node %s: leasing shards from %s", name, o.coordinator)
+	return w.Run(ctx)
 }
 
 // runTraceSweep exposes the hop-limit-sweep probe module from the CLI:

@@ -30,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"followscent/internal/core"
 	"followscent/internal/experiments"
 	"followscent/internal/ip6"
 	"followscent/internal/scentd"
@@ -60,7 +61,7 @@ func scentdFlags(fs *flag.FlagSet) *options {
 	fs.IntVar(&o.workers, "workers", 0, "scan workers per pass (0 = GOMAXPROCS)")
 	fs.IntVar(&o.days, "days", 7, "campaign length in days (0 = serve the stored corpus, no ingestion)")
 	fs.StringVar(&o.prefixes, "prefix", "", "comma-separated campaign prefixes (default: run seed+discovery)")
-	fs.BoolVar(&o.track, "track", false, "enable op=track live tracking (shares the probing clock: combine with ingestion only in tests)")
+	fs.BoolVar(&o.track, "track", false, "enable op=track live tracking (dedicated per-request worlds in-process; with -server, tracks share the one Internet and serialize)")
 	return o
 }
 
@@ -96,11 +97,7 @@ func run(ctx context.Context, o *options) error {
 	}
 	srv := &scentd.Server{Store: store, Logf: log.Printf}
 	if o.track {
-		srv.Track = &scentd.TrackBackend{
-			Scanner: env.Scanner,
-			RIB:     env.World.RIB(),
-			Wait:    env.Wait,
-		}
+		srv.Track = trackBackend(env, o)
 	}
 	serveCtx, stopServe := context.WithCancel(context.Background())
 	serveErr := make(chan error, 1)
@@ -175,6 +172,43 @@ func ingest(ctx context.Context, env *experiments.Env, store *scentd.Store, o *o
 		}
 	}
 	return nil
+}
+
+// trackBackend wires op=track. An in-process world is deterministic per
+// seed, so every request gets a dedicated session: a fresh same-seed
+// replica with its clock advanced to the serving snapshot's last
+// committed day — tracks run concurrently, off their own clocks, and
+// never perturb the ingestion clock. A -server world is one shared
+// Internet that cannot be replicated, so the legacy shared-environment
+// path serializes tracks on it (and interleaves their probes with
+// ingestion — combine with care).
+func trackBackend(env *experiments.Env, o *options) *scentd.TrackBackend {
+	if o.server != "" {
+		return &scentd.TrackBackend{
+			Scanner: env.Scanner,
+			RIB:     env.World.RIB(),
+			Wait:    env.Wait,
+		}
+	}
+	return &scentd.TrackBackend{
+		NewSession: func(snap *core.Snapshot) (*scentd.TrackSession, error) {
+			senv, err := buildEnv(o.seed, o.world, "")
+			if err != nil {
+				return nil, err
+			}
+			senv.Scanner.Config.Workers = o.workers
+			if days := snap.Days(); len(days) > 0 {
+				// "Today" is the last committed day: the address the
+				// snapshot last saw the device at is current there.
+				senv.Wait(time.Duration(days[len(days)-1]) * 24 * time.Hour)
+			}
+			return &scentd.TrackSession{
+				Scanner: senv.Scanner,
+				RIB:     senv.World.RIB(),
+				Wait:    senv.Wait,
+			}, nil
+		},
+	}
 }
 
 // campaignPrefixes resolves what to scan: an explicit -prefix list, or

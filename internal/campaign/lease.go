@@ -38,19 +38,34 @@ type Manager struct {
 }
 
 type shardState struct {
-	node   string
-	epoch  uint64
-	expiry time.Time
-	done   bool
+	node    string
+	epoch   uint64
+	granted bool
+	expiry  time.Time
+	done    bool
 }
 
 // NewManager creates a manager for shards shards with the given lease
 // TTL. now overrides the clock (tests); nil means time.Now.
 func NewManager(shards int, ttl time.Duration, now func() time.Time) *Manager {
+	return NewManagerFrom(shards, ttl, now, 0)
+}
+
+// NewManagerFrom creates a manager whose epochs start above epochBase:
+// the first grant of any shard carries epoch epochBase+1. A coordinator
+// taking over a campaign passes the highest epoch the previous
+// incarnation could have issued, so every lease the old coordinator
+// granted is fenced out of the new one — the two-coordinator
+// split-brain guard (TestTwoCoordinatorEpochFencing).
+func NewManagerFrom(shards int, ttl time.Duration, now func() time.Time, epochBase uint64) *Manager {
 	if now == nil {
 		now = time.Now
 	}
-	return &Manager{ttl: ttl, now: now, shards: make([]shardState, shards)}
+	m := &Manager{ttl: ttl, now: now, shards: make([]shardState, shards)}
+	for i := range m.shards {
+		m.shards[i].epoch = epochBase
+	}
+	return m
 }
 
 // Shards returns the campaign's shard count.
@@ -68,13 +83,14 @@ func (m *Manager) Grant(node string) (Lease, bool) {
 	now := m.now()
 	for i := range m.shards {
 		s := &m.shards[i]
-		if s.done || (s.epoch > 0 && s.expiry.After(now)) {
+		if s.done || (s.granted && s.expiry.After(now)) {
 			continue
 		}
-		if s.epoch > 0 {
+		if s.granted {
 			// A previous holder let this shard lapse: re-issue.
 			m.reissues++
 		}
+		s.granted = true
 		s.epoch++
 		s.node = node
 		s.expiry = now.Add(m.ttl)
@@ -111,6 +127,23 @@ func (m *Manager) Complete(l Lease) bool {
 	return true
 }
 
+// Release relinquishes l before its expiry: the shard immediately
+// becomes grantable again (counted as a re-issue, since the released
+// holder did not finish it). Same epoch fence as Renew. This is the
+// deposit-and-release path — a worker that checkpointed a partially
+// scanned shard releases it so the remainder re-issues without
+// waiting out the TTL.
+func (m *Manager) Release(l Lease) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := &m.shards[l.Shard]
+	if s.done || s.epoch != l.Epoch || s.node != l.Node {
+		return false
+	}
+	s.expiry = time.Time{}
+	return true
+}
+
 // Done reports whether every shard has been completed.
 func (m *Manager) Done() bool {
 	m.mu.Lock()
@@ -129,4 +162,19 @@ func (m *Manager) Reissues() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.reissues
+}
+
+// MaxEpoch returns the highest epoch issued (or inherited via
+// NewManagerFrom) across all shards — the epochBase a successor
+// coordinator must start above.
+func (m *Manager) MaxEpoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var max uint64
+	for i := range m.shards {
+		if e := m.shards[i].epoch; e > max {
+			max = e
+		}
+	}
+	return max
 }

@@ -118,6 +118,52 @@ func (c *Corpus) SaveDay(w io.Writer, day int, meta DaySegmentMeta) error {
 	return nil
 }
 
+// SaveSnap writes the corpus's entire committed history as one v2 snap
+// segment: the sorted day set, the accumulated counters, and every
+// observation, closed by an `endsnap` marker. A journal rewritten as
+// header + snap segment (Store.Compact) replays to exactly the corpus
+// the original day-by-day journal does, and stays appendable — SaveDay
+// segments follow it for the days after the compaction horizon. A
+// corpus with no committed days writes nothing.
+func (c *Corpus) SaveSnap(w io.Writer) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if len(c.days) == 0 {
+		return nil
+	}
+	days := make([]int, 0, len(c.days))
+	for d := range c.days {
+		days = append(days, d)
+	}
+	for i := 1; i < len(days); i++ {
+		for j := i; j > 0 && days[j] < days[j-1]; j-- {
+			days[j], days[j-1] = days[j-1], days[j]
+		}
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, "snap")
+	for _, d := range days {
+		fmt.Fprintf(bw, " %d", d)
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprintf(bw, "probes %d\n", c.TotalProbes)
+	fmt.Fprintf(bw, "responses %d\n", c.TotalResponses)
+	fmt.Fprintf(bw, "newaddrs %d %d\n", len(c.totalAddrs)+c.loadedTotalAddrs, len(c.euiAddrs)+c.loadedEUIAddrs)
+	for _, iid := range c.sortedIIDsLocked() {
+		rec := c.iids[iid]
+		for i := range rec.Days {
+			d := &rec.Days[i]
+			fmt.Fprintf(bw, "obs %016x %d %s %016x %016x %d\n",
+				uint64(iid), d.Day, d.Resp, d.MinTargetHi, d.MaxTargetHi, d.Count)
+		}
+	}
+	fmt.Fprintln(bw, "endsnap")
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("core: saving snap segment: %w", err)
+	}
+	return nil
+}
+
 // LoadCorpus reads a corpus saved by Save (v1) or appended by SaveDay
 // segments (v2), re-deriving every index (prefix sets, AS attribution,
 // response spans) against the corpus's RIB. Loading into a non-empty
@@ -289,18 +335,26 @@ func loadV1(sc *bufio.Scanner, c *Corpus) error {
 	return nil
 }
 
-// loadV2 consumes the journal format: a sequence of day segments, each
-// committed when its `endday` marker arrives. A segment for a day the
-// corpus already holds is discarded whole — counters included — so
-// replaying a journal (or re-appending a day) is exactly idempotent. A
-// trailing segment with no `endday` is a torn append and is dropped.
+// loadV2 consumes the journal format: a sequence of segments, each
+// committed when its closing marker arrives. Two segment kinds share
+// the grammar: `day N … endday N` carries one day, and `snap d1 d2 … /
+// … endsnap` — written by compaction — carries a whole corpus history
+// at once. A day segment for a day the corpus already holds is
+// discarded whole — counters included — so replaying a journal (or
+// re-appending a day) is exactly idempotent; a snap segment is skipped
+// only if *every* day it carries is present (its counters are
+// indivisible, so a partial overlap is an error). A trailing segment
+// with no closing marker is a torn append and is dropped.
 func loadV2(sc *bufio.Scanner, c *Corpus) error {
 	line := 1
 	have := existingDays(c)
 	type segment struct {
-		day  int
+		day  int          // day segment; -1 for a snap segment
+		days []int        // snap: its sorted day set
 		meta DaySegmentMeta
-		sd   *ScanDay
+		sd   *ScanDay         // day segment's aggregation
+		sds  map[int]*ScanDay // snap segment's, keyed by day
+		skip bool             // snap: every day already present
 	}
 	var seg *segment
 	for sc.Scan() {
@@ -311,14 +365,43 @@ func loadV2(sc *bufio.Scanner, c *Corpus) error {
 		}
 		fields := strings.Fields(text)
 		if seg == nil {
-			if fields[0] != "day" || len(fields) != 2 {
-				return fmt.Errorf("core: line %d: expected day header, got %q", line, fields[0])
+			switch fields[0] {
+			case "day":
+				if len(fields) != 2 {
+					return fmt.Errorf("core: line %d: malformed day header", line)
+				}
+				day, err := strconv.Atoi(fields[1])
+				if err != nil {
+					return fmt.Errorf("core: line %d: bad day: %w", line, err)
+				}
+				seg = &segment{day: day, sd: c.NewScanDay(day)}
+			case "snap":
+				if len(fields) < 2 {
+					return fmt.Errorf("core: line %d: snap header without days", line)
+				}
+				s := &segment{day: -1, sds: map[int]*ScanDay{}}
+				present := 0
+				for _, f := range fields[1:] {
+					day, err := strconv.Atoi(f)
+					if err != nil {
+						return fmt.Errorf("core: line %d: bad snap day: %w", line, err)
+					}
+					s.days = append(s.days, day)
+					if have[day] {
+						present++
+					}
+				}
+				switch present {
+				case 0:
+				case len(s.days):
+					s.skip = true
+				default:
+					return fmt.Errorf("core: line %d: snap segment days %v partially overlap the corpus — counters are indivisible", line, s.days)
+				}
+				seg = s
+			default:
+				return fmt.Errorf("core: line %d: expected day or snap header, got %q", line, fields[0])
 			}
-			day, err := strconv.Atoi(fields[1])
-			if err != nil {
-				return fmt.Errorf("core: line %d: bad day: %w", line, err)
-			}
-			seg = &segment{day: day, sd: c.NewScanDay(day)}
 			continue
 		}
 		switch fields[0] {
@@ -351,11 +434,36 @@ func loadV2(sc *bufio.Scanner, c *Corpus) error {
 			if err != nil {
 				return err
 			}
-			if day != seg.day {
-				return fmt.Errorf("core: line %d: obs for day %d inside day %d segment", line, day, seg.day)
+			if seg.day >= 0 {
+				if day != seg.day {
+					return fmt.Errorf("core: line %d: obs for day %d inside day %d segment", line, day, seg.day)
+				}
+				seg.sd.insertLoaded(resp, minHi, maxHi, count)
+				break
 			}
-			seg.sd.insertLoaded(resp, minHi, maxHi, count)
+			if seg.skip {
+				break
+			}
+			sd, ok := seg.sds[day]
+			if !ok {
+				found := false
+				for _, d := range seg.days {
+					if d == day {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return fmt.Errorf("core: line %d: obs for day %d outside the snap segment's day set %v", line, day, seg.days)
+				}
+				sd = c.NewScanDay(day)
+				seg.sds[day] = sd
+			}
+			sd.insertLoaded(resp, minHi, maxHi, count)
 		case "endday":
+			if seg.day < 0 {
+				return fmt.Errorf("core: line %d: endday inside a snap segment", line)
+			}
 			if len(fields) != 2 || fields[1] != strconv.Itoa(seg.day) {
 				return fmt.Errorf("core: line %d: endday does not close day %d", line, seg.day)
 			}
@@ -368,6 +476,30 @@ func loadV2(sc *bufio.Scanner, c *Corpus) error {
 				c.loadedEUIAddrs += seg.meta.NewEUIAddrs
 				c.mu.Unlock()
 				have[seg.day] = true
+			}
+			seg = nil
+		case "endsnap":
+			if seg.day >= 0 {
+				return fmt.Errorf("core: line %d: endsnap inside a day %d segment", line, seg.day)
+			}
+			if !seg.skip {
+				// Commit in day order for deterministic chronology. A day
+				// with no observations still counts as committed — an
+				// all-silent scan day is corpus history too.
+				for _, d := range seg.days {
+					sd, ok := seg.sds[d]
+					if !ok {
+						sd = c.NewScanDay(d)
+					}
+					sd.Commit()
+					have[d] = true
+				}
+				c.mu.Lock()
+				c.TotalProbes += seg.meta.Probes
+				c.TotalResponses += seg.meta.Responses
+				c.loadedTotalAddrs += seg.meta.NewTotalAddrs
+				c.loadedEUIAddrs += seg.meta.NewEUIAddrs
+				c.mu.Unlock()
 			}
 			seg = nil
 		default:

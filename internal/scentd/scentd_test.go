@@ -316,6 +316,139 @@ func TestStoreMisuse(t *testing.T) {
 	}
 }
 
+// TestStoreCompactReplayEquivalence: compacting an N-day journal into
+// one snap segment changes the bytes on disk but nothing observable —
+// a store reopened from the compacted journal replays to the identical
+// corpus, further days append normally, and compaction composes with
+// itself. This is the journal-growth answer: N days of segments
+// collapse into each observation appearing once.
+func TestStoreCompactReplayEquivalence(t *testing.T) {
+	const days, devices = 4, 16
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.journal")
+
+	st, err := scentd.OpenStore(path, fixtureRIB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for day := 0; day < days; day++ {
+		ingestFixtureDay(t, st, day, devices)
+	}
+	want := corpusBytes(t, st.Snapshot().Corpus())
+	preSize := fileSize(t, path)
+
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fileSize(t, path); got >= preSize {
+		t.Errorf("compacted journal is %d bytes, not smaller than the %d-byte day-by-day one", got, preSize)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(b, []byte("\nendday ")) || !bytes.Contains(b, []byte("\nendsnap\n")) {
+		t.Error("compacted journal still carries day segments (or no snap segment)")
+	}
+
+	// The live store is untouched by compaction...
+	if got := corpusBytes(t, st.Snapshot().Corpus()); !bytes.Equal(got, want) {
+		t.Error("compaction changed the live corpus")
+	}
+	// ...and appends keep working on the swapped handle.
+	ingestFixtureDay(t, st, days, devices)
+	wantPlus := corpusBytes(t, st.Snapshot().Corpus())
+	st.Close()
+
+	// Replay equivalence: reopening the compacted-then-appended journal
+	// reconstructs exactly the corpus the uninterrupted store serves.
+	st2, err := scentd.OpenStore(path, fixtureRIB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := corpusBytes(t, st2.Snapshot().Corpus()); !bytes.Equal(got, wantPlus) {
+		t.Error("corpus replayed from the compacted journal diverges")
+	}
+	// And the served answers match the batch oracle byte for byte.
+	reg := oui.Builtin()
+	snapB := batchCorpusThrough(days+1, devices).Snapshot()
+	for _, req := range queryOps() {
+		got := respJSON(t, scentd.Answer(st2.Snapshot(), reg, req))
+		if want := respJSON(t, scentd.Answer(snapB, reg, req)); !bytes.Equal(got, want) {
+			t.Errorf("op %s: answer after compaction diverges: %s vs %s", req.Op, got, want)
+		}
+	}
+
+	// Compaction composes: a second compact folds the appended day into
+	// the snap segment and still replays identically.
+	if err := st2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	st3, err := scentd.OpenStore(path, fixtureRIB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if got := corpusBytes(t, st3.Snapshot().Corpus()); !bytes.Equal(got, wantPlus) {
+		t.Error("corpus replayed from the twice-compacted journal diverges")
+	}
+
+	// Compacting mid-ingest is refused: the open day is not yet corpus
+	// history and must not be frozen into a snap segment.
+	di, err := st3.BeginDay(days + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st3.Compact(); err == nil {
+		t.Error("Compact succeeded with a DayIngest open")
+	}
+	di.Abandon()
+	if err := st3.Compact(); err != nil {
+		t.Errorf("Compact after Abandon: %v", err)
+	}
+}
+
+// TestSnapSegmentPartialOverlapRejected pins the snap segment's
+// indivisibility: loading one into a corpus that already holds some —
+// but not all — of its days cannot apportion the segment's counters and
+// must fail loudly rather than double-count.
+func TestSnapSegmentPartialOverlapRejected(t *testing.T) {
+	full := batchCorpusThrough(3, 8)
+	var snap bytes.Buffer
+	if err := core.WriteCorpusJournalHeader(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := full.SaveSnap(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// Into a corpus holding a strict subset of the snap's days: error.
+	partial := batchCorpusThrough(2, 8)
+	if err := core.LoadCorpus(bytes.NewReader(snap.Bytes()), partial); err == nil {
+		t.Error("snap segment partially overlapping the corpus loaded without error")
+	}
+
+	// Into a corpus holding every snap day: skipped whole, a no-op.
+	same := batchCorpusThrough(3, 8)
+	before := corpusBytes(t, same)
+	if err := core.LoadCorpus(bytes.NewReader(snap.Bytes()), same); err != nil {
+		t.Fatal(err)
+	}
+	if got := corpusBytes(t, same); !bytes.Equal(got, before) {
+		t.Error("re-loading a fully-present snap segment changed the corpus")
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info.Size()
+}
+
 // TestWireFrameLimits pins the framing edges: oversized frames are
 // rejected, unknown ops answer with an error response, and errors
 // still carry the snapshot's day set.
@@ -516,6 +649,124 @@ func TestScentdTrackOp(t *testing.T) {
 	for i, d := range state.History {
 		got := resp.Track.History[i]
 		if got.Found != d.Found || got.Probes != d.ProbesSent ||
+			(d.Found && got.Addr != d.Addr.String()) {
+			t.Errorf("track day %d: served %+v vs direct %+v", i, got, d)
+		}
+	}
+}
+
+// TestScentdTrackDedicatedEnv: with a NewSession backend — the mode
+// cmd/scentd wires for in-process worlds — every track request runs in
+// its own same-seed replica aligned to the snapshot's last committed
+// day. The ingestion world's clock never moves, concurrent tracks agree
+// exactly, and the history equals a direct core.Tracker run on an
+// identically built replica.
+func TestScentdTrackDedicatedEnv(t *testing.T) {
+	const seed, days, trackDays = 7, 3, 2
+
+	env := experiments.NewSmallEnv(seed)
+	st, err := scentd.OpenStore(filepath.Join(t.TempDir(), "c.journal"), env.World.RIB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ingestCampaign(t, env, st, worldPools(env), days)
+	snap := st.Snapshot()
+
+	iids := snap.Corpus().IIDs()
+	if len(iids) == 0 {
+		t.Fatal("campaign observed no devices")
+	}
+	rec, _ := snap.Corpus().Lookup(iids[0])
+	last := rec.Days[len(rec.Days)-1].Resp
+	lastDay := snap.Days()[len(snap.Days())-1]
+
+	// The session factory cmd/scentd installs: fresh replica, clock on
+	// the last committed day.
+	newSession := func(s *core.Snapshot) (*scentd.TrackSession, error) {
+		senv := experiments.NewSmallEnv(seed)
+		if d := s.Days(); len(d) > 0 {
+			senv.Wait(time.Duration(d[len(d)-1]) * 24 * time.Hour)
+		}
+		return &scentd.TrackSession{Scanner: senv.Scanner, RIB: senv.World.RIB(), Wait: senv.Wait}, nil
+	}
+	addr := startServer(t, &scentd.Server{
+		Store: st,
+		Track: &scentd.TrackBackend{NewSession: newSession},
+	})
+
+	// Three concurrent tracks of the same device on separate
+	// connections: dedicated sessions mean no serialization and no
+	// cross-talk, so all three histories must be identical.
+	clockBefore := env.World.Clock().Now()
+	const clients = 3
+	results := make([]*scentd.TrackResult, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := scentd.Dial(addr)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer c.Close()
+			resp, err := c.Do(scentd.Request{Op: "track", Addr: last.String(), Days: trackDays})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !resp.OK || resp.Track == nil {
+				errs[i] = fmt.Errorf("track failed: %+v", resp)
+				return
+			}
+			results[i] = resp.Track
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	for i := 1; i < clients; i++ {
+		a, b := respJSON(t, scentd.Response{Track: results[0]}), respJSON(t, scentd.Response{Track: results[i]})
+		if !bytes.Equal(a, b) {
+			t.Errorf("concurrent tracks diverge:\n%s\nvs\n%s", a, b)
+		}
+	}
+
+	// The ingestion world's clock did not move: tracking ran entirely
+	// off the shared ingestion clock.
+	if got := env.World.Clock().Now(); !got.Equal(clockBefore) {
+		t.Errorf("ingestion clock moved from %v to %v during tracking", clockBefore, got)
+	}
+
+	// Oracle: a direct core.Tracker on an identically built replica —
+	// same seed, clock advanced to the same day.
+	oenv := experiments.NewSmallEnv(seed)
+	oenv.Wait(time.Duration(lastDay) * 24 * time.Hour)
+	tracker := &core.Tracker{
+		Scanner:   oenv.Scanner,
+		RIB:       oenv.World.RIB(),
+		AllocBits: snap.AllocationByAS(),
+		PoolBits:  snap.PoolByAS(),
+	}
+	state, err := core.NewTrackState(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tracker.Track(context.Background(), state, trackDays, 0x7ac4, oenv.Wait); err != nil {
+		t.Fatal(err)
+	}
+	if sum := core.Summarize(state); sum.DaysFound == 0 {
+		t.Error("tracker never found the device — fixture subject is not trackable")
+	}
+	for i, d := range state.History {
+		got := results[0].History[i]
+		if got.Found != d.Found || got.Moved != d.Moved || got.Probes != d.ProbesSent ||
 			(d.Found && got.Addr != d.Addr.String()) {
 			t.Errorf("track day %d: served %+v vs direct %+v", i, got, d)
 		}

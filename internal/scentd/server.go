@@ -13,6 +13,7 @@ import (
 	"followscent/internal/core"
 	"followscent/internal/ip6"
 	"followscent/internal/oui"
+	"followscent/internal/wire"
 	"followscent/internal/zmap"
 )
 
@@ -32,9 +33,24 @@ type Server struct {
 
 // TrackBackend is the live-probing half of op=track: the §6 adversary
 // run on demand, seeded with the per-AS inferences from the snapshot
-// that answered the request. Track probes share the one simulated (or
-// real) Internet and advance its clock, so runs are serialized.
+// that answered the request.
+//
+// Two modes. With NewSession set, every request gets a dedicated
+// tracking environment — its own scanner, RIB view, and clock — so
+// track requests run concurrently and never perturb the ingestion
+// clock; this is how -track composes with live ingestion. Without it,
+// the legacy shared fields are used: track probes share the one
+// simulated (or real) Internet and advance its clock, so runs are
+// serialized under mu.
 type TrackBackend struct {
+	// NewSession, when set, builds a fresh tracking environment for one
+	// request. The snapshot that answers the request is passed so the
+	// session can align its world clock with the corpus's last
+	// committed day (a tracker probes "today onward", and today is
+	// defined by how far ingestion has advanced).
+	NewSession func(snap *core.Snapshot) (*TrackSession, error)
+
+	// Shared-environment fallback (legacy): used when NewSession is nil.
 	Scanner *zmap.Scanner
 	RIB     *bgp.Table
 	Wait    func(time.Duration)
@@ -44,35 +60,20 @@ type TrackBackend struct {
 	mu sync.Mutex
 }
 
+// TrackSession is one request's dedicated tracking environment.
+type TrackSession struct {
+	Scanner *zmap.Scanner
+	RIB     *bgp.Table
+	Wait    func(time.Duration)
+}
+
 // Serve accepts and handles connections until ctx is cancelled (the
 // listener is closed to unblock Accept). Each connection gets its own
-// goroutine; Serve returns after every handler has drained.
+// goroutine; Serve returns after every handler has drained. The accept
+// loop is the shared internal/wire one, so scentd and the campaign
+// coordinator serve identically.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
-	var wg sync.WaitGroup
-	defer wg.Wait()
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		<-ctx.Done()
-		ln.Close()
-	}()
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			if ctx.Err() != nil {
-				return nil
-			}
-			return fmt.Errorf("scentd: accept: %w", err)
-		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer conn.Close()
-			if err := s.handle(ctx, conn); err != nil && s.Logf != nil {
-				s.Logf("conn %s: %v", conn.RemoteAddr(), err)
-			}
-		}()
-	}
+	return wire.Serve(ctx, ln, s.handle, s.Logf)
 }
 
 // handle answers one connection's requests in order until EOF.
@@ -128,16 +129,28 @@ func (s *Server) track(ctx context.Context, snap *core.Snapshot, req Request) Re
 		salt = 0x7ac4
 	}
 	tb := s.Track
-	tb.mu.Lock()
-	defer tb.mu.Unlock()
 	tracker := &core.Tracker{
-		Scanner:   tb.Scanner,
-		RIB:       tb.RIB,
 		AllocBits: snap.AllocationByAS(),
 		PoolBits:  snap.PoolByAS(),
 		WidenBits: tb.WidenBits,
 	}
-	if err := tracker.Track(ctx, st, days, salt, tb.Wait); err != nil {
+	var wait func(time.Duration)
+	if tb.NewSession != nil {
+		// Dedicated per-request environment: concurrent with other
+		// tracks and with live ingestion, no shared clock.
+		sess, err := tb.NewSession(snap)
+		if err != nil {
+			return errResponse(snap, "track: session: %v", err)
+		}
+		tracker.Scanner, tracker.RIB, wait = sess.Scanner, sess.RIB, sess.Wait
+	} else {
+		// Shared environment: probes advance the one world clock, so
+		// runs serialize.
+		tb.mu.Lock()
+		defer tb.mu.Unlock()
+		tracker.Scanner, tracker.RIB, wait = tb.Scanner, tb.RIB, tb.Wait
+	}
+	if err := tracker.Track(ctx, st, days, salt, wait); err != nil {
 		return errResponse(snap, "track: %v", err)
 	}
 	sum := core.Summarize(st)

@@ -99,7 +99,8 @@ func (s *Store) replay() error {
 
 // completeJournalLen scans the journal and returns the byte length of
 // its longest well-formed prefix: the header plus every segment closed
-// by an `endday` marker. It also rejects non-journal files early (a v1
+// by an `endday` (or, after compaction, `endsnap`) marker. It also
+// rejects non-journal files early (a v1
 // snapshot is a valid corpus but not appendable — the caller would
 // corrupt it).
 func completeJournalLen(f *os.File) (int64, error) {
@@ -125,7 +126,7 @@ func completeJournalLen(f *os.File) (int64, error) {
 			}
 			first = false
 			good = off
-		} else if strings.HasPrefix(text, "endday ") {
+		} else if strings.HasPrefix(text, "endday ") || text == "endsnap" {
 			good = off
 		}
 		if err == io.EOF {
@@ -242,6 +243,85 @@ func (d *DayIngest) Abandon() {
 	d.s.mu.Lock()
 	d.s.ingesting = false
 	d.s.mu.Unlock()
+}
+
+// Compact rewrites the journal as its header plus one snap segment
+// covering every committed day — an N-day journal collapses into a
+// single segment holding each observation once instead of one segment
+// per day. The rewrite goes to a temporary file in the same directory,
+// is fsynced, and replaces the journal with an atomic rename: a crash
+// at any point leaves either the old day-by-day journal or the complete
+// compacted one, never a mix. Replaying the compacted journal
+// reconstructs the identical corpus (TestStoreCompactReplayEquivalence)
+// and later days append after the snap segment exactly as before.
+// Compact fails while a DayIngest is open; a failure after the rename
+// (reopening the new journal) leaves the store broken, like a failed
+// append would.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	if s.broken != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("scentd: store is broken: %w", s.broken)
+	}
+	if s.ingesting {
+		s.mu.Unlock()
+		return fmt.Errorf("scentd: cannot compact while a day is being ingested")
+	}
+	// Hold the ingestion slot so no day lands between the rewrite and
+	// the handle swap.
+	s.ingesting = true
+	s.mu.Unlock()
+	done := func(err error, sticky bool) error {
+		s.mu.Lock()
+		s.ingesting = false
+		if err != nil && sticky {
+			s.broken = err
+		}
+		s.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("scentd: compacting %s: %w", s.path, err)
+		}
+		return nil
+	}
+
+	tmpPath := s.path + ".compact"
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return done(err, false)
+	}
+	err = core.WriteCorpusJournalHeader(tmp)
+	if err == nil {
+		err = s.c.SaveSnap(tmp)
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpPath)
+		return done(err, false)
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		os.Remove(tmpPath)
+		return done(err, false)
+	}
+	// The journal on disk is now the compacted one; the old handle
+	// points at the unlinked file. Swap to a handle positioned at the
+	// new end — failure here leaves handle and file out of step, which
+	// is exactly what broken means.
+	f, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return done(err, true)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return done(err, true)
+	}
+	s.f.Close()
+	s.f = f
+	return done(nil, false)
 }
 
 // IngestScanDay runs one scanner pass over ts and commits it as the

@@ -1,65 +1,30 @@
 package scentd
 
 import (
-	"encoding/binary"
-	"encoding/json"
-	"fmt"
 	"io"
+
+	"followscent/internal/wire"
 )
 
 // Wire protocol: each message is a 4-byte big-endian length followed by
-// one JSON object — the simnetd lineage (framed datagrams over a
-// stream) with JSON instead of raw packets, so the protocol is
-// inspectable with nc and a hex dump. One Request yields exactly one
-// Response; requests on one connection are answered in order.
+// one JSON object, the shared internal/wire framing (also spoken by the
+// campaign coordinator). One Request yields exactly one Response;
+// requests on one connection are answered in order. The thin aliases
+// below keep scentd's historical API surface — callers and tests use
+// scentd.ReadFrame/WriteFrame unchanged.
 
-// MaxFrame caps a single message. Far above any legal request and
-// roomy enough for a full vendor census; anything larger is a framing
-// desync or abuse.
-const MaxFrame = 4 << 20
+// MaxFrame caps a single message; see wire.MaxFrame.
+const MaxFrame = wire.MaxFrame
 
 // WriteFrame marshals v and writes it as one length-prefixed frame.
 func WriteFrame(w io.Writer, v any) error {
-	body, err := json.Marshal(v)
-	if err != nil {
-		return fmt.Errorf("scentd: encoding frame: %w", err)
-	}
-	if len(body) > MaxFrame {
-		return fmt.Errorf("scentd: frame of %d bytes exceeds the %d-byte cap", len(body), MaxFrame)
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("scentd: writing frame: %w", err)
-	}
-	if _, err := w.Write(body); err != nil {
-		return fmt.Errorf("scentd: writing frame: %w", err)
-	}
-	return nil
+	return wire.WriteFrame(w, v)
 }
 
 // ReadFrame reads one length-prefixed frame into v. io.EOF before the
 // first header byte is returned as-is (a clean connection close).
 func ReadFrame(r io.Reader, v any) error {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		if err == io.EOF {
-			return io.EOF
-		}
-		return fmt.Errorf("scentd: reading frame header: %w", err)
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return fmt.Errorf("scentd: frame of %d bytes exceeds the %d-byte cap", n, MaxFrame)
-	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return fmt.Errorf("scentd: reading frame body: %w", err)
-	}
-	if err := json.Unmarshal(body, v); err != nil {
-		return fmt.Errorf("scentd: decoding frame: %w", err)
-	}
-	return nil
+	return wire.ReadFrame(r, v)
 }
 
 // Request is one client query.

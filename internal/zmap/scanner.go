@@ -32,6 +32,15 @@ func (s *Scanner) Scan(ctx context.Context, ts TargetSet, salt uint64, h Handler
 // rounds (FeedbackSource), with the same salt semantics as Scan.
 func (s *Scanner) ScanSource(ctx context.Context, src TargetSource, salt uint64, h Handler) (Stats, error) {
 	cfg := s.Config
-	cfg.Seed = hash2(cfg.Seed, salt)
+	cfg.Seed = ScanSeed(cfg.Seed, salt)
 	return ScanSource(ctx, func(int) (Transport, error) { return s.NewTransport() }, src, cfg, h)
+}
+
+// ScanSeed derives the effective Config.Seed a Scanner would use for
+// one pass: the base seed mixed with the per-pass salt. Callers that
+// drive the package-level ScanSource directly (distributed campaign
+// workers need a per-worker TransportFactory, which Scanner does not
+// expose) use this to reproduce a Scanner.Scan pass bit-for-bit.
+func ScanSeed(seed, salt uint64) uint64 {
+	return hash2(seed, salt)
 }
